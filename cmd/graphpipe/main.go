@@ -1,0 +1,149 @@
+// Command graphpipe plans a pipeline-parallel training strategy for one of
+// the paper's evaluation models, simulates a training iteration, and prints
+// the strategy, its schedule, and the achieved throughput.
+//
+// Usage:
+//
+//	graphpipe -model mmt -devices 8 -batch 128 [-planner graphpipe|pipedream|piper]
+//	          [-branches N] [-micro B] [-gantt] [-verbose]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"graphpipe/internal/baselines/pipedream"
+	"graphpipe/internal/baselines/piper"
+	"graphpipe/internal/cluster"
+	"graphpipe/internal/core"
+	"graphpipe/internal/costmodel"
+	"graphpipe/internal/graph"
+	"graphpipe/internal/models"
+	"graphpipe/internal/sim"
+	"graphpipe/internal/strategy"
+	"graphpipe/internal/trace"
+)
+
+func main() {
+	var (
+		modelName = flag.String("model", "mmt", "model: mmt | dlrm | candle-uno | case-study | sequential")
+		planner   = flag.String("planner", "graphpipe", "planner: graphpipe | pipedream | piper")
+		devices   = flag.Int("devices", 8, "number of devices (GPUs)")
+		batch     = flag.Int("batch", 0, "mini-batch size (default: the paper's size for the device count)")
+		branches  = flag.Int("branches", 0, "override the model's branch count")
+		micro     = flag.Int("micro", 0, "force a fixed micro-batch size")
+		gantt     = flag.Bool("gantt", false, "print the pipeline schedule as an ASCII gantt chart")
+		verbose   = flag.Bool("verbose", false, "print the full stage listing")
+	)
+	flag.Parse()
+
+	g, defBatch, err := buildModel(*modelName, *branches, *devices)
+	if err != nil {
+		fatal(err)
+	}
+	mb := *batch
+	if mb == 0 {
+		mb = defBatch
+	}
+
+	topo := cluster.NewSummitTopology(*devices)
+	model := costmodel.NewDefault(topo)
+
+	start := time.Now()
+	st, err := plan(*planner, g, model, mb, *micro)
+	if err != nil {
+		fatal(err)
+	}
+	searchTime := time.Since(start)
+
+	res, err := sim.New(g, model).Run(st)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("model      %s (%d ops)\n", g.Name(), g.Len())
+	fmt.Printf("devices    %d   mini-batch %d\n", *devices, mb)
+	fmt.Printf("planner    %s   search %.3fs\n", *planner, searchTime.Seconds())
+	fmt.Printf("result     %s\n", trace.Summary(st, res))
+	if *verbose {
+		fmt.Println()
+		fmt.Print(st.String())
+	}
+	if *gantt {
+		fmt.Println()
+		fmt.Print(trace.Gantt(st, res, 110))
+	}
+}
+
+func buildModel(name string, branches, devices int) (*graph.Graph, int, error) {
+	switch name {
+	case "mmt":
+		cfg := models.DefaultMMTConfig()
+		if branches > 0 {
+			cfg.Branches = branches
+		}
+		mb, err := models.PaperMiniBatch("mmt", devices)
+		if err != nil {
+			mb = 32 * devices
+		}
+		return models.MMT(cfg), mb, nil
+	case "dlrm":
+		mb, err := models.PaperMiniBatch("dlrm", devices)
+		if err != nil {
+			mb = 64 * devices
+		}
+		return models.DLRM(models.DefaultDLRMConfig()), mb, nil
+	case "candle-uno":
+		cfg := models.DefaultCANDLEUnoConfig()
+		if branches > 0 {
+			cfg.Branches = branches
+		}
+		mb, err := models.PaperMiniBatch("candle-uno", devices)
+		if err != nil {
+			mb = 1024 * devices
+		}
+		return models.CANDLEUno(cfg), mb, nil
+	case "case-study":
+		return models.CaseStudy(models.DefaultCaseStudyConfig()), 64, nil
+	case "sequential":
+		return models.SequentialTransformer(32), 16 * devices, nil
+	default:
+		return nil, 0, fmt.Errorf("unknown model %q", name)
+	}
+}
+
+func plan(planner string, g *graph.Graph, model *costmodel.Model, miniBatch, micro int) (*strategy.Strategy, error) {
+	switch planner {
+	case "graphpipe":
+		p, err := core.NewPlanner(g, model, core.Options{ForcedMicroBatch: micro})
+		if err != nil {
+			return nil, err
+		}
+		r, err := p.Plan(miniBatch)
+		if err != nil {
+			return nil, err
+		}
+		return r.Strategy, nil
+	case "pipedream":
+		r, err := pipedream.NewPlanner(g, model, pipedream.Options{ForcedMicroBatch: micro}).Plan(miniBatch)
+		if err != nil {
+			return nil, err
+		}
+		return r.Strategy, nil
+	case "piper":
+		r, err := piper.NewPlanner(g, model, piper.Options{ForcedMicroBatch: micro}).Plan(miniBatch)
+		if err != nil {
+			return nil, err
+		}
+		return r.Strategy, nil
+	default:
+		return nil, fmt.Errorf("unknown planner %q", planner)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "graphpipe:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,65 @@
+// Candleuno: sweep the branch count of the CANDLE-Uno precision-medicine
+// model (a miniature of Figure 7 left) — the more parallel branches a DNN
+// has, the more pipeline depth graph pipeline parallelism removes.
+//
+// Run with:
+//
+//	go run ./examples/candleuno
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"graphpipe/internal/baselines/pipedream"
+	"graphpipe/internal/cluster"
+	"graphpipe/internal/core"
+	"graphpipe/internal/costmodel"
+	"graphpipe/internal/models"
+	"graphpipe/internal/sim"
+)
+
+func main() {
+	const devices, miniBatch = 8, 8192
+	topo := cluster.NewSummitTopology(devices)
+	model := costmodel.NewDefault(topo)
+
+	fmt.Printf("%-9s %-14s %-14s %-9s %-11s %s\n",
+		"branches", "graphpipe", "pipedream", "speedup", "gp depth", "pd depth")
+	for _, branches := range []int{2, 4, 8, 16} {
+		cfg := models.DefaultCANDLEUnoConfig()
+		cfg.Branches = branches
+		g := models.CANDLEUno(cfg)
+		sm := sim.New(g, model)
+
+		planner, err := core.NewPlanner(g, model, core.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		gp, err := planner.Plan(miniBatch)
+		if err != nil {
+			log.Fatal(err)
+		}
+		gpRes, err := sm.Run(gp.Strategy)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		pd, err := pipedream.NewPlanner(g, model, pipedream.Options{}).Plan(miniBatch)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pdRes, err := sm.Run(pd.Strategy)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		fmt.Printf("%-9d %-14.0f %-14.0f %-9.2f %-11d %d\n",
+			branches, gpRes.Throughput, pdRes.Throughput,
+			gpRes.Throughput/pdRes.Throughput,
+			gp.Strategy.Depth(), pd.Strategy.Depth())
+	}
+	fmt.Println("\nGraphPipe's pipeline depth stays flat as branches are added, while")
+	fmt.Println("the sequential baseline's depth (and its warm-up/cool-down bubble)")
+	fmt.Println("grows — the mechanism behind Figure 7 (left).")
+}

@@ -1,0 +1,72 @@
+// Multimodal: compare graph pipeline parallelism against the sequential
+// baselines on the paper's Multi-Modal Transformer (4 branches × 8 layers)
+// as the cluster grows — a miniature of Figure 6a.
+//
+// Run with:
+//
+//	go run ./examples/multimodal
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"graphpipe/internal/baselines/pipedream"
+	"graphpipe/internal/cluster"
+	"graphpipe/internal/core"
+	"graphpipe/internal/costmodel"
+	"graphpipe/internal/models"
+	"graphpipe/internal/sim"
+)
+
+func main() {
+	g := models.MMT(models.DefaultMMTConfig())
+	fmt.Printf("%-8s %-12s %-22s %-22s %s\n", "devices", "mini-batch",
+		"graphpipe (samples/s)", "pipedream (samples/s)", "speedup")
+
+	for _, devices := range []int{4, 8, 16, 32} {
+		miniBatch, err := models.PaperMiniBatch("mmt", devices)
+		if err != nil {
+			log.Fatal(err)
+		}
+		topo := cluster.NewSummitTopology(devices)
+		model := costmodel.NewDefault(topo)
+		sm := sim.New(g, model)
+
+		// GraphPipe: topology-aware graph pipeline stages.
+		t0 := time.Now()
+		planner, err := core.NewPlanner(g, model, core.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		gp, err := planner.Plan(miniBatch)
+		if err != nil {
+			log.Fatal(err)
+		}
+		gpSearch := time.Since(t0)
+		gpRes, err := sm.Run(gp.Strategy)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		// PipeDream: linearized sequential pipeline.
+		pd, err := pipedream.NewPlanner(g, model, pipedream.Options{}).Plan(miniBatch)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pdRes, err := sm.Run(pd.Strategy)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		fmt.Printf("%-8d %-12d %-22s %-22s %.2fx\n",
+			devices, miniBatch,
+			fmt.Sprintf("%.0f (depth %d, %.1fs)", gpRes.Throughput, gp.Strategy.Depth(), gpSearch.Seconds()),
+			fmt.Sprintf("%.0f (depth %d)", pdRes.Throughput, pd.Strategy.Depth()),
+			gpRes.Throughput/pdRes.Throughput)
+	}
+	fmt.Println("\nGraph pipeline parallelism executes the four modality branches")
+	fmt.Println("concurrently, halving-or-better the pipeline depth; the gap widens")
+	fmt.Println("with the device count (paper §7.1).")
+}

@@ -1,0 +1,55 @@
+// Quickstart: plan and simulate graph-pipeline-parallel training for a
+// small multi-branch Transformer on 8 simulated GPUs.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"graphpipe/internal/cluster"
+	"graphpipe/internal/core"
+	"graphpipe/internal/costmodel"
+	"graphpipe/internal/models"
+	"graphpipe/internal/sim"
+	"graphpipe/internal/trace"
+)
+
+func main() {
+	// 1. Build a computation graph. The model zoo replicates the paper's
+	// evaluation models; here: a two-branch Multi-Modal Transformer.
+	cfg := models.DefaultMMTConfig()
+	cfg.Branches = 2
+	g := models.MMT(cfg)
+	fmt.Printf("model: %s with %d operators\n", g.Name(), g.Len())
+
+	// 2. Describe the cluster: 8 V100-class GPUs, 4 per node (NVLink
+	// within a node, InfiniBand between nodes), as on the paper's testbed.
+	topo := cluster.NewSummitTopology(8)
+	model := costmodel.NewDefault(topo)
+
+	// 3. Discover a graph-pipeline-parallel strategy: the planner
+	// partitions the graph into a DAG of stages, assigns devices, picks
+	// micro-batch sizes, and schedules every forward/backward pass.
+	planner, err := core.NewPlanner(g, model, core.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	const miniBatch = 128
+	result, err := planner.Plan(miniBatch)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nstrategy:\n%s\n", result.Strategy)
+
+	// 4. Execute one training iteration on the simulated cluster.
+	out, err := sim.New(g, model).Run(result.Strategy)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(trace.Summary(result.Strategy, out))
+	fmt.Printf("\npipeline schedule:\n%s", trace.Gantt(result.Strategy, out, 100))
+}

@@ -1,0 +1,133 @@
+package pipedream
+
+import (
+	"testing"
+
+	"graphpipe/internal/cluster"
+	"graphpipe/internal/costmodel"
+	"graphpipe/internal/models"
+	"graphpipe/internal/sim"
+)
+
+func plan(t testing.TB, devices, mini int, opts Options) (*Result, *costmodel.Model) {
+	t.Helper()
+	g := models.SequentialTransformer(8)
+	topo := cluster.NewSummitTopology(devices)
+	m := costmodel.NewDefault(topo)
+	p := NewPlanner(g, m, opts)
+	r, err := p.Plan(mini)
+	if err != nil {
+		t.Fatalf("Plan: %v", err)
+	}
+	return r, m
+}
+
+func TestPlanChainValid(t *testing.T) {
+	g := models.SequentialTransformer(8)
+	topo := cluster.NewSummitTopology(4)
+	m := costmodel.NewDefault(topo)
+	r, err := NewPlanner(g, m, Options{}).Plan(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Strategy.Validate(g, topo); err != nil {
+		t.Fatalf("invalid strategy: %v", err)
+	}
+	if r.Strategy.Planner != "pipedream" {
+		t.Errorf("planner tag = %q", r.Strategy.Planner)
+	}
+	// Sequential: depth equals stage count.
+	if r.Strategy.Depth() != r.Strategy.NumStages() {
+		t.Errorf("depth %d != stages %d", r.Strategy.Depth(), r.Strategy.NumStages())
+	}
+	if r.DPStates == 0 || r.BottleneckTPS <= 0 {
+		t.Errorf("stats missing: %+v", r)
+	}
+}
+
+// TestSPPStaysSequentialOnBranches is the defining property of the
+// baseline: even on a multi-branch model, PipeDream's strategies form a
+// strict chain (Figure 2 top), so depth always equals stage count.
+func TestSPPStaysSequentialOnBranches(t *testing.T) {
+	cfg := models.DefaultMMTConfig()
+	cfg.Branches = 2
+	cfg.LayersPerBranch = 4
+	g := models.MMT(cfg)
+	topo := cluster.NewSummitTopology(8)
+	m := costmodel.NewDefault(topo)
+	r, err := NewPlanner(g, m, Options{}).Plan(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Strategy.Validate(g, topo); err != nil {
+		t.Fatal(err)
+	}
+	if r.Strategy.Depth() != r.Strategy.NumStages() {
+		t.Errorf("SPP produced non-sequential pipeline: depth %d, stages %d",
+			r.Strategy.Depth(), r.Strategy.NumStages())
+	}
+	// 1F1B in-flight counts decrease along the chain.
+	for i := 1; i < r.Strategy.NumStages(); i++ {
+		if r.Strategy.Stages[i].InFlightSamples > r.Strategy.Stages[i-1].InFlightSamples {
+			t.Errorf("in-flight not monotone along chain: stage %d", i)
+		}
+	}
+}
+
+func TestUsesAllDevices(t *testing.T) {
+	r, _ := plan(t, 4, 32, Options{})
+	used := 0
+	for _, st := range r.Strategy.Stages {
+		used += len(st.Devices)
+	}
+	if used != 4 {
+		t.Errorf("devices used = %d, want 4", used)
+	}
+}
+
+func TestForcedMicroBatch(t *testing.T) {
+	r, _ := plan(t, 4, 32, Options{ForcedMicroBatch: 4})
+	for _, st := range r.Strategy.Stages {
+		if st.Config.MicroBatch != 4 {
+			t.Errorf("micro-batch = %d, want 4", st.Config.MicroBatch)
+		}
+	}
+	g := models.SequentialTransformer(8)
+	topo := cluster.NewSummitTopology(4)
+	if _, err := NewPlanner(g, costmodel.NewDefault(topo), Options{ForcedMicroBatch: 5}).Plan(32); err == nil {
+		t.Error("accepted non-dividing forced micro-batch")
+	}
+}
+
+func TestInvalidMiniBatch(t *testing.T) {
+	g := models.SequentialTransformer(4)
+	topo := cluster.NewSummitTopology(2)
+	if _, err := NewPlanner(g, costmodel.NewDefault(topo), Options{}).Plan(0); err == nil {
+		t.Error("accepted zero mini-batch")
+	}
+}
+
+func TestInfeasibleMemory(t *testing.T) {
+	g := models.SequentialTransformer(8)
+	topo := cluster.NewUniformTopology(4, 1e6, 100e9)
+	if _, err := NewPlanner(g, costmodel.NewDefault(topo), Options{}).Plan(32); err == nil {
+		t.Error("planned into 1MB devices")
+	}
+}
+
+func TestStrategySimulates(t *testing.T) {
+	g := models.SequentialTransformer(8)
+	topo := cluster.NewSummitTopology(4)
+	m := costmodel.NewDefault(topo)
+	r, err := NewPlanner(g, m, Options{}).Plan(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.New(g, m).Run(r.Strategy)
+	if err != nil {
+		t.Fatalf("simulation failed: %v", err)
+	}
+	if res.Throughput <= 0 {
+		t.Error("no throughput")
+	}
+}

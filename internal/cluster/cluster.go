@@ -1,0 +1,293 @@
+// Package cluster models the device topology graph D = (V_D, E_D) from §3:
+// accelerator devices with memory budgets connected by communication links
+// with bandwidths. The default topology mirrors the paper's testbed — Summit
+// nodes with 4 NVLink-connected V100 GPUs per node and 100 Gb/s InfiniBand
+// between nodes — so that planner decisions (e.g. keeping data-parallel
+// replicas of a stage within a node) face the same bandwidth cliff the paper's
+// hardware imposes.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+)
+
+// DeviceID identifies a device within a Topology. IDs are dense from zero.
+type DeviceID int
+
+// Device is a single accelerator.
+type Device struct {
+	ID DeviceID
+	// Node is the index of the host machine the device is attached to.
+	Node int
+	// MemoryBytes is the device memory budget M_v.
+	MemoryBytes float64
+	// PeakFLOPS is the device's peak throughput in FLOP/s.
+	PeakFLOPS float64
+	// MemBandwidth is the device's DRAM bandwidth in bytes/s, used by the
+	// roofline cost model for memory-bound operators.
+	MemBandwidth float64
+}
+
+// Topology is the device graph. Link bandwidths are derived from node
+// co-location: devices on the same node communicate at IntraNodeBandwidth,
+// devices on different nodes at InterNodeBandwidth.
+type Topology struct {
+	devices []Device
+
+	// IntraNodeBandwidth is the bytes/s between two devices on one node
+	// (NVLink on the paper's testbed).
+	IntraNodeBandwidth float64
+	// InterNodeBandwidth is the bytes/s between devices on different nodes
+	// (EDR InfiniBand on the paper's testbed).
+	InterNodeBandwidth float64
+	// LinkLatency is the fixed per-transfer latency in seconds.
+	LinkLatency float64
+}
+
+// V100-class constants used by the default topology. The absolute values
+// only set the time scale; the reproduction targets relative shapes.
+const (
+	v100MemoryBytes  = 16e9   // 16 GB HBM2
+	v100PeakFLOPS    = 112e12 // tensor-core peak, de-rated from 125 TFLOPS
+	v100MemBandwidth = 900e9  // 900 GB/s HBM2
+	nvlinkBandwidth  = 150e9  // effective NVLink bytes/s
+	ibBandwidth      = 12.5e9 // 100 Gb/s EDR InfiniBand
+	defaultLatency   = 5e-6   // 5 µs per transfer
+	gpusPerNode      = 4
+)
+
+// NewSummitTopology builds a topology of n V100-class devices grouped four
+// per node, matching the paper's evaluation platform (§7).
+func NewSummitTopology(n int) *Topology {
+	t := &Topology{
+		IntraNodeBandwidth: nvlinkBandwidth,
+		InterNodeBandwidth: ibBandwidth,
+		LinkLatency:        defaultLatency,
+	}
+	for i := 0; i < n; i++ {
+		t.devices = append(t.devices, Device{
+			ID:           DeviceID(i),
+			Node:         i / gpusPerNode,
+			MemoryBytes:  v100MemoryBytes,
+			PeakFLOPS:    v100PeakFLOPS,
+			MemBandwidth: v100MemBandwidth,
+		})
+	}
+	return t
+}
+
+// NewUniformTopology builds n identical devices on a single node with the
+// given memory budget and bandwidths; tests use it to create controlled
+// memory pressure.
+func NewUniformTopology(n int, memoryBytes, bandwidth float64) *Topology {
+	t := &Topology{
+		IntraNodeBandwidth: bandwidth,
+		InterNodeBandwidth: bandwidth,
+		LinkLatency:        defaultLatency,
+	}
+	for i := 0; i < n; i++ {
+		t.devices = append(t.devices, Device{
+			ID:           DeviceID(i),
+			Node:         0,
+			MemoryBytes:  memoryBytes,
+			PeakFLOPS:    v100PeakFLOPS,
+			MemBandwidth: v100MemBandwidth,
+		})
+	}
+	return t
+}
+
+// Len returns the number of devices |V_D|.
+func (t *Topology) Len() int { return len(t.devices) }
+
+// Device returns the device with the given id.
+func (t *Topology) Device(id DeviceID) Device { return t.devices[id] }
+
+// Devices returns all devices in id order. The slice must not be modified.
+func (t *Topology) Devices() []Device { return t.devices }
+
+// MinMemory returns the smallest device memory budget, the M of Equation 2.
+func (t *Topology) MinMemory() float64 {
+	if len(t.devices) == 0 {
+		return 0
+	}
+	m := t.devices[0].MemoryBytes
+	for _, d := range t.devices[1:] {
+		if d.MemoryBytes < m {
+			m = d.MemoryBytes
+		}
+	}
+	return m
+}
+
+// Bandwidth returns the bytes/s of the link between devices a and b.
+func (t *Topology) Bandwidth(a, b DeviceID) float64 {
+	if a == b {
+		return t.devices[a].MemBandwidth // same-device "transfer"
+	}
+	if t.devices[a].Node == t.devices[b].Node {
+		return t.IntraNodeBandwidth
+	}
+	return t.InterNodeBandwidth
+}
+
+// GroupBandwidth returns the bottleneck bandwidth between two device groups:
+// the minimum pairwise link bandwidth between any sender and receiver. Stage
+// boundaries are charged at this rate.
+func (t *Topology) GroupBandwidth(from, to []DeviceID) float64 {
+	if len(from) == 0 || len(to) == 0 {
+		return t.IntraNodeBandwidth
+	}
+	min := -1.0
+	for _, a := range from {
+		for _, b := range to {
+			bw := t.Bandwidth(a, b)
+			if min < 0 || bw < min {
+				min = bw
+			}
+		}
+	}
+	return min
+}
+
+// GroupSpansNodes reports whether the device group crosses a node boundary,
+// which determines the bandwidth used for intra-stage gradient allreduce.
+func (t *Topology) GroupSpansNodes(group []DeviceID) bool {
+	if len(group) < 2 {
+		return false
+	}
+	node := t.devices[group[0]].Node
+	for _, d := range group[1:] {
+		if t.devices[d].Node != node {
+			return true
+		}
+	}
+	return false
+}
+
+// AllreduceBandwidth returns the per-device bandwidth available for a ring
+// allreduce over the group.
+func (t *Topology) AllreduceBandwidth(group []DeviceID) float64 {
+	if t.GroupSpansNodes(group) {
+		return t.InterNodeBandwidth
+	}
+	return t.IntraNodeBandwidth
+}
+
+// Allocator hands out contiguous blocks of device IDs. Contiguous allocation
+// keeps data-parallel replicas of one stage on as few nodes as possible,
+// which is how the paper's runtime places stages.
+type Allocator struct {
+	topo *Topology
+	next DeviceID
+}
+
+// NewAllocator returns an allocator over t starting at device 0.
+func NewAllocator(t *Topology) *Allocator { return &Allocator{topo: t} }
+
+// Take allocates the next n contiguous devices. It returns an error if the
+// topology is exhausted, which indicates a planner bug (C3 violation).
+func (a *Allocator) Take(n int) ([]DeviceID, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("cluster: invalid allocation size %d", n)
+	}
+	if int(a.next)+n > a.topo.Len() {
+		return nil, fmt.Errorf("cluster: out of devices: want %d, have %d left", n, a.topo.Len()-int(a.next))
+	}
+	out := make([]DeviceID, n)
+	for i := range out {
+		out[i] = a.next
+		a.next++
+	}
+	return out, nil
+}
+
+// Remaining returns the number of unallocated devices.
+func (a *Allocator) Remaining() int { return a.topo.Len() - int(a.next) }
+
+// SortIDs sorts device ids ascending in place and returns them.
+func SortIDs(ids []DeviceID) []DeviceID {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// PlaceStages assigns device groups to stages so that groups avoid
+// straddling node boundaries when possible: groups of four or more devices
+// get whole nodes, smaller groups are first-fit packed into single nodes.
+// Planners assume a stage of at most one node's devices synchronizes
+// gradients over the fast intra-node links; this placement makes that
+// assumption hold. counts must sum to exactly the topology size.
+func PlaceStages(t *Topology, counts []int) ([][]DeviceID, error) {
+	total := 0
+	for _, c := range counts {
+		if c <= 0 {
+			return nil, fmt.Errorf("cluster: invalid stage device count %d", c)
+		}
+		total += c
+	}
+	if total != t.Len() {
+		return nil, fmt.Errorf("cluster: stage device counts sum to %d, topology has %d", total, t.Len())
+	}
+
+	nodes := t.Len() / gpusPerNode
+	if t.Len()%gpusPerNode != 0 {
+		nodes++
+	}
+	free := make([][]DeviceID, nodes)
+	for i := 0; i < t.Len(); i++ {
+		d := t.devices[i]
+		free[d.Node] = append(free[d.Node], d.ID)
+	}
+
+	// Place large groups first (whole nodes), then pack small groups
+	// first-fit into the emptiest remaining nodes; process equal sizes in
+	// stage order for determinism.
+	order := make([]int, len(counts))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return counts[order[a]] > counts[order[b]] })
+
+	out := make([][]DeviceID, len(counts))
+	for _, si := range order {
+		need := counts[si]
+		group := make([]DeviceID, 0, need)
+		// Prefer nodes that fit the whole remainder; take the fullest
+		// fitting node first to reduce fragmentation.
+		for need > 0 {
+			best := -1
+			for ni := range free {
+				if len(free[ni]) == 0 {
+					continue
+				}
+				fits := len(free[ni]) >= need
+				if best == -1 {
+					best = ni
+					continue
+				}
+				bestFits := len(free[best]) >= need
+				switch {
+				case fits && !bestFits:
+					best = ni
+				case fits == bestFits && len(free[ni]) < len(free[best]) && fits:
+					best = ni // tightest fit among fitting nodes
+				case fits == bestFits && !fits && len(free[ni]) > len(free[best]):
+					best = ni // largest chunk when nothing fits
+				}
+			}
+			if best == -1 {
+				return nil, fmt.Errorf("cluster: placement ran out of devices")
+			}
+			take := need
+			if take > len(free[best]) {
+				take = len(free[best])
+			}
+			group = append(group, free[best][:take]...)
+			free[best] = free[best][take:]
+			need -= take
+		}
+		out[si] = SortIDs(group)
+	}
+	return out, nil
+}

@@ -1,0 +1,149 @@
+package cluster
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func nodesOf(t *Topology, ids []DeviceID) map[int]bool {
+	out := map[int]bool{}
+	for _, id := range ids {
+		out[t.Device(id).Node] = true
+	}
+	return out
+}
+
+func TestPlaceStagesWholeNodes(t *testing.T) {
+	topo := NewSummitTopology(8)
+	groups, err := PlaceStages(topo, []int{4, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, g := range groups {
+		if len(nodesOf(topo, g)) != 1 {
+			t.Errorf("group %d straddles nodes: %v", i, g)
+		}
+	}
+}
+
+func TestPlaceStagesSmallGroupsPacked(t *testing.T) {
+	topo := NewSummitTopology(8)
+	groups, err := PlaceStages(topo, []int{2, 2, 2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, g := range groups {
+		if len(nodesOf(topo, g)) != 1 {
+			t.Errorf("2-device group %d straddles nodes: %v", i, g)
+		}
+	}
+}
+
+func TestPlaceStagesMixed(t *testing.T) {
+	topo := NewSummitTopology(16)
+	// 8 + 4 + 3 + 1: the 8 takes two nodes, 4 one node, 3 and 1 pack the
+	// last node.
+	groups, err := PlaceStages(topo, []int{8, 4, 3, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nodesOf(topo, groups[1])) != 1 {
+		t.Errorf("4-device group straddles: %v", groups[1])
+	}
+	if len(nodesOf(topo, groups[2])) != 1 {
+		t.Errorf("3-device group straddles: %v", groups[2])
+	}
+	// All devices covered exactly once.
+	seen := map[DeviceID]bool{}
+	n := 0
+	for _, g := range groups {
+		for _, id := range g {
+			if seen[id] {
+				t.Fatalf("device %d assigned twice", id)
+			}
+			seen[id] = true
+			n++
+		}
+	}
+	if n != 16 {
+		t.Errorf("covered %d devices, want 16", n)
+	}
+}
+
+func TestPlaceStagesErrors(t *testing.T) {
+	topo := NewSummitTopology(4)
+	if _, err := PlaceStages(topo, []int{2, 1}); err == nil {
+		t.Error("accepted undersubscribed counts")
+	}
+	if _, err := PlaceStages(topo, []int{4, 1}); err == nil {
+		t.Error("accepted oversubscribed counts")
+	}
+	if _, err := PlaceStages(topo, []int{4, 0}); err == nil {
+		t.Error("accepted zero count")
+	}
+}
+
+// Property: any composition of positive counts summing to the topology size
+// yields a disjoint exact cover, and any group of ≤4 devices stays within
+// one node whenever the count mix makes that possible (all counts ≤ 4 and
+// 4-aligned packing exists trivially when each count divides 4).
+func TestPlaceStagesQuick(t *testing.T) {
+	f := func(seed uint8) bool {
+		// Build a random composition of 16 from {1,2,4}.
+		sizes := []int{1, 2, 4}
+		var counts []int
+		left := 16
+		x := int(seed)
+		for left > 0 {
+			c := sizes[x%3]
+			x = x/3 + 7
+			if c > left {
+				c = left
+			}
+			counts = append(counts, c)
+			left -= c
+		}
+		topo := NewSummitTopology(16)
+		groups, err := PlaceStages(topo, counts)
+		if err != nil {
+			return false
+		}
+		seen := map[DeviceID]bool{}
+		for gi, g := range groups {
+			if len(g) != counts[gi] {
+				return false
+			}
+			for _, id := range g {
+				if seen[id] {
+					return false
+				}
+				seen[id] = true
+			}
+		}
+		return len(seen) == 16
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Counts of {1,2,4} compositions always admit straddle-free packing of the
+// ≤4 groups when each node's capacity is 4 and sizes are powers of two.
+func TestPlaceStagesPow2NoStraddle(t *testing.T) {
+	topo := NewSummitTopology(16)
+	for _, counts := range [][]int{
+		{4, 4, 4, 4}, {4, 4, 4, 2, 2}, {2, 2, 2, 2, 4, 4},
+		{1, 1, 2, 4, 4, 4}, {1, 1, 1, 1, 2, 2, 4, 4},
+	} {
+		groups, err := PlaceStages(topo, counts)
+		if err != nil {
+			t.Fatalf("%v: %v", counts, err)
+		}
+		for gi, g := range groups {
+			if counts[gi] <= 4 && len(nodesOf(topo, g)) != 1 {
+				t.Errorf("counts %v: group %d (%d devices) straddles nodes %v",
+					counts, gi, counts[gi], g)
+			}
+		}
+	}
+}

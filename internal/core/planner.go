@@ -1,0 +1,812 @@
+// Package core implements the paper's primary contribution: GraphPipe's
+// pipeline stage partitioner (§5, Algorithm 1) working jointly with the
+// static micro-batch scheduler (§6, Algorithm 2).
+//
+// The partitioner minimizes the Time-Per-Sample (TPS) of the bottleneck
+// pipeline stage (Equation 1) subject to per-device memory (Equation 2). It
+// binary-searches the target TPS and, for each target, runs a dynamic
+// program over the series-parallel decomposition of the computation graph:
+//
+//   - Base case: treat the current zone as a single stage with data
+//     parallelism across its d devices, check the TPS target, and obtain the
+//     minimal in-flight sample count from the scheduler (Table 2).
+//   - Series decomposition: split the zone at a cut operator; solve the
+//     downstream part first (its in-flight count feeds the upstream part's
+//     schedule configuration), enumerating the boundary stage configuration.
+//   - Parallel decomposition: split the zone into branch groups that share
+//     schedule boundaries; the source in-flight count is the maximum over
+//     the groups (continuous pipelining, §5).
+//
+// DP states are memoized on (zone, devices, source config, successor
+// config); the zone count is polynomial for series-parallel DNNs, which is
+// why GraphPipe's search is 9–21× faster than the SPP baselines (§7.2).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"graphpipe/internal/cluster"
+	"graphpipe/internal/costmodel"
+	"graphpipe/internal/graph"
+	"graphpipe/internal/schedule"
+	"graphpipe/internal/spgraph"
+	"graphpipe/internal/strategy"
+)
+
+// Options tunes the planner. The zero value selects the paper's defaults
+// (§6): synchronous 1F1B and a single micro-batch size shared by all
+// stages, searched over powers of two.
+type Options struct {
+	// MicroBatchCandidates overrides the candidate micro-batch sizes.
+	// Empty means powers of two dividing the mini-batch size, capped at
+	// MaxMicroBatch.
+	MicroBatchCandidates []int
+	// MaxMicroBatch caps the candidate micro-batch sizes (default 4096).
+	MaxMicroBatch int
+	// KCandidates are the kFkB candidates (default {1}: 1F1B).
+	KCandidates []int
+	// ForcedMicroBatch restricts the search to exactly one micro-batch
+	// size. Used by the fixed-µB sweep (Figure 7 right) and the "Parallel"
+	// ablation arm (Figure 9).
+	ForcedMicroBatch int
+	// PerStageMicroBatch enables the fine-grained per-stage micro-batch
+	// search of §6 (Figure 5): stage boundaries may change the micro-batch
+	// size instead of inheriting the global one. Off by default, as in the
+	// paper ("performance improvements ... are incremental" for the
+	// evaluated models), and more expensive to search.
+	PerStageMicroBatch bool
+	// DisableSinkAnchoredSplits removes the partitions where a stage
+	// combines a branch tail with the merge operators (§7.5's "one stage
+	// necessarily contains the concatenation operator"). Exists for the
+	// ablation benchmarks only.
+	DisableSinkAnchoredSplits bool
+	// Epsilon is the relative binary-search tolerance (default 2e-3).
+	Epsilon float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxMicroBatch == 0 {
+		o.MaxMicroBatch = 4096
+	}
+	if len(o.KCandidates) == 0 {
+		o.KCandidates = []int{1}
+	}
+	if o.Epsilon == 0 {
+		o.Epsilon = 2e-3
+	}
+	return o
+}
+
+// Result is a planning outcome with search statistics.
+type Result struct {
+	Strategy *strategy.Strategy
+	// BottleneckTPS is the achieved max-stage TPS (Equation 1 objective).
+	BottleneckTPS float64
+	// DPStates counts memoized subproblems across the whole search.
+	DPStates int
+	// BinaryIters counts binary-search iterations.
+	BinaryIters int
+}
+
+// ErrNoStrategy is returned when no valid strategy exists within the device
+// memory budget.
+var ErrNoStrategy = errors.New("core: no valid strategy found")
+
+// Planner discovers GPP strategies for one model on one topology.
+type Planner struct {
+	g     *graph.Graph
+	model *costmodel.Model
+	topo  *cluster.Topology
+	dec   *spgraph.Decomposer
+	opts  Options
+
+	zones *zoneTable
+
+	// evalCaches memoizes per-(zone, micro-batch, devices) stage costs,
+	// partitioned by root micro-batch size so concurrent per-size searches
+	// never share a map. The costs are independent of the binary-search
+	// target and are therefore reused across all probes of one Plan call.
+	evalCaches map[int]map[stageEvalKey]stageEval
+}
+
+type stageEvalKey struct {
+	zone int
+	b, d int
+}
+
+type stageEval struct {
+	tps          float64
+	weightMem    float64
+	actPerSample float64
+}
+
+// zoneTable interns the series-parallel zones into dense integer ids so DP
+// memoization keys avoid string hashing, and resolves each zone's splits to
+// id pairs once.
+type zoneTable struct {
+	dec        *spgraph.Decomposer
+	noAnchored bool
+	ids        map[string]int
+	sets       []graph.NodeSet
+	series     [][]splitIDs
+	parallel   [][]splitIDs
+	resolved   []bool
+}
+
+type splitIDs struct {
+	left, right  int
+	sinkAnchored bool
+	mergeOp      graph.NodeID
+}
+
+func newZoneTable(dec *spgraph.Decomposer) *zoneTable {
+	return &zoneTable{dec: dec, ids: make(map[string]int)}
+}
+
+func (zt *zoneTable) intern(set graph.NodeSet) int {
+	key := set.Key()
+	if id, ok := zt.ids[key]; ok {
+		return id
+	}
+	id := len(zt.sets)
+	zt.ids[key] = id
+	zt.sets = append(zt.sets, set)
+	zt.series = append(zt.series, nil)
+	zt.parallel = append(zt.parallel, nil)
+	zt.resolved = append(zt.resolved, false)
+	return id
+}
+
+func (zt *zoneTable) resolve(id int) {
+	if zt.resolved[id] {
+		return
+	}
+	zt.resolved[id] = true
+	set := zt.sets[id]
+	for _, sp := range zt.dec.SeriesSplits(set) {
+		zt.series[id] = append(zt.series[id], splitIDs{left: zt.intern(sp.Left), right: zt.intern(sp.Right)})
+	}
+	for _, sp := range zt.dec.ParallelSplits(set) {
+		if sp.SinkAnchored && zt.noAnchored {
+			continue
+		}
+		zt.parallel[id] = append(zt.parallel[id], splitIDs{
+			left: zt.intern(sp.Left), right: zt.intern(sp.Right),
+			sinkAnchored: sp.SinkAnchored, mergeOp: sp.MergeOp,
+		})
+	}
+	// Non-series-parallel atoms fall back to a linearized chain (§5's
+	// conversion), so the planner never has to treat a multi-operator
+	// blob as indivisible.
+	if len(zt.series[id]) == 0 && len(zt.parallel[id]) == 0 {
+		for _, sp := range zt.dec.LinearizedSplits(set) {
+			zt.series[id] = append(zt.series[id], splitIDs{left: zt.intern(sp.Left), right: zt.intern(sp.Right)})
+		}
+	}
+}
+
+func (zt *zoneTable) seriesSplits(id int) []splitIDs {
+	return zt.series[id]
+}
+
+func (zt *zoneTable) parallelSplits(id int) []splitIDs {
+	return zt.parallel[id]
+}
+
+// resolveAll resolves every zone reachable from root so the table becomes
+// read-only and safe for the concurrent per-micro-batch searches.
+func (zt *zoneTable) resolveAll(root int) {
+	for next := root; next < len(zt.sets); next++ {
+		zt.resolve(next)
+	}
+}
+
+// NewPlanner constructs a planner. The graph must have a single source and
+// sink (spgraph.Validate).
+func NewPlanner(g *graph.Graph, model *costmodel.Model, opts Options) (*Planner, error) {
+	if err := spgraph.Validate(g); err != nil {
+		return nil, err
+	}
+	dec := spgraph.New(g)
+	zt := newZoneTable(dec)
+	opts = opts.withDefaults()
+	zt.noAnchored = opts.DisableSinkAnchoredSplits
+	return &Planner{
+		g:     g,
+		model: model,
+		topo:  model.Topology(),
+		dec:   dec,
+		zones: zt,
+		opts:  opts,
+	}, nil
+}
+
+// microBatchCandidates returns the candidate micro-batch sizes for
+// mini-batch B, largest first so ties in the DP prefer compute efficiency.
+func (p *Planner) microBatchCandidates(miniBatch int) []int {
+	if p.opts.ForcedMicroBatch > 0 {
+		if miniBatch%p.opts.ForcedMicroBatch != 0 {
+			return nil
+		}
+		return []int{p.opts.ForcedMicroBatch}
+	}
+	if len(p.opts.MicroBatchCandidates) > 0 {
+		var out []int
+		for _, b := range p.opts.MicroBatchCandidates {
+			if b >= 1 && miniBatch%b == 0 {
+				out = append(out, b)
+			}
+		}
+		sort.Sort(sort.Reverse(sort.IntSlice(out)))
+		return out
+	}
+	var out []int
+	for b := 1; b <= miniBatch && b <= p.opts.MaxMicroBatch; b *= 2 {
+		if miniBatch%b == 0 {
+			out = append(out, b)
+		}
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(out)))
+	return out
+}
+
+// dataParDegrees returns the allowed per-stage data-parallel degrees
+// (powers of two, §5 complexity analysis).
+func dataParDegrees(max int) map[int]bool {
+	out := make(map[int]bool)
+	for d := 1; d <= max; d *= 2 {
+		out[d] = true
+	}
+	return out
+}
+
+// --- DP machinery ---
+
+// dpStage is one stage of a partial solution.
+type dpStage struct {
+	ops      graph.NodeSet
+	cfg      schedule.Config
+	devs     int
+	inFlight int
+	memory   float64
+	tps      float64
+}
+
+// dpResult is the solution of one DP subproblem. A nil dpResult means
+// infeasible. Results form a derivation tree (leaf = single stage; inner =
+// series/parallel combination) so the DP never copies stage lists; the
+// winning tree is flattened once at assembly time.
+type dpResult struct {
+	// inFlight is the in-flight sample count of the zone's source
+	// stage(s); parallel zones report the maximum (continuous pipelining).
+	inFlight int
+	// srcCfg is the configuration of the zone's source stage(s).
+	srcCfg  schedule.Config
+	maxMem  float64
+	maxTPS  float64
+	nStages int
+
+	leaf        *dpStage // non-nil for base-case results
+	left, right *dpResult
+}
+
+func combine(a, b *dpResult) *dpResult {
+	out := &dpResult{
+		maxMem:  a.maxMem,
+		maxTPS:  a.maxTPS,
+		nStages: a.nStages + b.nStages,
+		left:    a,
+		right:   b,
+	}
+	if b.maxMem > out.maxMem {
+		out.maxMem = b.maxMem
+	}
+	if b.maxTPS > out.maxTPS {
+		out.maxTPS = b.maxTPS
+	}
+	return out
+}
+
+// stageInfoFor returns the schedule configuration and in-flight sample
+// count of the stage that owns op in this derivation, walking the tree.
+// Sink-anchored splits use it to find the merge stage branch groups feed.
+func (r *dpResult) stageInfoFor(op graph.NodeID) (schedule.Config, int, bool) {
+	if r.leaf != nil {
+		if r.leaf.ops.Contains(op) {
+			return r.leaf.cfg, r.leaf.inFlight, true
+		}
+		return schedule.Config{}, 0, false
+	}
+	if cfg, ifl, ok := r.left.stageInfoFor(op); ok {
+		return cfg, ifl, true
+	}
+	return r.right.stageInfoFor(op)
+}
+
+// collectStages flattens the derivation tree.
+func (r *dpResult) collectStages(out []dpStage) []dpStage {
+	if r.leaf != nil {
+		return append(out, *r.leaf)
+	}
+	out = r.left.collectStages(out)
+	return r.right.collectStages(out)
+}
+
+// better implements the DP's preference order: feasible, then smaller
+// source-stage in-flight count (the §5 subproblem objective), then smaller
+// peak memory (PickBetter, Algorithm 1 line 18), then fewer stages.
+func better(a, b *dpResult) *dpResult {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	if a.inFlight != b.inFlight {
+		if a.inFlight < b.inFlight {
+			return a
+		}
+		return b
+	}
+	if a.maxMem != b.maxMem {
+		if a.maxMem < b.maxMem {
+			return a
+		}
+		return b
+	}
+	if a.nStages <= b.nStages {
+		return a
+	}
+	return b
+}
+
+// dpKey packs a DP state into one word: zone id (14 bits), devices (7),
+// source config index (8), successor config index + presence (9), successor
+// in-flight samples (26). Packing keeps memo lookups cheap; the hot path is
+// hundreds of millions of lookups for the largest models.
+type dpKey uint64
+
+type search struct {
+	p         *Planner
+	miniBatch int
+	tmax      float64
+	bCands    []int // all candidate micro-batch sizes (per-stage mode)
+	dpDegrees map[int]bool
+	memo      map[dpKey]*dpResult
+	evalCache map[stageEvalKey]stageEval
+	states    int
+
+	// cfgIndex interns schedule configs for key packing.
+	cfgIndex map[schedule.Config]int
+	cfgs     []schedule.Config
+}
+
+func (s *search) configIdx(c schedule.Config) int {
+	if i, ok := s.cfgIndex[c]; ok {
+		return i
+	}
+	i := len(s.cfgs)
+	if i >= 255 {
+		panic("core: too many distinct schedule configs")
+	}
+	s.cfgIndex[c] = i
+	s.cfgs = append(s.cfgs, c)
+	return i
+}
+
+func (s *search) makeKey(zoneID, d int, cf schedule.Config, cb *schedule.Successor) dpKey {
+	k := uint64(zoneID)&0x3FFF | uint64(d&0x7F)<<14 | uint64(s.configIdx(cf))<<21
+	if cb != nil {
+		k |= 1 << 29
+		k |= uint64(s.configIdx(cb.Config)) << 30
+		k |= uint64(cb.InFlight&0x3FFFFFF) << 38
+	}
+	return dpKey(k)
+}
+
+// interNodeComm reports whether stage-boundary transfers should be costed
+// at inter-node bandwidth: in a multi-node cluster, neighboring stages
+// usually land on different nodes.
+func (s *search) interNodeComm() bool {
+	return s.p.topo.Len() > 4
+}
+
+// interNodeAllreduce reports whether a d-replica stage's gradient allreduce
+// crosses nodes: the contiguous allocator keeps up-to-4-device stages
+// within one 4-GPU node.
+func (s *search) interNodeAllreduce(d int) bool {
+	return d > 4
+}
+
+// evalStage returns cached per-stage costs for (zone, b, d).
+func (s *search) evalStage(zoneID, b, d int) stageEval {
+	key := stageEvalKey{zone: zoneID, b: b, d: d}
+	if ev, ok := s.evalCache[key]; ok {
+		return ev
+	}
+	cfg := costmodel.StageConfig{
+		Ops:                s.p.zones.sets[zoneID],
+		MicroBatch:         b,
+		DataPar:            d,
+		InterNode:          s.interNodeComm(),
+		InterNodeAllreduce: s.interNodeAllreduce(d),
+	}
+	costs := s.p.model.Stage(s.p.g, cfg)
+	ev := stageEval{
+		tps:          s.p.model.TPS(s.p.g, cfg, s.miniBatch),
+		weightMem:    costs.WeightBytes,
+		actPerSample: costs.ActivationBytesPerSample,
+	}
+	s.evalCache[key] = ev
+	return ev
+}
+
+// stageAttempt evaluates a zone as a single stage.
+func (s *search) stageAttempt(zoneID int, cf schedule.Config, cb *schedule.Successor, d int) *dpResult {
+	if !s.dpDegrees[d] {
+		return nil
+	}
+	if s.miniBatch%cf.MicroBatch != 0 {
+		return nil
+	}
+	ev := s.evalStage(zoneID, cf.MicroBatch, d)
+	tps := ev.tps
+	if tps > s.tmax {
+		return nil
+	}
+	var succs []schedule.Successor
+	if cb != nil {
+		succs = []schedule.Successor{*cb}
+	}
+	inFlight := schedule.ComputeInFlight(cf, succs)
+	mem := ev.weightMem + ev.actPerSample*float64(inFlight)
+	if mem > s.p.topo.MinMemory() {
+		return nil
+	}
+	return &dpResult{
+		inFlight: inFlight,
+		srcCfg:   cf,
+		maxMem:   mem,
+		maxTPS:   tps,
+		nStages:  1,
+		leaf: &dpStage{
+			ops: s.p.zones.sets[zoneID], cfg: cf, devs: d, inFlight: inFlight, memory: mem, tps: tps,
+		},
+	}
+}
+
+// boundaryConfigs enumerates candidate schedule configurations for a stage
+// boundary. In the default (uniform) mode the boundary inherits the global
+// micro-batch size under consideration, so this is a single candidate per
+// kFkB choice; with PerStageMicroBatch every candidate size is offered
+// (Figure 5's per-stage sizes).
+func (s *search) boundaryConfigs(cf schedule.Config) []schedule.Config {
+	var out []schedule.Config
+	if s.p.opts.PerStageMicroBatch {
+		for _, b := range s.bCands {
+			for _, k := range s.p.opts.KCandidates {
+				out = append(out, schedule.Config{MicroBatch: b, K: k})
+			}
+		}
+		return out
+	}
+	for _, k := range s.p.opts.KCandidates {
+		out = append(out, schedule.Config{MicroBatch: cf.MicroBatch, K: k})
+	}
+	return out
+}
+
+// dp solves one subproblem: partition the zone over d devices such that the
+// source stage uses configuration cf, the stage after the zone has schedule
+// information cb (nil at the model's sink), and every stage meets the TPS
+// target. It returns nil when infeasible.
+func (s *search) dp(zoneID int, cf schedule.Config, cb *schedule.Successor, d int) *dpResult {
+	key := s.makeKey(zoneID, d, cf, cb)
+	if r, ok := s.memo[key]; ok {
+		return r
+	}
+	s.states++
+	s.memo[key] = nil // cycle guard; overwritten below
+
+	best := s.stageAttempt(zoneID, cf, cb, d)
+
+	// Series decompositions: solve downstream (right) first; its source
+	// in-flight count becomes the upstream (left) sink's successor info
+	// (Algorithm 1 lines 33–40).
+	for _, sp := range s.p.zones.seriesSplits(zoneID) {
+		for d2 := 1; d2 < d; d2++ {
+			d1 := d - d2
+			for _, cm := range s.boundaryConfigs(cf) {
+				r2 := s.dp(sp.right, cm, cb, d2)
+				if r2 == nil {
+					continue
+				}
+				mid := &schedule.Successor{Config: r2.srcCfg, InFlight: r2.inFlight}
+				r1 := s.dp(sp.left, cf, mid, d1)
+				if r1 == nil {
+					continue
+				}
+				cand := combine(r1, r2)
+				cand.inFlight = r1.inFlight
+				cand.srcCfg = r1.srcCfg
+				best = better(best, cand)
+			}
+		}
+	}
+
+	// Parallel decompositions: both groups share the source and sink
+	// schedule boundaries; continuous pipelining takes the larger source
+	// in-flight count (Algorithm 1 lines 41–47). For sink-anchored splits
+	// the right group carries the zone's shared sink operator, so the left
+	// group's successor is the sink-holding stage inside the right
+	// group's solution rather than the stage after the zone.
+	for _, sp := range s.p.zones.parallelSplits(zoneID) {
+		for d1 := 1; d1 < d; d1++ {
+			d2 := d - d1
+			r2 := s.dp(sp.right, cf, cb, d2)
+			if r2 == nil {
+				continue
+			}
+			leftCB := cb
+			if sp.sinkAnchored {
+				cfg, ifl, ok := r2.stageInfoFor(sp.mergeOp)
+				if !ok {
+					continue // derivation must own the merge op
+				}
+				leftCB = &schedule.Successor{Config: cfg, InFlight: ifl}
+			}
+			r1 := s.dp(sp.left, cf, leftCB, d1)
+			if r1 == nil {
+				continue
+			}
+			cand := combine(r1, r2)
+			cand.inFlight = r1.inFlight
+			if r2.inFlight > cand.inFlight {
+				cand.inFlight = r2.inFlight
+			}
+			cand.srcCfg = cf
+			best = better(best, cand)
+		}
+	}
+
+	s.memo[key] = best
+	return best
+}
+
+// searchStageGraph is Algorithm 1's SearchStageGraph: try every candidate
+// global schedule configuration and keep the best feasible partition.
+func (s *search) searchStageGraph(root, b int) *dpResult {
+	var best *dpResult
+	for _, k := range s.p.opts.KCandidates {
+		cf := schedule.Config{MicroBatch: b, K: k}
+		r := s.dp(root, cf, nil, s.p.topo.Len())
+		best = s.betterRoot(best, r)
+	}
+	return best
+}
+
+// rootScore estimates the synchronous 1F1B iteration time of a root
+// solution: the bottleneck stage paces both the steady state (B samples)
+// and the warm-up/cool-down bubbles, which grow with the source stage's
+// in-flight window (≈ pipeline depth × micro-batch size). All three
+// planners in this repository select their final strategy by this estimate
+// so the comparison isolates the partition spaces (see DESIGN.md).
+func rootScore(r *dpResult, miniBatch int) float64 {
+	return r.maxTPS * float64(miniBatch+r.inFlight-r.srcCfg.MicroBatch)
+}
+
+// betterRoot is PickBetter at the root: feasibility, then the synchronous
+// iteration estimate, then lower memory.
+func (s *search) betterRoot(a, b *dpResult) *dpResult {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	sa, sb := rootScore(a, s.miniBatch), rootScore(b, s.miniBatch)
+	if sa != sb {
+		if sa < sb {
+			return a
+		}
+		return b
+	}
+	if a.maxMem <= b.maxMem {
+		return a
+	}
+	return b
+}
+
+// Plan runs the full Algorithm 1: binary search over the bottleneck TPS
+// target with a fresh DP per probe, then assembles, schedules, and
+// validates the winning strategy.
+func (p *Planner) Plan(miniBatch int) (*Result, error) {
+	if miniBatch <= 0 {
+		return nil, fmt.Errorf("core: invalid mini-batch %d", miniBatch)
+	}
+	bCands := p.microBatchCandidates(miniBatch)
+	if len(bCands) == 0 {
+		return nil, fmt.Errorf("core: no candidate micro-batch sizes divide mini-batch %d", miniBatch)
+	}
+	p.evalCaches = make(map[int]map[stageEvalKey]stageEval) // TPS depends on miniBatch
+	for _, b := range bCands {
+		p.evalCaches[b] = make(map[stageEvalKey]stageEval)
+	}
+	root := p.zones.intern(p.dec.Root())
+	p.zones.resolveAll(root) // make the zone table read-only
+
+	maxTPS := p.model.MaxTPS(p.g, miniBatch)
+	eps := p.opts.Epsilon * maxTPS
+	degrees := dataParDegrees(p.topo.Len())
+
+	// Each candidate micro-batch size runs its own binary search over the
+	// bottleneck-TPS target (Algorithm 1 lines 2-11) so the feasibility
+	// frontier of every size is sampled near its own critical TPS values:
+	// the DP prefers minimal in-flight counts at loose targets (a single
+	// data-parallel stage hides pipelines), so each tightening step can
+	// reveal a better-scored strategy. The per-size searches are
+	// independent in the uniform-schedule default and run concurrently.
+	type perB struct {
+		best   *dpResult
+		states int
+		iters  int
+	}
+	results := make([]perB, len(bCands))
+	var wg sync.WaitGroup
+	for i, b := range bCands {
+		wg.Add(1)
+		go func(i, b int) {
+			defer wg.Done()
+			out := &results[i]
+			probe := func(tmax float64) *dpResult {
+				s := &search{
+					p:         p,
+					miniBatch: miniBatch,
+					tmax:      tmax,
+					bCands:    bCands,
+					dpDegrees: degrees,
+					memo:      make(map[dpKey]*dpResult),
+					evalCache: p.evalCaches[b],
+					cfgIndex:  make(map[schedule.Config]int),
+				}
+				r := s.searchStageGraph(root, b)
+				out.states += s.states
+				return r
+			}
+			keep := func(r *dpResult) {
+				if r == nil {
+					return
+				}
+				if out.best == nil || rootScore(r, miniBatch) < rootScore(out.best, miniBatch) {
+					out.best = r
+				}
+			}
+			r0 := probe(maxTPS)
+			if r0 == nil {
+				return
+			}
+			keep(r0)
+			tl, tr := 0.0, r0.maxTPS
+			for tr-tl > eps {
+				out.iters++
+				tm := (tl + tr) / 2
+				if r := probe(tm); r != nil {
+					keep(r)
+					tr = tm
+					if r.maxTPS < tr {
+						tr = r.maxTPS
+					}
+				} else {
+					tl = tm
+				}
+			}
+		}(i, b)
+	}
+	wg.Wait()
+
+	var best *dpResult
+	states, iters := 0, 0
+	for i := range results {
+		states += results[i].states
+		if results[i].iters > iters {
+			iters = results[i].iters
+		}
+		r := results[i].best
+		if r == nil {
+			continue
+		}
+		if best == nil || rootScore(r, miniBatch) < rootScore(best, miniBatch) {
+			best = r
+		}
+	}
+	if best == nil {
+		return nil, ErrNoStrategy
+	}
+
+	st, err := p.assemble(best, miniBatch)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Strategy:      st,
+		BottleneckTPS: best.maxTPS,
+		DPStates:      states,
+		BinaryIters:   iters,
+	}, nil
+}
+
+// assemble turns a DP solution into a concrete, validated Strategy:
+// deterministic stage order, contiguous device assignment, final in-flight
+// counts recomputed by backward traversal of the stage graph (§6), and
+// per-stage task orders from the greedy scheduler.
+func (p *Planner) assemble(r *dpResult, miniBatch int) (*strategy.Strategy, error) {
+	stages := r.collectStages(nil)
+	// Deterministic order: by the earliest topological position of any
+	// owned operator. This also keeps device allocation contiguous along
+	// the pipeline.
+	sort.SliceStable(stages, func(i, j int) bool {
+		return minTopoPos(p.g, stages[i].ops) < minTopoPos(p.g, stages[j].ops)
+	})
+
+	st := &strategy.Strategy{Planner: "graphpipe", MiniBatch: miniBatch}
+	counts := make([]int, len(stages))
+	for i := range stages {
+		counts[i] = stages[i].devs
+	}
+	groups, err := cluster.PlaceStages(p.topo, counts)
+	if err != nil {
+		return nil, fmt.Errorf("core: device assignment: %w", err)
+	}
+	for i, ds := range stages {
+		st.Stages = append(st.Stages, strategy.Stage{
+			ID:      strategy.StageID(i),
+			Ops:     ds.ops,
+			Config:  ds.cfg,
+			Devices: groups[i],
+		})
+	}
+	if err := st.BuildEdges(p.g); err != nil {
+		return nil, err
+	}
+
+	// Recompute in-flight counts against the final stage graph by walking
+	// it backward from the sink (§6): the DP's bookkeeping must agree, but
+	// the stage graph is the source of truth.
+	order := st.TopoOrder()
+	for i := len(order) - 1; i >= 0; i-- {
+		id := order[i]
+		var succs []schedule.Successor
+		for _, w := range st.Succ[id] {
+			succs = append(succs, schedule.Successor{
+				Config:   st.Stages[w].Config,
+				InFlight: st.Stages[w].InFlightSamples,
+			})
+		}
+		st.Stages[id].InFlightSamples = schedule.ComputeInFlight(st.Stages[id].Config, succs)
+	}
+
+	for i := range st.Stages {
+		tasks, err := schedule.BuildTasks(st.Stages[i].Config, miniBatch, st.Stages[i].InFlightSamples)
+		if err != nil {
+			return nil, fmt.Errorf("core: scheduling stage %d: %w", i, err)
+		}
+		st.Stages[i].Tasks = tasks
+	}
+	if err := st.Validate(p.g, p.topo); err != nil {
+		return nil, fmt.Errorf("core: assembled strategy invalid: %w", err)
+	}
+	return st, nil
+}
+
+func minTopoPos(g *graph.Graph, ops graph.NodeSet) int {
+	min := g.Len()
+	for _, id := range ops.IDs() {
+		if p := g.TopoPos(id); p < min {
+			min = p
+		}
+	}
+	return min
+}

@@ -1,0 +1,272 @@
+// Package costmodel estimates execution times and memory footprints of
+// pipeline stages. It substitutes for the paper's operator profiler: the
+// paper measures per-operator execution times on V100 GPUs and extrapolates
+// communication by affine functions (§5, base case); we compute both from an
+// analytic roofline model so the reproduction is self-contained and
+// deterministic.
+//
+// The model captures the one hardware behaviour GraphPipe's evaluation
+// leans on (§2, §7.3, §7.5): compute efficiency increases with micro-batch
+// size. Each operator kind has a saturation scale; per-device time for a
+// micro-batch of size b is
+//
+//	time(b) = flops(b) / (peak · eff(b)) + fixed overhead,
+//	eff(b)  = b / (b + halfSat)        (monotone, →1 as b grows),
+//
+// floored by the memory-bandwidth roofline for memory-bound operators such
+// as embedding lookups.
+package costmodel
+
+import (
+	"math"
+
+	"graphpipe/internal/cluster"
+	"graphpipe/internal/graph"
+)
+
+// Params configures the cost model. The zero value is not usable; call
+// DefaultParams.
+type Params struct {
+	// HalfSat is the per-op-kind micro-batch size (samples per device) at
+	// which an operator reaches 50% of peak efficiency. Larger values mean
+	// the op needs bigger micro-batches to keep the device busy.
+	HalfSat map[graph.OpKind]float64
+
+	// KernelOverhead is the fixed per-operator launch overhead in seconds.
+	KernelOverhead float64
+
+	// WeightStateMultiplier scales parameter bytes to account for
+	// gradients and optimizer state alongside the weights (Adam keeps two
+	// moments: weights + grads + m + v = 4x).
+	WeightStateMultiplier float64
+
+	// BackwardFLOPFactor is used when an operator does not specify
+	// BwdFLOPs: backward ≈ 2x forward for trainable ops.
+	BackwardFLOPFactor float64
+}
+
+// DefaultParams returns the parameters used throughout the reproduction.
+func DefaultParams() Params {
+	return Params{
+		HalfSat: map[graph.OpKind]float64{
+			graph.OpInput:       1,
+			graph.OpEmbedding:   64, // memory-bound: needs many lookups in flight
+			graph.OpLinear:      4,
+			graph.OpAttention:   2,
+			graph.OpLayerNorm:   8,
+			graph.OpConcat:      8,
+			graph.OpInteraction: 8,
+			graph.OpOutput:      1,
+			graph.OpElementwise: 8,
+		},
+		KernelOverhead:        8e-6,
+		WeightStateMultiplier: 4,
+		BackwardFLOPFactor:    2,
+	}
+}
+
+// Model evaluates stage costs against a device topology.
+type Model struct {
+	params Params
+	topo   *cluster.Topology
+}
+
+// New returns a Model with the given parameters over the topology.
+func New(params Params, topo *cluster.Topology) *Model {
+	return &Model{params: params, topo: topo}
+}
+
+// NewDefault returns a Model with DefaultParams.
+func NewDefault(topo *cluster.Topology) *Model {
+	return New(DefaultParams(), topo)
+}
+
+// Topology returns the device topology the model was built over.
+func (m *Model) Topology() *cluster.Topology { return m.topo }
+
+// Params returns the model parameters.
+func (m *Model) Params() Params { return m.params }
+
+// efficiency returns the fraction of peak FLOPS an operator achieves at
+// perDeviceBatch samples.
+func (m *Model) efficiency(kind graph.OpKind, perDeviceBatch float64) float64 {
+	half, ok := m.params.HalfSat[kind]
+	if !ok {
+		half = 4
+	}
+	if perDeviceBatch <= 0 {
+		return 1
+	}
+	return perDeviceBatch / (perDeviceBatch + half)
+}
+
+// OpForwardTime returns the forward-pass time of op for perDeviceBatch
+// samples on a single device dev.
+func (m *Model) OpForwardTime(op graph.Op, perDeviceBatch float64, dev cluster.Device) float64 {
+	return m.opTime(op, op.FwdFLOPs, perDeviceBatch, dev)
+}
+
+// OpBackwardTime returns the backward-pass time of op for perDeviceBatch
+// samples on a single device dev.
+func (m *Model) OpBackwardTime(op graph.Op, perDeviceBatch float64, dev cluster.Device) float64 {
+	flops := op.BwdFLOPs
+	if flops == 0 && op.FwdFLOPs > 0 {
+		flops = op.FwdFLOPs * m.params.BackwardFLOPFactor
+	}
+	return m.opTime(op, flops, perDeviceBatch, dev)
+}
+
+func (m *Model) opTime(op graph.Op, flopsPerSample, perDeviceBatch float64, dev cluster.Device) float64 {
+	if perDeviceBatch <= 0 {
+		return 0
+	}
+	eff := m.efficiency(op.Kind, perDeviceBatch)
+	compute := flopsPerSample * perDeviceBatch / (dev.PeakFLOPS * eff)
+	// Memory-bandwidth roofline: moving activations (and, for embeddings,
+	// gathering rows) cannot go faster than DRAM.
+	bytesMoved := (op.ActivationBytes + op.OutputBytes) * perDeviceBatch
+	membound := bytesMoved / dev.MemBandwidth
+	return math.Max(compute, membound) + m.params.KernelOverhead
+}
+
+// StageCosts describes the planner-visible cost of one candidate pipeline
+// stage configuration.
+type StageCosts struct {
+	// ForwardTime and BackwardTime are the per-micro-batch pass times on
+	// each data-parallel replica.
+	ForwardTime  float64
+	BackwardTime float64
+	// CommInTime is the time to receive the stage's input activations for
+	// one micro-batch across the stage boundary (backward sends gradients
+	// of the same size in the opposite direction, so it is charged for
+	// both passes).
+	CommInTime float64
+	// AllreducePerIter is the per-iteration gradient synchronization time
+	// across the stage's data-parallel replicas.
+	AllreducePerIter float64
+	// WeightBytes is the per-device memory for parameters + optimizer
+	// state (replicated across data-parallel devices).
+	WeightBytes float64
+	// ActivationBytesPerSample is the per-device activation memory
+	// retained per in-flight sample.
+	ActivationBytesPerSample float64
+}
+
+// StageConfig identifies the stage whose cost is being queried.
+type StageConfig struct {
+	Ops        graph.NodeSet // operators assigned to the stage
+	MicroBatch int           // micro-batch size b_i in samples
+	DataPar    int           // number of data-parallel devices |D_i|
+	// InterNode indicates the stage's boundary transfers cross node
+	// boundaries; when the concrete device placement is not yet known the
+	// planner passes a conservative estimate.
+	InterNode bool
+	// InterNodeAllreduce indicates the stage's data-parallel replicas span
+	// nodes (the contiguous allocator keeps ≤4-device stages within one
+	// 4-GPU node, so planners treat only larger stages as spanning).
+	InterNodeAllreduce bool
+}
+
+// Stage computes the costs of a stage over computation graph g.
+func (m *Model) Stage(g *graph.Graph, cfg StageConfig) StageCosts {
+	if cfg.DataPar < 1 {
+		cfg.DataPar = 1
+	}
+	dev := m.topo.Device(0)
+	perDev := float64(cfg.MicroBatch) / float64(cfg.DataPar)
+
+	var out StageCosts
+	for _, id := range cfg.Ops.IDs() {
+		op := g.Op(id)
+		out.ForwardTime += m.OpForwardTime(op, perDev, dev)
+		out.BackwardTime += m.OpBackwardTime(op, perDev, dev)
+		out.WeightBytes += op.ParamBytes * m.params.WeightStateMultiplier
+		out.ActivationBytesPerSample += op.ActivationBytes / float64(cfg.DataPar)
+	}
+
+	bw := m.topo.IntraNodeBandwidth
+	if cfg.InterNode {
+		bw = m.topo.InterNodeBandwidth
+	}
+	// Activations arrive over one point-to-point link per producing stage;
+	// transfers from different producers proceed in parallel, so the stage
+	// boundary is charged the largest single stream rather than the sum.
+	inBytes := m.maxInEdgeBytes(g, cfg.Ops) * float64(cfg.MicroBatch)
+	if inBytes > 0 {
+		out.CommInTime = inBytes/bw + m.topo.LinkLatency
+	}
+	if cfg.DataPar > 1 {
+		gradBytes := 0.0
+		for _, id := range cfg.Ops.IDs() {
+			gradBytes += g.Op(id).ParamBytes
+		}
+		arBW := m.topo.IntraNodeBandwidth
+		if cfg.InterNodeAllreduce {
+			arBW = m.topo.InterNodeBandwidth
+		}
+		d := float64(cfg.DataPar)
+		out.AllreducePerIter = 2 * (d - 1) / d * gradBytes / arBW
+	}
+	return out
+}
+
+// maxInEdgeBytes returns the largest per-sample activation stream entering
+// the op set: the maximum OutputBytes over producers outside the set with an
+// edge into it.
+func (m *Model) maxInEdgeBytes(g *graph.Graph, set graph.NodeSet) float64 {
+	var max float64
+	for v := 0; v < g.Len(); v++ {
+		id := graph.NodeID(v)
+		if set.Contains(id) {
+			continue
+		}
+		for _, w := range g.Succ(id) {
+			if set.Contains(w) {
+				if ob := g.Op(id).OutputBytes; ob > max {
+					max = ob
+				}
+				break
+			}
+		}
+	}
+	return max
+}
+
+// TPS returns the Time-Per-Sample of the stage: the steady-state time the
+// stage adds per training sample, the quantity minimized for the bottleneck
+// stage in Equation 1. In steady-state 1F1B, activation/gradient transfers
+// overlap with the compute of other micro-batches, so the stage is paced by
+// whichever is larger.
+func (m *Model) TPS(g *graph.Graph, cfg StageConfig, miniBatch int) float64 {
+	c := m.Stage(g, cfg)
+	perMicro := c.ForwardTime + c.BackwardTime
+	if comm := 2 * c.CommInTime; comm > perMicro {
+		perMicro = comm
+	}
+	tps := perMicro / float64(cfg.MicroBatch)
+	if miniBatch > 0 {
+		tps += c.AllreducePerIter / float64(miniBatch)
+	}
+	return tps
+}
+
+// StageMemory returns the per-device memory of the stage when it keeps
+// inFlightSamples samples' activations resident (Equation 2 left-hand side).
+func (m *Model) StageMemory(g *graph.Graph, cfg StageConfig, inFlightSamples int) float64 {
+	c := m.Stage(g, cfg)
+	return c.WeightBytes + c.ActivationBytesPerSample*float64(inFlightSamples)
+}
+
+// FitsMemory reports whether the stage satisfies the device memory budget
+// with the given number of in-flight samples.
+func (m *Model) FitsMemory(g *graph.Graph, cfg StageConfig, inFlightSamples int) bool {
+	return m.StageMemory(g, cfg, inFlightSamples) <= m.topo.MinMemory()
+}
+
+// MaxTPS returns a safe upper bound for the bottleneck TPS (the MAXTPS of
+// Algorithm 1): the whole model as a single stage on one device with
+// micro-batch 1, which no sensible partition exceeds.
+func (m *Model) MaxTPS(g *graph.Graph, miniBatch int) float64 {
+	cfg := StageConfig{Ops: g.AllNodes(), MicroBatch: 1, DataPar: 1, InterNode: true}
+	return m.TPS(g, cfg, miniBatch) * 2
+}

@@ -1,0 +1,233 @@
+package costmodel
+
+import (
+	"testing"
+	"testing/quick"
+
+	"graphpipe/internal/cluster"
+	"graphpipe/internal/graph"
+)
+
+func testGraph(t testing.TB) *graph.Graph {
+	t.Helper()
+	b := graph.NewBuilder("cm")
+	in := b.AddOp(graph.Op{Name: "in", Kind: graph.OpInput, OutputBytes: 1e3})
+	l1 := b.AddOp(graph.Op{Name: "l1", Kind: graph.OpLinear, FwdFLOPs: 1e9, ParamBytes: 1e6, ActivationBytes: 1e5, OutputBytes: 1e4})
+	l2 := b.AddOp(graph.Op{Name: "l2", Kind: graph.OpLinear, FwdFLOPs: 2e9, BwdFLOPs: 5e9, ParamBytes: 2e6, ActivationBytes: 2e5, OutputBytes: 1e4})
+	em := b.AddOp(graph.Op{Name: "emb", Kind: graph.OpEmbedding, FwdFLOPs: 1e5, ParamBytes: 1e8, ActivationBytes: 1e4, OutputBytes: 1e4})
+	b.Chain(in, l1, l2)
+	b.Connect(in, em)
+	return b.MustBuild()
+}
+
+func model(t testing.TB, n int) *Model {
+	t.Helper()
+	return NewDefault(cluster.NewSummitTopology(n))
+}
+
+func TestEfficiencyMonotone(t *testing.T) {
+	m := model(t, 4)
+	prev := 0.0
+	for b := 1; b <= 1024; b *= 2 {
+		e := m.efficiency(graph.OpLinear, float64(b))
+		if e <= prev {
+			t.Fatalf("efficiency not increasing at b=%d: %g <= %g", b, e, prev)
+		}
+		if e >= 1 {
+			t.Fatalf("efficiency >= 1 at b=%d", b)
+		}
+		prev = e
+	}
+	// Unknown kinds get a default saturation scale.
+	if e := m.efficiency(graph.OpKind(77), 4); e <= 0 || e >= 1 {
+		t.Errorf("default efficiency out of range: %g", e)
+	}
+	if e := m.efficiency(graph.OpLinear, 0); e != 1 {
+		t.Errorf("zero-batch efficiency = %g, want 1", e)
+	}
+}
+
+func TestOpTimesScaleWithBatch(t *testing.T) {
+	m := model(t, 4)
+	g := testGraph(t)
+	dev := m.Topology().Device(0)
+	op := g.Op(1) // l1
+	t1 := m.OpForwardTime(op, 1, dev)
+	t8 := m.OpForwardTime(op, 8, dev)
+	if t8 <= t1 {
+		t.Fatalf("forward time should grow with batch: %g vs %g", t8, t1)
+	}
+	// Super-linear efficiency: 8x batch takes less than 8x time.
+	if t8 >= 8*t1 {
+		t.Fatalf("per-sample time should shrink with batch: t8=%g t1=%g", t8, t1)
+	}
+	if m.OpForwardTime(op, 0, dev) != 0 {
+		t.Error("zero batch should cost zero time")
+	}
+}
+
+func TestBackwardDefaultsToTwiceForward(t *testing.T) {
+	m := model(t, 4)
+	g := testGraph(t)
+	dev := m.Topology().Device(0)
+	l1 := g.Op(1) // no explicit BwdFLOPs
+	fw := m.OpForwardTime(l1, 64, dev)
+	bw := m.OpBackwardTime(l1, 64, dev)
+	// At batch 64 overhead is negligible; backward ≈ 2x forward.
+	if ratio := bw / fw; ratio < 1.7 || ratio > 2.3 {
+		t.Errorf("backward/forward ratio = %g, want ≈2", ratio)
+	}
+	l2 := g.Op(2) // explicit BwdFLOPs = 2.5x
+	fw2 := m.OpForwardTime(l2, 64, dev)
+	bw2 := m.OpBackwardTime(l2, 64, dev)
+	if ratio := bw2 / fw2; ratio < 2.2 || ratio > 2.8 {
+		t.Errorf("explicit backward ratio = %g, want ≈2.5", ratio)
+	}
+}
+
+func TestEmbeddingIsMemoryBound(t *testing.T) {
+	m := model(t, 4)
+	g := testGraph(t)
+	dev := m.Topology().Device(0)
+	emb := g.Op(3)
+	got := m.OpForwardTime(emb, 1024, dev)
+	// Roofline floor: bytes moved / mem bandwidth.
+	floor := (emb.ActivationBytes + emb.OutputBytes) * 1024 / dev.MemBandwidth
+	if got < floor {
+		t.Errorf("embedding time %g below roofline floor %g", got, floor)
+	}
+	// The FLOP path alone would be much cheaper than the floor.
+	flopTime := emb.FwdFLOPs * 1024 / dev.PeakFLOPS
+	if flopTime >= floor {
+		t.Fatalf("test setup wrong: flop time %g should be below mem floor %g", flopTime, floor)
+	}
+}
+
+func TestStageCosts(t *testing.T) {
+	m := model(t, 4)
+	g := testGraph(t)
+	cfg := StageConfig{Ops: graph.NodeSetOf(1, 2), MicroBatch: 8, DataPar: 1}
+	c := m.Stage(g, cfg)
+	if c.ForwardTime <= 0 || c.BackwardTime <= c.ForwardTime {
+		t.Errorf("stage times implausible: %+v", c)
+	}
+	if c.WeightBytes != (1e6+2e6)*4 {
+		t.Errorf("WeightBytes = %g", c.WeightBytes)
+	}
+	if c.ActivationBytesPerSample != 3e5 {
+		t.Errorf("ActivationBytesPerSample = %g", c.ActivationBytesPerSample)
+	}
+	if c.CommInTime <= 0 {
+		t.Error("stage receiving input should have CommInTime > 0")
+	}
+	if c.AllreducePerIter != 0 {
+		t.Error("DataPar=1 should have no allreduce")
+	}
+}
+
+func TestDataParallelSplitsComputeAddsAllreduce(t *testing.T) {
+	m := model(t, 4)
+	g := testGraph(t)
+	one := m.Stage(g, StageConfig{Ops: graph.NodeSetOf(1, 2), MicroBatch: 32, DataPar: 1})
+	two := m.Stage(g, StageConfig{Ops: graph.NodeSetOf(1, 2), MicroBatch: 32, DataPar: 2})
+	if two.ForwardTime >= one.ForwardTime {
+		t.Errorf("data parallelism should shrink per-replica time: %g vs %g", two.ForwardTime, one.ForwardTime)
+	}
+	if two.AllreducePerIter <= 0 {
+		t.Error("DataPar=2 should pay allreduce")
+	}
+	if two.ActivationBytesPerSample >= one.ActivationBytesPerSample {
+		t.Error("activations should be split across replicas")
+	}
+	// Weights are replicated, not split.
+	if two.WeightBytes != one.WeightBytes {
+		t.Errorf("weights should be replicated: %g vs %g", two.WeightBytes, one.WeightBytes)
+	}
+}
+
+func TestInterNodeSlowsComm(t *testing.T) {
+	m := model(t, 8)
+	g := testGraph(t)
+	intra := m.Stage(g, StageConfig{Ops: graph.NodeSetOf(1), MicroBatch: 8, DataPar: 1})
+	inter := m.Stage(g, StageConfig{Ops: graph.NodeSetOf(1), MicroBatch: 8, DataPar: 1, InterNode: true})
+	if inter.CommInTime <= intra.CommInTime {
+		t.Errorf("inter-node comm should be slower: %g vs %g", inter.CommInTime, intra.CommInTime)
+	}
+}
+
+func TestTPSDecreasesWithMicroBatch(t *testing.T) {
+	m := model(t, 4)
+	g := testGraph(t)
+	prev := -1.0
+	for b := 1; b <= 64; b *= 2 {
+		tps := m.TPS(g, StageConfig{Ops: graph.NodeSetOf(1, 2), MicroBatch: b, DataPar: 1}, 128)
+		if prev > 0 && tps >= prev {
+			t.Fatalf("TPS should fall with micro-batch size (operational intensity): b=%d tps=%g prev=%g", b, tps, prev)
+		}
+		prev = tps
+	}
+}
+
+func TestStageMemoryAndFits(t *testing.T) {
+	m := model(t, 4)
+	g := testGraph(t)
+	cfg := StageConfig{Ops: graph.NodeSetOf(1, 2), MicroBatch: 4, DataPar: 1}
+	m0 := m.StageMemory(g, cfg, 0)
+	m8 := m.StageMemory(g, cfg, 8)
+	if m8 <= m0 {
+		t.Error("memory should grow with in-flight samples")
+	}
+	if want := m0 + 8*3e5; m8 != want {
+		t.Errorf("StageMemory(8) = %g, want %g", m8, want)
+	}
+	if !m.FitsMemory(g, cfg, 8) {
+		t.Error("small stage should fit V100 memory")
+	}
+	// A tiny device budget must fail.
+	tiny := NewDefault(cluster.NewUniformTopology(2, 1e6, 1e9))
+	if tiny.FitsMemory(g, cfg, 8) {
+		t.Error("stage should not fit 1MB budget")
+	}
+}
+
+func TestMaxTPSBounds(t *testing.T) {
+	m := model(t, 4)
+	g := testGraph(t)
+	max := m.MaxTPS(g, 64)
+	// Any single-op stage at any micro-batch must be under MaxTPS.
+	for b := 1; b <= 64; b *= 2 {
+		for op := 0; op < g.Len(); op++ {
+			tps := m.TPS(g, StageConfig{Ops: graph.NodeSetOf(graph.NodeID(op)), MicroBatch: b, DataPar: 1, InterNode: true}, 64)
+			if tps > max {
+				t.Fatalf("op %d at b=%d has TPS %g > MaxTPS %g", op, b, tps, max)
+			}
+		}
+	}
+}
+
+// Property: stage costs are additive in ops — cost(A ∪ B) ≥ cost(A) for the
+// pure compute components, and weight bytes are exactly additive.
+func TestStageCostAdditiveProperty(t *testing.T) {
+	m := model(t, 4)
+	g := testGraph(t)
+	f := func(pick uint8) bool {
+		var set graph.NodeSet
+		for i := 0; i < g.Len(); i++ {
+			if pick&(1<<uint(i)) != 0 {
+				set.Add(graph.NodeID(i))
+			}
+		}
+		if set.Empty() {
+			return true
+		}
+		whole := m.Stage(g, StageConfig{Ops: set, MicroBatch: 8, DataPar: 1})
+		var wsum float64
+		for _, id := range set.IDs() {
+			wsum += g.Op(id).ParamBytes * m.Params().WeightStateMultiplier
+		}
+		return whole.WeightBytes == wsum && whole.ForwardTime > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

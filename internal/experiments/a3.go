@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"graphpipe/internal/models"
+	"graphpipe/internal/trace"
+)
+
+// A3Row is one device count of the Appendix A.3 parity check on the
+// sequential Transformer: with no branches to exploit, GraphPipe must match
+// the SPP baselines.
+type A3Row struct {
+	Devices   int
+	MiniBatch int
+	Outcomes  map[System]Outcome
+}
+
+// A3Sequential regenerates the Appendix A.3 table: throughput of all three
+// systems on a 32-layer sequential Transformer with the MMT per-layer
+// configuration and the MMT mini-batch scaling.
+func A3Sequential(systems []System) ([]A3Row, error) {
+	g := models.SequentialTransformer(32)
+	var rows []A3Row
+	for _, devs := range DeviceCounts() {
+		mb, err := models.PaperMiniBatch("mmt", devs)
+		if err != nil {
+			return nil, err
+		}
+		row := A3Row{Devices: devs, MiniBatch: mb, Outcomes: map[System]Outcome{}}
+		for _, sys := range systems {
+			row.Outcomes[sys] = Run(sys, g, devs, mb, RunOptions{})
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// A3CSV renders the parity table.
+func A3CSV(rows []A3Row, systems []System) *trace.CSV {
+	header := []string{"devices", "mini_batch"}
+	for _, s := range systems {
+		header = append(header, string(s)+"_samples_per_s")
+	}
+	c := trace.NewCSV(header...)
+	for _, row := range rows {
+		vals := []interface{}{row.Devices, row.MiniBatch}
+		for _, s := range systems {
+			vals = append(vals, FmtThroughput(row.Outcomes[s]))
+		}
+		c.Add(vals...)
+	}
+	return c
+}

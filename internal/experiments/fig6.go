@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"graphpipe/internal/graph"
+	"graphpipe/internal/models"
+	"graphpipe/internal/trace"
+)
+
+// Fig6Row is one device-count point of Figure 6: throughput of the three
+// systems on one model.
+type Fig6Row struct {
+	Devices   int
+	MiniBatch int
+	Outcomes  map[System]Outcome
+}
+
+// Fig6Result holds one sub-figure (6a/6b/6c).
+type Fig6Result struct {
+	Model string
+	Rows  []Fig6Row
+}
+
+// buildModel constructs the evaluation model by name.
+func buildModel(model string) (*graph.Graph, error) {
+	switch model {
+	case "mmt":
+		return models.MMT(models.DefaultMMTConfig()), nil
+	case "dlrm":
+		return models.DLRM(models.DefaultDLRMConfig()), nil
+	case "candle-uno":
+		return models.CANDLEUno(models.DefaultCANDLEUnoConfig()), nil
+	default:
+		return nil, fmt.Errorf("experiments: unknown model %q", model)
+	}
+}
+
+// Fig6 regenerates one sub-figure of Figure 6: end-to-end training
+// throughput versus device count, with the paper's per-device-count
+// mini-batch sizes (Appendix A.2). Piper's ✗ entries surface as Failed
+// outcomes, matching the paper's missing data points.
+func Fig6(model string, systems []System) (*Fig6Result, error) {
+	g, err := buildModel(model)
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig6Result{Model: model}
+	for _, devs := range DeviceCounts() {
+		mb, err := models.PaperMiniBatch(model, devs)
+		if err != nil {
+			return nil, err
+		}
+		row := Fig6Row{Devices: devs, MiniBatch: mb, Outcomes: map[System]Outcome{}}
+		for _, sys := range systems {
+			// Piper gets a bounded wall-clock budget per point; points it
+			// cannot finish print ✗ — the paper's "missing data points
+			// indicate that no training strategy can be found within
+			// reasonable timeframes".
+			row.Outcomes[sys] = Run(sys, g, devs, mb, RunOptions{PiperTimeout: 90 * time.Second})
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// CSV renders the sub-figure as (devices, mini-batch, one column per
+// system, GraphPipe/PipeDream speedup).
+func (r *Fig6Result) CSV(systems []System) *trace.CSV {
+	header := []string{"devices", "mini_batch"}
+	for _, s := range systems {
+		header = append(header, string(s)+"_samples_per_s")
+	}
+	header = append(header, "graphpipe_over_pipedream")
+	c := trace.NewCSV(header...)
+	for _, row := range r.Rows {
+		vals := []interface{}{row.Devices, row.MiniBatch}
+		for _, s := range systems {
+			vals = append(vals, FmtThroughput(row.Outcomes[s]))
+		}
+		gp, pd := row.Outcomes[GraphPipe], row.Outcomes[PipeDream]
+		if !gp.Failed && !pd.Failed && pd.Throughput > 0 {
+			vals = append(vals, fmt.Sprintf("%.2f", gp.Throughput/pd.Throughput))
+		} else {
+			vals = append(vals, "-")
+		}
+		c.Add(vals...)
+	}
+	return c
+}

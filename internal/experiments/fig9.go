@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"fmt"
+	"graphpipe/internal/models"
+
+	"graphpipe/internal/trace"
+)
+
+// Fig9Row is one model's ablation at 32 GPUs: SPP (PipeDream), "Parallel"
+// (GraphPipe's graph partitioning restricted to SPP's micro-batch size),
+// and full GraphPipe (parallel stages + larger micro-batches).
+type Fig9Row struct {
+	Model    string
+	SPP      Outcome
+	Parallel Outcome
+	Full     Outcome
+	// ParallelSpeedup and FullSpeedup are normalized to SPP (the paper:
+	// 1.12–1.40× and 1.25–1.61×).
+	ParallelSpeedup float64
+	FullSpeedup     float64
+}
+
+// Fig9 regenerates the ablation (§7.4) on the three evaluation models at
+// 32 GPUs with the paper's mini-batch sizes.
+func Fig9() ([]Fig9Row, error) {
+	const devices = 32
+	var rows []Fig9Row
+	for _, m := range []string{"mmt", "dlrm", "candle-uno"} {
+		g, err := buildModel(m)
+		if err != nil {
+			return nil, err
+		}
+		mb, err := models.PaperMiniBatch(m, devices)
+		if err != nil {
+			return nil, err
+		}
+		row := Fig9Row{Model: m}
+		row.SPP = Run(PipeDream, g, devices, mb, RunOptions{})
+		if row.SPP.Failed {
+			return nil, fmt.Errorf("experiments: fig9 SPP failed on %s: %v", m, row.SPP.Err)
+		}
+		// "Parallel": graph pipeline stages, but SPP's micro-batch size —
+		// isolates concurrent stage execution from the memory-enabled
+		// micro-batch increase. (It is not possible to evaluate the larger
+		// micro-batch without the parallel stages, §7.4.)
+		row.Parallel = Run(GraphPipe, g, devices, mb, RunOptions{ForcedMicroBatch: row.SPP.MicroBatch})
+		row.Full = Run(GraphPipe, g, devices, mb, RunOptions{})
+		if !row.Parallel.Failed {
+			row.ParallelSpeedup = row.Parallel.Throughput / row.SPP.Throughput
+		}
+		if !row.Full.Failed {
+			row.FullSpeedup = row.Full.Throughput / row.SPP.Throughput
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Fig9CSV renders the ablation.
+func Fig9CSV(rows []Fig9Row) *trace.CSV {
+	c := trace.NewCSV("model", "spp_samples_per_s", "parallel_samples_per_s",
+		"graphpipe_samples_per_s", "parallel_speedup", "graphpipe_speedup")
+	for _, r := range rows {
+		c.Add(r.Model, FmtThroughput(r.SPP), FmtThroughput(r.Parallel), FmtThroughput(r.Full),
+			fmt.Sprintf("%.2f", r.ParallelSpeedup), fmt.Sprintf("%.2f", r.FullSpeedup))
+	}
+	return c
+}

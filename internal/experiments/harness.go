@@ -1,0 +1,165 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§7): end-to-end throughput (Figure 6), search times
+// (Table 1), branch-count and micro-batch sweeps (Figure 7), the case study
+// (Figure 8, §7.5), the ablation (Figure 9), and the sequential-model
+// parity check (Appendix A.3). Each driver returns typed rows plus
+// trace.CSV tables that cmd/experiments prints and EXPERIMENTS.md records.
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"graphpipe/internal/baselines/pipedream"
+	"graphpipe/internal/baselines/piper"
+	"graphpipe/internal/cluster"
+	"graphpipe/internal/core"
+	"graphpipe/internal/costmodel"
+	"graphpipe/internal/graph"
+	"graphpipe/internal/sim"
+	"graphpipe/internal/strategy"
+)
+
+// System identifies a planner.
+type System string
+
+// The three systems the paper compares.
+const (
+	GraphPipe System = "graphpipe"
+	PipeDream System = "pipedream"
+	Piper     System = "piper"
+)
+
+// Systems lists the paper's comparison order.
+var Systems = []System{Piper, PipeDream, GraphPipe}
+
+// Outcome is one (system, model, devices) measurement.
+type Outcome struct {
+	System     System
+	Model      string
+	Devices    int
+	MiniBatch  int
+	SearchTime time.Duration
+	// Throughput is simulated samples/second — the y-axis of Figure 6.
+	Throughput float64
+	// IterationTime is the simulated per-iteration wall time.
+	IterationTime float64
+	Stages        int
+	Depth         int
+	// MicroBatch is the (uniform) micro-batch size the planner chose.
+	MicroBatch int
+	// PeakMemory is the worst per-device memory across stages.
+	PeakMemory float64
+	// Failed marks the paper's ✗: the planner could not produce a
+	// strategy within its budget.
+	Failed bool
+	Err    error
+}
+
+// RunOptions adjusts a single planner invocation.
+type RunOptions struct {
+	// ForcedMicroBatch fixes the micro-batch size for every system
+	// (Figure 7 right, Figure 9's "Parallel" arm).
+	ForcedMicroBatch int
+	// PiperBudget overrides the Piper state budget.
+	PiperBudget int
+	// PiperTimeout overrides the Piper wall-clock bound.
+	PiperTimeout time.Duration
+}
+
+// Run plans with the chosen system and simulates one training iteration,
+// returning the full outcome. A Failed outcome (rather than an error) is
+// returned when the planner cannot produce a strategy — the ✗ / missing
+// data points of the paper.
+func Run(sys System, g *graph.Graph, devices, miniBatch int, opts RunOptions) Outcome {
+	out := Outcome{System: sys, Model: g.Name(), Devices: devices, MiniBatch: miniBatch}
+	topo := cluster.NewSummitTopology(devices)
+	model := costmodel.NewDefault(topo)
+
+	var st *strategy.Strategy
+	start := time.Now()
+	switch sys {
+	case GraphPipe:
+		p, err := core.NewPlanner(g, model, core.Options{ForcedMicroBatch: opts.ForcedMicroBatch})
+		if err == nil {
+			var r *core.Result
+			r, err = p.Plan(miniBatch)
+			if err == nil {
+				st = r.Strategy
+			}
+		}
+		out.Err = err
+	case PipeDream:
+		r, err := pipedream.NewPlanner(g, model, pipedream.Options{
+			ForcedMicroBatch: opts.ForcedMicroBatch,
+		}).Plan(miniBatch)
+		if err == nil {
+			st = r.Strategy
+		}
+		out.Err = err
+	case Piper:
+		r, err := piper.NewPlanner(g, model, piper.Options{
+			ForcedMicroBatch: opts.ForcedMicroBatch,
+			StateBudget:      opts.PiperBudget,
+			Timeout:          opts.PiperTimeout,
+		}).Plan(miniBatch)
+		if err == nil {
+			st = r.Strategy
+		}
+		out.Err = err
+	default:
+		out.Err = fmt.Errorf("experiments: unknown system %q", sys)
+	}
+	out.SearchTime = time.Since(start)
+	if out.Err != nil || st == nil {
+		out.Failed = true
+		return out
+	}
+
+	res, err := sim.New(g, model).Run(st)
+	if err != nil {
+		out.Err = err
+		out.Failed = true
+		return out
+	}
+	out.Throughput = res.Throughput
+	out.IterationTime = res.IterationTime
+	out.Stages = st.NumStages()
+	out.Depth = st.Depth()
+	out.MicroBatch = st.Stages[0].Config.MicroBatch
+	for _, ss := range res.Stages {
+		if ss.PeakMemory > out.PeakMemory {
+			out.PeakMemory = ss.PeakMemory
+		}
+	}
+	return out
+}
+
+// IsExplosion reports whether an outcome failed because of Piper's
+// exponential state space (as opposed to memory infeasibility).
+func IsExplosion(o Outcome) bool {
+	return o.Failed && errors.Is(o.Err, piper.ErrSearchExplosion)
+}
+
+// FmtThroughput renders a throughput cell, with ✗ for failures.
+func FmtThroughput(o Outcome) string {
+	if o.Failed {
+		return "✗"
+	}
+	return fmt.Sprintf("%.0f", o.Throughput)
+}
+
+// FmtSearch renders a search-time cell in seconds, with ✗ for failures.
+func FmtSearch(o Outcome) string {
+	if o.Failed {
+		return "✗"
+	}
+	return fmt.Sprintf("%.3f", o.SearchTime.Seconds())
+}
+
+// deviceCounts is the paper's GPU sweep.
+var deviceCounts = []int{4, 8, 16, 32}
+
+// DeviceCounts returns the paper's evaluation device counts (4–32 GPUs).
+func DeviceCounts() []int { return append([]int(nil), deviceCounts...) }

@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"fmt"
+
+	"graphpipe/internal/graph"
+	"graphpipe/internal/models"
+	"graphpipe/internal/trace"
+)
+
+// Table1Row is one (model, devices) row of Table 1: planner search times.
+type Table1Row struct {
+	Model    string
+	Devices  int
+	Outcomes map[System]Outcome
+}
+
+// Table1Result holds the whole table.
+type Table1Result struct {
+	Rows []Table1Row
+}
+
+// table1Graph builds the search-time experiment's model variants. Per §7.2
+// the Multi-Modal Transformer used for the search-time comparison has two
+// branches; DLRM and CANDLE-Uno keep their eight-plus-branch structure,
+// which is what defeats Piper.
+func table1Graph(model string, devs int) (*graph.Graph, int, error) {
+	switch model {
+	case "mmt-2b":
+		cfg := models.DefaultMMTConfig()
+		cfg.Branches = 2
+		mb, err := models.PaperMiniBatch("mmt", devs)
+		return models.MMT(cfg), mb, err
+	case "dlrm":
+		mb, err := models.PaperMiniBatch("dlrm", devs)
+		return models.DLRM(models.DefaultDLRMConfig()), mb, err
+	case "candle-uno":
+		mb, err := models.PaperMiniBatch("candle-uno", devs)
+		return models.CANDLEUno(models.DefaultCANDLEUnoConfig()), mb, err
+	default:
+		return nil, 0, fmt.Errorf("experiments: unknown table-1 model %q", model)
+	}
+}
+
+// Table1Models lists the table's model columns.
+var Table1Models = []string{"mmt-2b", "dlrm", "candle-uno"}
+
+// Table1 regenerates the search-time comparison. SearchTime and Failed (✗)
+// are the payload; throughput is incidental.
+func Table1(systems []System) (*Table1Result, error) {
+	res := &Table1Result{}
+	for _, m := range Table1Models {
+		for _, devs := range DeviceCounts() {
+			row := Table1Row{Model: m, Devices: devs, Outcomes: map[System]Outcome{}}
+			g, mb, err := table1Graph(m, devs)
+			if err != nil {
+				return nil, err
+			}
+			for _, sys := range systems {
+				row.Outcomes[sys] = Run(sys, g, devs, mb, RunOptions{})
+			}
+			res.Rows = append(res.Rows, row)
+		}
+	}
+	return res, nil
+}
+
+// CSV renders the table as (model, devices, per-system seconds, ratios to
+// GraphPipe) — the layout of Table 1.
+func (r *Table1Result) CSV(systems []System) *trace.CSV {
+	header := []string{"model", "devices"}
+	for _, s := range systems {
+		header = append(header, string(s)+"_seconds")
+	}
+	for _, s := range systems {
+		if s != GraphPipe {
+			header = append(header, string(s)+"_over_graphpipe")
+		}
+	}
+	c := trace.NewCSV(header...)
+	for _, row := range r.Rows {
+		vals := []interface{}{row.Model, row.Devices}
+		for _, s := range systems {
+			vals = append(vals, FmtSearch(row.Outcomes[s]))
+		}
+		gp := row.Outcomes[GraphPipe]
+		for _, s := range systems {
+			if s == GraphPipe {
+				continue
+			}
+			o := row.Outcomes[s]
+			if !o.Failed && !gp.Failed && gp.SearchTime > 0 {
+				vals = append(vals, fmt.Sprintf("%.1f", o.SearchTime.Seconds()/gp.SearchTime.Seconds()))
+			} else {
+				vals = append(vals, "-")
+			}
+		}
+		c.Add(vals...)
+	}
+	return c
+}

@@ -1,0 +1,140 @@
+package graph
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Costs aggregates the per-sample cost of a set of operators. It is the
+// quantity planners balance across pipeline stages.
+type Costs struct {
+	FwdFLOPs        float64
+	BwdFLOPs        float64
+	ParamBytes      float64
+	ActivationBytes float64
+}
+
+// Add accumulates the costs of op into c.
+func (c *Costs) Add(op Op) {
+	c.FwdFLOPs += op.FwdFLOPs
+	c.BwdFLOPs += op.BwdFLOPs
+	c.ParamBytes += op.ParamBytes
+	c.ActivationBytes += op.ActivationBytes
+}
+
+// Plus returns the element-wise sum c + d.
+func (c Costs) Plus(d Costs) Costs {
+	return Costs{
+		FwdFLOPs:        c.FwdFLOPs + d.FwdFLOPs,
+		BwdFLOPs:        c.BwdFLOPs + d.BwdFLOPs,
+		ParamBytes:      c.ParamBytes + d.ParamBytes,
+		ActivationBytes: c.ActivationBytes + d.ActivationBytes,
+	}
+}
+
+// SubgraphCosts sums the costs of all operators in set.
+func (g *Graph) SubgraphCosts(set NodeSet) Costs {
+	var c Costs
+	for _, id := range set.IDs() {
+		c.Add(g.ops[id])
+	}
+	return c
+}
+
+// CutBytes returns the per-sample bytes flowing across the directed cut
+// from `from` to `to`: the sum of OutputBytes of every producer in `from`
+// with at least one edge into `to`. Each producer is counted once per
+// consuming stage (the tensor is sent once per consumer stage, matching
+// point-to-point activation transfers).
+func (g *Graph) CutBytes(from, to NodeSet) float64 {
+	var total float64
+	for _, v := range from.IDs() {
+		sent := false
+		for _, w := range g.succ[v] {
+			if to.Contains(w) {
+				sent = true
+				break
+			}
+		}
+		if sent {
+			total += g.ops[v].OutputBytes
+		}
+	}
+	return total
+}
+
+// InBytes returns the per-sample bytes entering set from outside it.
+func (g *Graph) InBytes(set NodeSet) float64 {
+	var total float64
+	for v := 0; v < g.Len(); v++ {
+		id := NodeID(v)
+		if set.Contains(id) {
+			continue
+		}
+		sends := false
+		for _, w := range g.succ[id] {
+			if set.Contains(w) {
+				sends = true
+				break
+			}
+		}
+		if sends {
+			total += g.ops[id].OutputBytes
+		}
+	}
+	return total
+}
+
+// OutBytes returns the per-sample bytes leaving set to outside it.
+func (g *Graph) OutBytes(set NodeSet) float64 {
+	var total float64
+	for _, v := range set.IDs() {
+		sends := false
+		for _, w := range g.succ[v] {
+			if !set.Contains(w) {
+				sends = true
+				break
+			}
+		}
+		if sends {
+			total += g.ops[v].OutputBytes
+		}
+	}
+	return total
+}
+
+// HasEdgeBetween reports whether any edge runs from a node of `from` to a
+// node of `to`.
+func (g *Graph) HasEdgeBetween(from, to NodeSet) bool {
+	for _, v := range from.IDs() {
+		for _, w := range g.succ[v] {
+			if to.Contains(w) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// AllNodes returns the set of every node in g.
+func (g *Graph) AllNodes() NodeSet {
+	s := NewNodeSet(g.Len())
+	for v := 0; v < g.Len(); v++ {
+		s.Add(NodeID(v))
+	}
+	return s
+}
+
+// DOT renders the graph in Graphviz DOT format, for debugging and docs.
+func (g *Graph) DOT() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "digraph %q {\n  rankdir=LR;\n", g.name)
+	for _, op := range g.ops {
+		fmt.Fprintf(&sb, "  n%d [label=%q];\n", op.ID, op.Name)
+	}
+	for _, e := range g.edges {
+		fmt.Fprintf(&sb, "  n%d -> n%d;\n", e.From, e.To)
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}

@@ -1,0 +1,178 @@
+// Package profile implements the measurement step of GraphPipe's base case
+// (§5): "We estimate TPS by profiling the execution time of each operator
+// while extrapolating communication latency by affine functions."
+//
+// On the paper's testbed the profiler times CUDA kernels; here it times the
+// execution substrate we have — the cost model's operator implementations —
+// at a small set of sampled micro-batch sizes, then serves arbitrary sizes
+// by interpolation. Communication is profiled by sampling transfer times at
+// several message sizes and fitting the affine model
+//
+//	time(bytes) = α + β·bytes            (least squares)
+//
+// exactly as the paper describes. The profiled tables can be persisted as
+// JSON and reloaded, so a planner run does not need to re-measure.
+package profile
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+
+	"graphpipe/internal/cluster"
+	"graphpipe/internal/costmodel"
+	"graphpipe/internal/graph"
+)
+
+// OpProfile holds the measured forward/backward times of one operator at
+// sampled per-device batch sizes, ascending.
+type OpProfile struct {
+	Op      graph.NodeID `json:"op"`
+	Name    string       `json:"name"`
+	Batches []int        `json:"batches"`
+	Fwd     []float64    `json:"fwd_seconds"`
+	Bwd     []float64    `json:"bwd_seconds"`
+}
+
+// AffineLink is the fitted communication model time(bytes) = Alpha +
+// Beta·bytes for one link class.
+type AffineLink struct {
+	Alpha float64 `json:"alpha_seconds"`
+	Beta  float64 `json:"beta_seconds_per_byte"`
+}
+
+// Profile is a full measurement of one model on one device class.
+type Profile struct {
+	Model     string      `json:"model"`
+	Ops       []OpProfile `json:"ops"`
+	IntraNode AffineLink  `json:"intra_node"`
+	InterNode AffineLink  `json:"inter_node"`
+}
+
+// DefaultBatchSamples are the per-device micro-batch sizes the profiler
+// measures; everything else is interpolated.
+var DefaultBatchSamples = []int{1, 2, 4, 8, 16, 32, 64, 128, 256}
+
+// Run profiles every operator of g against the cost model's device 0 and
+// fits the communication links from sampled transfer sizes.
+func Run(g *graph.Graph, model *costmodel.Model) *Profile {
+	topo := model.Topology()
+	dev := topo.Device(0)
+	p := &Profile{Model: g.Name()}
+	for _, op := range g.Ops() {
+		prof := OpProfile{Op: op.ID, Name: op.Name}
+		for _, b := range DefaultBatchSamples {
+			prof.Batches = append(prof.Batches, b)
+			prof.Fwd = append(prof.Fwd, model.OpForwardTime(op, float64(b), dev))
+			prof.Bwd = append(prof.Bwd, model.OpBackwardTime(op, float64(b), dev))
+		}
+		p.Ops = append(p.Ops, prof)
+	}
+	sizes := []float64{1e3, 1e4, 1e5, 1e6, 1e7, 1e8}
+	p.IntraNode = fitAffine(sizes, transferTimes(topo, sizes, topo.IntraNodeBandwidth))
+	p.InterNode = fitAffine(sizes, transferTimes(topo, sizes, topo.InterNodeBandwidth))
+	return p
+}
+
+func transferTimes(topo *cluster.Topology, sizes []float64, bw float64) []float64 {
+	out := make([]float64, len(sizes))
+	for i, s := range sizes {
+		out[i] = topo.LinkLatency + s/bw
+	}
+	return out
+}
+
+// fitAffine runs ordinary least squares on (x, y).
+func fitAffine(x, y []float64) AffineLink {
+	n := float64(len(x))
+	var sx, sy, sxx, sxy float64
+	for i := range x {
+		sx += x[i]
+		sy += y[i]
+		sxx += x[i] * x[i]
+		sxy += x[i] * y[i]
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return AffineLink{}
+	}
+	beta := (n*sxy - sx*sy) / den
+	alpha := (sy - beta*sx) / n
+	return AffineLink{Alpha: alpha, Beta: beta}
+}
+
+// TransferTime evaluates the fitted affine communication model.
+func (l AffineLink) TransferTime(bytes float64) float64 {
+	t := l.Alpha + l.Beta*bytes
+	if t < 0 {
+		return 0
+	}
+	return t
+}
+
+// opByID returns the profile row for the operator, or nil.
+func (p *Profile) opByID(id graph.NodeID) *OpProfile {
+	for i := range p.Ops {
+		if p.Ops[i].Op == id {
+			return &p.Ops[i]
+		}
+	}
+	return nil
+}
+
+// interp linearly interpolates the measured times at perDeviceBatch;
+// outside the sampled range it extrapolates from the nearest segment
+// (per-sample time is nearly flat at the top of the range, so this is
+// benign).
+func interp(batches []int, times []float64, b float64) float64 {
+	if len(batches) == 0 {
+		return 0
+	}
+	if b <= float64(batches[0]) {
+		// Scale the smallest sample proportionally: fixed overhead
+		// dominates tiny batches, so clamp instead of extrapolating to 0.
+		return times[0] * math.Max(b/float64(batches[0]), 0)
+	}
+	i := sort.Search(len(batches), func(i int) bool { return float64(batches[i]) >= b })
+	if i == len(batches) {
+		// Extrapolate from the last segment's slope.
+		n := len(batches)
+		slope := (times[n-1] - times[n-2]) / float64(batches[n-1]-batches[n-2])
+		return times[n-1] + slope*(b-float64(batches[n-1]))
+	}
+	lo, hi := batches[i-1], batches[i]
+	frac := (b - float64(lo)) / float64(hi-lo)
+	return times[i-1] + frac*(times[i]-times[i-1])
+}
+
+// ForwardTime returns the interpolated forward time of op at perDeviceBatch
+// samples.
+func (p *Profile) ForwardTime(op graph.NodeID, perDeviceBatch float64) (float64, error) {
+	prof := p.opByID(op)
+	if prof == nil {
+		return 0, fmt.Errorf("profile: no measurements for op %d", op)
+	}
+	return interp(prof.Batches, prof.Fwd, perDeviceBatch), nil
+}
+
+// BackwardTime returns the interpolated backward time of op.
+func (p *Profile) BackwardTime(op graph.NodeID, perDeviceBatch float64) (float64, error) {
+	prof := p.opByID(op)
+	if prof == nil {
+		return 0, fmt.Errorf("profile: no measurements for op %d", op)
+	}
+	return interp(prof.Batches, prof.Bwd, perDeviceBatch), nil
+}
+
+// Marshal persists the profile as JSON.
+func (p *Profile) Marshal() ([]byte, error) { return json.MarshalIndent(p, "", "  ") }
+
+// Load parses a persisted profile.
+func Load(data []byte) (*Profile, error) {
+	var p Profile
+	if err := json.Unmarshal(data, &p); err != nil {
+		return nil, fmt.Errorf("profile: %w", err)
+	}
+	return &p, nil
+}

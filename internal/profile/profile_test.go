@@ -1,0 +1,167 @@
+package profile
+
+import (
+	"math"
+	"testing"
+
+	"graphpipe/internal/cluster"
+	"graphpipe/internal/costmodel"
+	"graphpipe/internal/models"
+)
+
+func profiled(t testing.TB) (*Profile, *costmodel.Model) {
+	t.Helper()
+	g := models.SequentialTransformer(4)
+	topo := cluster.NewSummitTopology(4)
+	m := costmodel.NewDefault(topo)
+	return Run(g, m), m
+}
+
+func TestRunCoversAllOps(t *testing.T) {
+	g := models.SequentialTransformer(4)
+	topo := cluster.NewSummitTopology(4)
+	m := costmodel.NewDefault(topo)
+	p := Run(g, m)
+	if len(p.Ops) != g.Len() {
+		t.Fatalf("profiled %d ops, want %d", len(p.Ops), g.Len())
+	}
+	for _, op := range p.Ops {
+		if len(op.Batches) != len(DefaultBatchSamples) {
+			t.Errorf("op %s: %d samples", op.Name, len(op.Batches))
+		}
+		for i := 1; i < len(op.Fwd); i++ {
+			if op.Fwd[i] < op.Fwd[i-1] {
+				t.Errorf("op %s: forward time not monotone in batch", op.Name)
+			}
+		}
+	}
+}
+
+func TestInterpolationMatchesMeasuredPoints(t *testing.T) {
+	p, m := profiled(t)
+	g := models.SequentialTransformer(4)
+	dev := m.Topology().Device(0)
+	for _, opProf := range p.Ops {
+		op := g.Op(opProf.Op)
+		for _, b := range []int{1, 4, 64} {
+			got, err := p.ForwardTime(opProf.Op, float64(b))
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := m.OpForwardTime(op, float64(b), dev)
+			if math.Abs(got-want) > 1e-15+1e-9*want {
+				t.Errorf("%s b=%d: interp %g, measured %g", opProf.Name, b, got, want)
+			}
+		}
+	}
+}
+
+func TestInterpolationBetweenPoints(t *testing.T) {
+	p, m := profiled(t)
+	g := models.SequentialTransformer(4)
+	dev := m.Topology().Device(0)
+	op := g.Op(1)
+	// b=3 is between samples 2 and 4; interpolation must land between the
+	// endpoints and near the true value.
+	got, err := p.ForwardTime(1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo := m.OpForwardTime(op, 2, dev)
+	hi := m.OpForwardTime(op, 4, dev)
+	if got < lo || got > hi {
+		t.Errorf("interp %g outside [%g, %g]", got, lo, hi)
+	}
+	truth := m.OpForwardTime(op, 3, dev)
+	if math.Abs(got-truth)/truth > 0.05 {
+		t.Errorf("interp %g vs truth %g: >5%% error", got, truth)
+	}
+}
+
+func TestExtrapolationAboveRange(t *testing.T) {
+	p, m := profiled(t)
+	g := models.SequentialTransformer(4)
+	dev := m.Topology().Device(0)
+	op := g.Op(1)
+	got, err := p.ForwardTime(1, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := m.OpForwardTime(op, 512, dev)
+	if math.Abs(got-truth)/truth > 0.05 {
+		t.Errorf("extrapolation at b=512: %g vs %g", got, truth)
+	}
+	// Backward too.
+	gotB, err := p.BackwardTime(1, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truthB := m.OpBackwardTime(op, 512, dev)
+	if math.Abs(gotB-truthB)/truthB > 0.05 {
+		t.Errorf("backward extrapolation: %g vs %g", gotB, truthB)
+	}
+}
+
+func TestUnknownOp(t *testing.T) {
+	p, _ := profiled(t)
+	if _, err := p.ForwardTime(999, 4); err == nil {
+		t.Error("unknown op accepted")
+	}
+	if _, err := p.BackwardTime(999, 4); err == nil {
+		t.Error("unknown op accepted (backward)")
+	}
+}
+
+func TestAffineCommFit(t *testing.T) {
+	p, m := profiled(t)
+	topo := m.Topology()
+	// The generating model is exactly affine, so the fit must recover
+	// alpha = link latency and beta = 1/bandwidth.
+	if rel := math.Abs(p.IntraNode.Alpha-topo.LinkLatency) / topo.LinkLatency; rel > 1e-6 {
+		t.Errorf("intra alpha = %g, want %g", p.IntraNode.Alpha, topo.LinkLatency)
+	}
+	if rel := math.Abs(p.IntraNode.Beta-1/topo.IntraNodeBandwidth) * topo.IntraNodeBandwidth; rel > 1e-6 {
+		t.Errorf("intra beta = %g, want %g", p.IntraNode.Beta, 1/topo.IntraNodeBandwidth)
+	}
+	if p.InterNode.Beta <= p.IntraNode.Beta {
+		t.Error("inter-node bytes must be slower than intra-node")
+	}
+	// Evaluation clamps to non-negative.
+	if p.IntraNode.TransferTime(1e6) <= 0 {
+		t.Error("transfer time not positive")
+	}
+	if (AffineLink{Alpha: -1, Beta: 0}).TransferTime(10) != 0 {
+		t.Error("negative prediction not clamped")
+	}
+}
+
+func TestFitAffineDegenerate(t *testing.T) {
+	// All-equal x: the fit must not divide by zero.
+	l := fitAffine([]float64{5, 5, 5}, []float64{1, 2, 3})
+	if l.Alpha != 0 || l.Beta != 0 {
+		t.Errorf("degenerate fit = %+v, want zero", l)
+	}
+}
+
+func TestProfileRoundTrip(t *testing.T) {
+	p, _ := profiled(t)
+	data, err := p.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Model != p.Model || len(back.Ops) != len(p.Ops) {
+		t.Fatalf("round trip lost data")
+	}
+	a, _ := p.ForwardTime(1, 7)
+	b, _ := back.ForwardTime(1, 7)
+	if a != b {
+		t.Errorf("round trip changed interpolation: %g vs %g", a, b)
+	}
+	if _, err := Load([]byte("{broken")); err == nil {
+		t.Error("accepted broken JSON")
+	}
+}

@@ -1,0 +1,141 @@
+package schedule
+
+import (
+	"fmt"
+)
+
+// TaskKind distinguishes forward and backward passes.
+type TaskKind int
+
+// Task kinds.
+const (
+	Forward TaskKind = iota
+	Backward
+)
+
+// String returns "F" or "B".
+func (k TaskKind) String() string {
+	if k == Forward {
+		return "F"
+	}
+	return "B"
+}
+
+// Task is one pass of one micro-batch on one stage. Samples are identified
+// by their index within the mini-batch so that stages with different
+// micro-batch sizes can align their data dependencies (Figure 5): task j of
+// a stage with micro-batch size b covers samples [j·b, (j+1)·b).
+type Task struct {
+	Kind  TaskKind
+	Index int // micro-batch index within the stage, 0-based
+	Start int // first sample index (inclusive)
+	End   int // past-the-end sample index
+}
+
+// String renders e.g. "F3[12,16)".
+func (t Task) String() string {
+	return fmt.Sprintf("%s%d[%d,%d)", t.Kind, t.Index, t.Start, t.End)
+}
+
+// BuildTasks emits the stage's task order Π for one training iteration: the
+// greedy schedule of Algorithm 2's ScheduleTask, which runs each backward
+// pass as early as the in-flight window allows (1F1B generalized to kFkB).
+//
+// The schedule starts with ℓ = max(k, inFlightSamples/b) forward
+// micro-batches, alternates k backwards with k forwards while forwards
+// remain, and drains the remaining backwards — exactly footnote 2's shape.
+// miniBatch must be divisible by the micro-batch size.
+func BuildTasks(cfg Config, miniBatch, inFlightSamples int) ([]Task, error) {
+	if !cfg.Valid() {
+		return nil, fmt.Errorf("schedule: invalid config %+v", cfg)
+	}
+	b, k := cfg.MicroBatch, cfg.K
+	if miniBatch <= 0 || miniBatch%b != 0 {
+		return nil, fmt.Errorf("schedule: mini-batch %d not divisible by micro-batch %d", miniBatch, b)
+	}
+	n := miniBatch / b // total micro-batches
+	warm := inFlightSamples / b
+	if warm < k {
+		warm = k
+	}
+	if warm > n {
+		warm = n
+	}
+
+	fw := func(j int) Task { return Task{Kind: Forward, Index: j, Start: j * b, End: (j + 1) * b} }
+	bw := func(j int) Task { return Task{Kind: Backward, Index: j, Start: j * b, End: (j + 1) * b} }
+
+	tasks := make([]Task, 0, 2*n)
+	nextF, nextB := 0, 0
+	for ; nextF < warm; nextF++ {
+		tasks = append(tasks, fw(nextF))
+	}
+	for nextF < n {
+		for i := 0; i < k && nextB < nextF; i++ {
+			tasks = append(tasks, bw(nextB))
+			nextB++
+		}
+		for i := 0; i < k && nextF < n; i++ {
+			tasks = append(tasks, fw(nextF))
+			nextF++
+		}
+	}
+	for ; nextB < n; nextB++ {
+		tasks = append(tasks, bw(nextB))
+	}
+	return tasks, nil
+}
+
+// ValidateTasks checks condition C4 (§3) on a stage's task order: forward
+// passes in micro-batch order, backward passes in micro-batch order, each
+// forward before its backward — plus completeness: every micro-batch of the
+// mini-batch appears exactly once per direction.
+func ValidateTasks(tasks []Task, cfg Config, miniBatch int) error {
+	n := miniBatch / cfg.MicroBatch
+	nextF, nextB := 0, 0
+	for _, t := range tasks {
+		if t.End-t.Start != cfg.MicroBatch || t.Start != t.Index*cfg.MicroBatch {
+			return fmt.Errorf("schedule: task %v has wrong sample range for b=%d", t, cfg.MicroBatch)
+		}
+		switch t.Kind {
+		case Forward:
+			if t.Index != nextF {
+				return fmt.Errorf("schedule: forward out of order: got F%d, want F%d", t.Index, nextF)
+			}
+			nextF++
+		case Backward:
+			if t.Index != nextB {
+				return fmt.Errorf("schedule: backward out of order: got B%d, want B%d", t.Index, nextB)
+			}
+			if t.Index >= nextF {
+				return fmt.Errorf("schedule: B%d scheduled before F%d", t.Index, t.Index)
+			}
+			nextB++
+		default:
+			return fmt.Errorf("schedule: unknown task kind %v", t.Kind)
+		}
+	}
+	if nextF != n || nextB != n {
+		return fmt.Errorf("schedule: incomplete schedule: %d forwards, %d backwards, want %d each", nextF, nextB, n)
+	}
+	return nil
+}
+
+// PeakInFlightSamples returns the maximum number of samples whose forward
+// pass has run but whose backward pass has not, over the course of the task
+// order — the quantity that drives activation memory (§6).
+func PeakInFlightSamples(tasks []Task) int {
+	cur, peak := 0, 0
+	for _, t := range tasks {
+		switch t.Kind {
+		case Forward:
+			cur += t.End - t.Start
+			if cur > peak {
+				peak = cur
+			}
+		case Backward:
+			cur -= t.End - t.Start
+		}
+	}
+	return peak
+}

@@ -1,0 +1,474 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"graphpipe/internal/cluster"
+	"graphpipe/internal/costmodel"
+	"graphpipe/internal/graph"
+	"graphpipe/internal/schedule"
+	"graphpipe/internal/strategy"
+)
+
+// chainGraph builds in -> l0 -> ... -> l(n-1), uniform costs.
+func chainGraph(t testing.TB, n int) *graph.Graph {
+	t.Helper()
+	b := graph.NewBuilder("chain")
+	in := b.AddOp(graph.Op{Name: "in", Kind: graph.OpInput, OutputBytes: 1e3})
+	prev := in
+	for i := 0; i < n; i++ {
+		op := b.AddOp(graph.Op{Kind: graph.OpLinear, FwdFLOPs: 1e9, ParamBytes: 1e6, ActivationBytes: 1e4, OutputBytes: 1e3})
+		b.Connect(prev, op)
+		prev = op
+	}
+	return b.MustBuild()
+}
+
+// twoBranchGraph builds in -> {a0..a(k-1)} & {b0..b(k-1)} -> merge.
+func twoBranchGraph(t testing.TB, k int) *graph.Graph {
+	t.Helper()
+	b := graph.NewBuilder("twobranch")
+	in := b.AddOp(graph.Op{Name: "in", Kind: graph.OpInput, OutputBytes: 1e3})
+	merge := b.AddOp(graph.Op{Name: "merge", Kind: graph.OpConcat, FwdFLOPs: 1e6, OutputBytes: 1e3})
+	for br := 0; br < 2; br++ {
+		prev := in
+		for i := 0; i < k; i++ {
+			op := b.AddOp(graph.Op{Kind: graph.OpLinear, FwdFLOPs: 1e9, ParamBytes: 1e6, ActivationBytes: 1e4, OutputBytes: 1e3})
+			b.Connect(prev, op)
+			prev = op
+		}
+		b.Connect(prev, merge)
+	}
+	return b.MustBuild()
+}
+
+func mkStage(t testing.TB, id strategy.StageID, ops graph.NodeSet, devs []cluster.DeviceID, b, mini, inflight int) strategy.Stage {
+	t.Helper()
+	cfg := schedule.Config{MicroBatch: b, K: 1}
+	tasks, err := schedule.BuildTasks(cfg, mini, inflight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return strategy.Stage{ID: id, Ops: ops, Config: cfg, Devices: devs,
+		InFlightSamples: inflight, Tasks: tasks}
+}
+
+func newSim(t testing.TB, g *graph.Graph, devices int) *Simulator {
+	t.Helper()
+	topo := cluster.NewSummitTopology(devices)
+	return New(g, costmodel.NewDefault(topo))
+}
+
+func TestSingleStageIteration(t *testing.T) {
+	g := chainGraph(t, 2)
+	sm := newSim(t, g, 1)
+	st := &strategy.Strategy{
+		Planner:   "test",
+		MiniBatch: 8,
+		Stages:    []strategy.Stage{mkStage(t, 0, g.AllNodes(), []cluster.DeviceID{0}, 2, 8, 2)},
+	}
+	if err := st.BuildEdges(g); err != nil {
+		t.Fatal(err)
+	}
+	res, err := sm.Run(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One stage: iteration = 4 micro-batches x (fw + bw), no allreduce.
+	costs := sm.model.Stage(g, costmodel.StageConfig{Ops: g.AllNodes(), MicroBatch: 2, DataPar: 1})
+	want := 4 * (costs.ForwardTime + costs.BackwardTime)
+	if math.Abs(res.IterationTime-want)/want > 1e-9 {
+		t.Errorf("IterationTime = %g, want %g", res.IterationTime, want)
+	}
+	if res.AllreduceTime != 0 {
+		t.Errorf("single device allreduce = %g", res.AllreduceTime)
+	}
+	if math.Abs(res.Throughput-8/want)/res.Throughput > 1e-9 {
+		t.Errorf("Throughput = %g", res.Throughput)
+	}
+	if len(res.Timeline) != 8 {
+		t.Errorf("timeline entries = %d, want 8", len(res.Timeline))
+	}
+}
+
+// pipelineChain builds an n-stage chain strategy, one op group per stage,
+// classic 1F1B in-flight counts.
+func pipelineChain(t testing.TB, g *graph.Graph, nStages, b, mini int) *strategy.Strategy {
+	t.Helper()
+	perStage := g.Len() / nStages
+	st := &strategy.Strategy{Planner: "test", MiniBatch: mini}
+	next := 0
+	for i := 0; i < nStages; i++ {
+		cnt := perStage
+		if i == nStages-1 {
+			cnt = g.Len() - next
+		}
+		ops := graph.NewNodeSet(g.Len())
+		for j := 0; j < cnt; j++ {
+			ops.Add(graph.NodeID(next))
+			next++
+		}
+		inflight := (nStages - i) * b
+		st.Stages = append(st.Stages, mkStage(t, strategy.StageID(i), ops, []cluster.DeviceID{cluster.DeviceID(i)}, b, mini, inflight))
+	}
+	if err := st.BuildEdges(g); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func TestPipeliningBeatsSerial(t *testing.T) {
+	g := chainGraph(t, 8)
+	sm := newSim(t, g, 4)
+	st := pipelineChain(t, g, 4, 1, 16)
+	res, err := sm.Run(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Upper bound: fully serial execution (16 micro-batches through 4
+	// stages with no overlap) would take 16 × Σ(stage fw+bw). Pipelining
+	// must be well under half of that.
+	var serial float64
+	for i := range st.Stages {
+		costs := sm.model.Stage(g, costmodel.StageConfig{Ops: st.Stages[i].Ops, MicroBatch: 1, DataPar: 1})
+		serial += 16 * (costs.ForwardTime + costs.BackwardTime)
+	}
+	if res.ComputeSpan > serial/2 {
+		t.Errorf("pipelining ineffective: span %g vs serial %g", res.ComputeSpan, serial)
+	}
+	// Lower bound: the bottleneck stage's total work.
+	var bottleneck float64
+	for i := range st.Stages {
+		costs := sm.model.Stage(g, costmodel.StageConfig{Ops: st.Stages[i].Ops, MicroBatch: 1, DataPar: 1})
+		if w := 16 * (costs.ForwardTime + costs.BackwardTime); w > bottleneck {
+			bottleneck = w
+		}
+	}
+	if res.ComputeSpan < bottleneck {
+		t.Errorf("span %g below bottleneck work %g", res.ComputeSpan, bottleneck)
+	}
+}
+
+func TestWarmupBubbleGrowsWithDepth(t *testing.T) {
+	g := chainGraph(t, 8)
+	mini := 32
+	// Same total work split 2 vs 8 ways; deeper pipeline has more bubble
+	// per stage.
+	sm2 := newSim(t, g, 2)
+	res2, err := sm2.Run(pipelineChain(t, g, 2, 1, mini))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sm8 := newSim(t, g, 8)
+	res8, err := sm8.Run(pipelineChain(t, g, 8, 1, mini))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Efficiency = bottleneck work / span. Deeper pipeline wastes more.
+	eff := func(res *Result, stages int) float64 {
+		var bottleneck float64
+		for _, ss := range res.Stages {
+			if ss.ComputeTime > bottleneck {
+				bottleneck = ss.ComputeTime
+			}
+		}
+		return bottleneck / res.ComputeSpan
+	}
+	if eff(res8, 8) >= eff(res2, 2) {
+		t.Errorf("deeper pipeline should have lower efficiency: eff8=%g eff2=%g",
+			eff(res8, 8), eff(res2, 2))
+	}
+}
+
+// TestGPPBeatsSPPOnBranches is the core §2 claim at simulator level: with
+// an identical model partition, executing the two branches concurrently
+// (graph-derived dependencies only) finishes the iteration faster than the
+// SPP schedule that chains all stages with imaginary dependencies, and its
+// first stage holds fewer in-flight samples.
+func TestGPPBeatsSPPOnBranches(t *testing.T) {
+	g := twoBranchGraph(t, 2) // in, merge, a0 a1, b0 b1 -> ids 0..5
+	mini := 16
+
+	build := func(spp bool) (*strategy.Strategy, *Simulator) {
+		st := &strategy.Strategy{Planner: "test", MiniBatch: mini}
+		// Stages: {in}, {a0,a1}, {b0,b1}, {merge}.
+		opsets := []graph.NodeSet{
+			graph.NodeSetOf(0),
+			graph.NodeSetOf(2, 3),
+			graph.NodeSetOf(4, 5),
+			graph.NodeSetOf(1),
+		}
+		// In-flight: GPP depth 3 (in -> branch -> merge): stage0 3b,
+		// branches 2b, merge b. SPP chain depth 4: 4b, 3b, 2b, b.
+		gppIF := []int{3, 2, 2, 1}
+		sppIF := []int{4, 3, 2, 1}
+		ifs := gppIF
+		if spp {
+			ifs = sppIF
+		}
+		for i, ops := range opsets {
+			st.Stages = append(st.Stages, mkStage(t, strategy.StageID(i), ops,
+				[]cluster.DeviceID{cluster.DeviceID(i)}, 1, mini, ifs[i]))
+		}
+		if err := st.BuildEdges(g); err != nil {
+			t.Fatal(err)
+		}
+		if spp {
+			st.AddSequentialEdges([]strategy.StageID{0, 1, 2, 3})
+		}
+		return st, newSim(t, g, 4)
+	}
+
+	gpp, smG := build(false)
+	spp, smS := build(true)
+	resG, err := smG.Run(gpp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resS, err := smS.Run(spp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resG.IterationTime >= resS.IterationTime {
+		t.Errorf("GPP should be faster: gpp=%g spp=%g", resG.IterationTime, resS.IterationTime)
+	}
+	if gpp.Depth() != 3 || spp.Depth() != 4 {
+		t.Errorf("depths: gpp=%d spp=%d, want 3/4", gpp.Depth(), spp.Depth())
+	}
+	// The early branch stage (stage 1) holds fewer in-flight samples under
+	// GPP (stage 0 is the zero-cost input op, so compare stage 1, the
+	// first stage with real activations).
+	if resG.Stages[1].PeakInFlightSamples >= resS.Stages[1].PeakInFlightSamples {
+		t.Errorf("GPP branch stage in-flight %d should be below SPP %d",
+			resG.Stages[1].PeakInFlightSamples, resS.Stages[1].PeakInFlightSamples)
+	}
+	if resG.Stages[1].PeakMemory >= resS.Stages[1].PeakMemory {
+		t.Errorf("GPP branch stage memory %g should be below SPP %g",
+			resG.Stages[1].PeakMemory, resS.Stages[1].PeakMemory)
+	}
+}
+
+func TestPeakInFlightMatchesSchedule(t *testing.T) {
+	g := chainGraph(t, 4)
+	sm := newSim(t, g, 2)
+	st := pipelineChain(t, g, 2, 2, 16)
+	res, err := sm.Run(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, ss := range res.Stages {
+		// The simulator can never exceed the schedule peak, and for a
+		// busy pipeline it reaches it.
+		want := schedule.PeakInFlightSamples(st.Stages[i].Tasks)
+		if ss.PeakInFlightSamples > want {
+			t.Errorf("stage %d: observed in-flight %d exceeds schedule peak %d",
+				i, ss.PeakInFlightSamples, want)
+		}
+	}
+}
+
+func TestTimelineRespectsDependencies(t *testing.T) {
+	g := twoBranchGraph(t, 2)
+	sm := newSim(t, g, 4)
+	st := &strategy.Strategy{Planner: "test", MiniBatch: 8}
+	opsets := []graph.NodeSet{
+		graph.NodeSetOf(0), graph.NodeSetOf(2, 3), graph.NodeSetOf(4, 5), graph.NodeSetOf(1),
+	}
+	ifs := []int{3, 2, 2, 1}
+	for i, ops := range opsets {
+		st.Stages = append(st.Stages, mkStage(t, strategy.StageID(i), ops,
+			[]cluster.DeviceID{cluster.DeviceID(i)}, 1, 8, ifs[i]))
+	}
+	if err := st.BuildEdges(g); err != nil {
+		t.Fatal(err)
+	}
+	res, err := sm.Run(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Index completion times.
+	fwEnd := map[[2]int]float64{}
+	bwEnd := map[[2]int]float64{}
+	for _, tr := range res.Timeline {
+		key := [2]int{int(tr.Stage), tr.Task.Index}
+		if tr.Task.Kind == schedule.Forward {
+			fwEnd[key] = tr.End
+		} else {
+			bwEnd[key] = tr.End
+		}
+	}
+	for _, tr := range res.Timeline {
+		sid := int(tr.Stage)
+		if tr.Task.Kind == schedule.Forward {
+			for _, pid := range st.Pred[tr.Stage] {
+				dep := fwEnd[[2]int{int(pid), tr.Task.Index}]
+				if tr.Start < dep {
+					t.Errorf("S%d F%d starts %g before S%d F%d ends %g",
+						sid, tr.Task.Index, tr.Start, pid, tr.Task.Index, dep)
+				}
+			}
+		} else {
+			if own := fwEnd[[2]int{sid, tr.Task.Index}]; tr.Start < own {
+				t.Errorf("S%d B%d starts before own forward", sid, tr.Task.Index)
+			}
+			for _, tid := range st.Succ[tr.Stage] {
+				dep := bwEnd[[2]int{int(tid), tr.Task.Index}]
+				if tr.Start < dep {
+					t.Errorf("S%d B%d starts %g before S%d B%d ends %g",
+						sid, tr.Task.Index, tr.Start, tid, tr.Task.Index, dep)
+				}
+			}
+		}
+	}
+}
+
+func TestMixedMicroBatchAlignment(t *testing.T) {
+	// Stage 0 with b=1 feeds stage 1 with b=2: each F_j of stage 1 must
+	// wait for two upstream forwards (Figure 5's alignment).
+	g := chainGraph(t, 2)
+	mini := 8
+	st := &strategy.Strategy{Planner: "test", MiniBatch: mini}
+	st.Stages = append(st.Stages,
+		mkStage(t, 0, graph.NodeSetOf(0, 1), []cluster.DeviceID{0}, 1, mini, 4),
+		mkStage(t, 1, graph.NodeSetOf(2), []cluster.DeviceID{1}, 2, mini, 2))
+	if err := st.BuildEdges(g); err != nil {
+		t.Fatal(err)
+	}
+	sm := newSim(t, g, 2)
+	res, err := sm.Run(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fwEnd0 := map[int]float64{}
+	for _, tr := range res.Timeline {
+		if tr.Stage == 0 && tr.Task.Kind == schedule.Forward {
+			fwEnd0[tr.Task.Index] = tr.End
+		}
+	}
+	for _, tr := range res.Timeline {
+		if tr.Stage == 1 && tr.Task.Kind == schedule.Forward {
+			// F_j of stage 1 covers samples [2j, 2j+2): needs upstream
+			// forwards 2j and 2j+1.
+			for s := tr.Task.Start; s < tr.Task.End; s++ {
+				if tr.Start < fwEnd0[s] {
+					t.Errorf("stage1 F%d starts before upstream sample %d ready", tr.Task.Index, s)
+				}
+			}
+		}
+	}
+}
+
+func TestDataParallelAllreduceCharged(t *testing.T) {
+	g := chainGraph(t, 2)
+	sm := newSim(t, g, 2)
+	st := &strategy.Strategy{Planner: "test", MiniBatch: 8}
+	cfg := schedule.Config{MicroBatch: 2, K: 1}
+	tasks, _ := schedule.BuildTasks(cfg, 8, 2)
+	st.Stages = append(st.Stages, strategy.Stage{
+		ID: 0, Ops: g.AllNodes(), Config: cfg,
+		Devices: []cluster.DeviceID{0, 1}, InFlightSamples: 2, Tasks: tasks,
+	})
+	if err := st.BuildEdges(g); err != nil {
+		t.Fatal(err)
+	}
+	res, err := sm.Run(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AllreduceTime <= 0 {
+		t.Error("data-parallel stage should pay allreduce")
+	}
+	if res.IterationTime <= res.ComputeSpan {
+		t.Error("iteration must include allreduce after compute")
+	}
+}
+
+func TestRunRejectsInvalidStrategy(t *testing.T) {
+	g := chainGraph(t, 2)
+	sm := newSim(t, g, 2)
+	st := &strategy.Strategy{Planner: "test", MiniBatch: 8}
+	// Missing stages entirely.
+	if _, err := sm.Run(st); err == nil {
+		t.Error("accepted empty strategy")
+	}
+}
+
+func TestStageStatsConsistency(t *testing.T) {
+	g := chainGraph(t, 4)
+	sm := newSim(t, g, 2)
+	st := pipelineChain(t, g, 2, 1, 8)
+	res, err := sm.Run(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, ss := range res.Stages {
+		if ss.ComputeTime <= 0 {
+			t.Errorf("stage %d compute time %g", i, ss.ComputeTime)
+		}
+		if ss.IdleTime < -1e-9 {
+			t.Errorf("stage %d negative idle %g", i, ss.IdleTime)
+		}
+		if ss.ComputeTime+ss.IdleTime > res.ComputeSpan*(1+1e-9) {
+			t.Errorf("stage %d busy+idle exceeds span", i)
+		}
+		if ss.PeakMemory <= 0 {
+			t.Errorf("stage %d peak memory %g", i, ss.PeakMemory)
+		}
+	}
+}
+
+// TestSimDetectsDeadlock mirrors the runtime's deadlock test: a schedule
+// that is locally valid (C4) but globally inconsistent — stage 0 expects
+// its first gradient after one forward, while stage 1's warm-up needs two
+// forwards — must be reported, not looped forever.
+func TestSimDetectsDeadlock(t *testing.T) {
+	g := chainGraph(t, 2)
+	mini := 8
+	st := &strategy.Strategy{Planner: "deadlock", MiniBatch: mini}
+	st.Stages = append(st.Stages,
+		mkStage(t, 0, graph.NodeSetOf(0, 1), []cluster.DeviceID{0}, 1, mini, 1),
+		mkStage(t, 1, graph.NodeSetOf(2), []cluster.DeviceID{1}, 1, mini, 2))
+	if err := st.BuildEdges(g); err != nil {
+		t.Fatal(err)
+	}
+	sm := newSim(t, g, 2)
+	if _, err := sm.Run(st); err == nil {
+		t.Fatal("deadlocked schedule simulated successfully")
+	}
+}
+
+// Property: on random chain pipelines, the iteration time always lies
+// between the bottleneck stage's total work (perfect overlap) and the sum
+// of all stages' work plus bubbles (no overlap at all).
+func TestSimIterationBoundsProperty(t *testing.T) {
+	for seed := 0; seed < 20; seed++ {
+		nOps := 4 + seed%5
+		g := chainGraph(t, nOps)
+		stages := 2 + seed%3
+		if stages > nOps {
+			stages = nOps
+		}
+		mini := 8 * (1 + seed%3)
+		st := pipelineChain(t, g, stages, 1, mini)
+		sm := newSim(t, g, stages)
+		res, err := sm.Run(st)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		var bottleneck, total float64
+		for _, ss := range res.Stages {
+			total += ss.ComputeTime
+			if ss.ComputeTime > bottleneck {
+				bottleneck = ss.ComputeTime
+			}
+		}
+		if res.ComputeSpan < bottleneck-1e-12 {
+			t.Errorf("seed %d: span %g below bottleneck %g", seed, res.ComputeSpan, bottleneck)
+		}
+		if res.ComputeSpan > total+1e-9 {
+			t.Errorf("seed %d: span %g above serial total %g (no pipelining at all?)",
+				seed, res.ComputeSpan, total)
+		}
+	}
+}

@@ -1,0 +1,436 @@
+package spgraph
+
+import (
+	"testing"
+
+	"graphpipe/internal/graph"
+)
+
+// chain builds in -> l0 -> l1 -> ... -> l(n-1).
+func chain(t testing.TB, n int) *graph.Graph {
+	t.Helper()
+	b := graph.NewBuilder("chain")
+	var ids []graph.NodeID
+	for i := 0; i < n; i++ {
+		ids = append(ids, b.AddOp(graph.Op{Kind: graph.OpLinear, FwdFLOPs: 1, OutputBytes: 1}))
+	}
+	b.Chain(ids...)
+	return b.MustBuild()
+}
+
+// branches builds in -> {branch_i: k ops each} -> out, i = 0..nb-1.
+func branches(t testing.TB, nb, k int) *graph.Graph {
+	t.Helper()
+	b := graph.NewBuilder("branches")
+	in := b.AddOp(graph.Op{Name: "in", Kind: graph.OpInput, OutputBytes: 1})
+	out := b.AddOp(graph.Op{Name: "out", Kind: graph.OpConcat, FwdFLOPs: 1, OutputBytes: 1})
+	for i := 0; i < nb; i++ {
+		prev := in
+		for j := 0; j < k; j++ {
+			op := b.AddOp(graph.Op{Kind: graph.OpLinear, FwdFLOPs: 1, OutputBytes: 1})
+			b.Connect(prev, op)
+			prev = op
+		}
+		b.Connect(prev, out)
+	}
+	return b.MustBuild()
+}
+
+func TestValidate(t *testing.T) {
+	if err := Validate(chain(t, 3)); err != nil {
+		t.Errorf("chain should validate: %v", err)
+	}
+	// Multiple sources are fine: multi-modal branches each read their own
+	// input.
+	b := graph.NewBuilder("two-sources")
+	x := b.AddOp(graph.Op{Name: "x"})
+	y := b.AddOp(graph.Op{Name: "y"})
+	z := b.AddOp(graph.Op{Name: "z"})
+	b.Connect(x, z)
+	b.Connect(y, z)
+	if err := Validate(b.MustBuild()); err != nil {
+		t.Errorf("two-source graph should validate: %v", err)
+	}
+	b2 := graph.NewBuilder("two-sinks")
+	a := b2.AddOp(graph.Op{Name: "a"})
+	c := b2.AddOp(graph.Op{Name: "c"})
+	e := b2.AddOp(graph.Op{Name: "e"})
+	b2.Connect(a, c)
+	b2.Connect(a, e)
+	if err := Validate(b2.MustBuild()); err == nil {
+		t.Error("two-sink graph should not validate")
+	}
+}
+
+func TestChainCutsAndSplits(t *testing.T) {
+	g := chain(t, 4)
+	d := New(g)
+	root := d.Root()
+	cuts := d.Cuts(root)
+	if len(cuts) != 4 {
+		t.Fatalf("chain of 4: %d cuts, want 4 (every op)", len(cuts))
+	}
+	splits := d.SeriesSplits(root)
+	if len(splits) != 3 {
+		t.Fatalf("chain of 4: %d series splits, want 3", len(splits))
+	}
+	for _, s := range splits {
+		if !s.Series {
+			t.Error("series split not marked Series")
+		}
+		if s.Left.Len()+s.Right.Len() != 4 || !s.Left.Disjoint(s.Right) {
+			t.Errorf("split not a partition: %v | %v", s.Left, s.Right)
+		}
+		// All edges must go Left -> Right.
+		if g.HasEdgeBetween(s.Right, s.Left) {
+			t.Errorf("backward edge across series split %v | %v", s.Left, s.Right)
+		}
+	}
+	if len(d.ParallelSplits(root)) != 0 {
+		t.Error("chain should have no parallel splits")
+	}
+	if d.IsAtom(root) {
+		t.Error("chain of 4 should not be an atom")
+	}
+}
+
+func TestSingleOpIsAtom(t *testing.T) {
+	g := chain(t, 3)
+	d := New(g)
+	z := graph.NodeSetOf(1)
+	if !d.IsAtom(z) {
+		t.Error("single op should be an atom")
+	}
+	if len(d.Cuts(z)) != 0 || len(d.SeriesSplits(z)) != 0 {
+		t.Error("single op should have no cuts or splits")
+	}
+}
+
+func TestBranchDecomposition(t *testing.T) {
+	g := branches(t, 3, 2) // in + out + 6 branch ops
+	d := New(g)
+	root := d.Root()
+
+	cuts := d.Cuts(root)
+	// Only the global source and sink cut all paths.
+	if len(cuts) != 2 {
+		t.Fatalf("cuts = %v, want [in out]", cuts)
+	}
+	splits := d.SeriesSplits(root)
+	// ({in}, rest) and (rest, {out}).
+	if len(splits) != 2 {
+		t.Fatalf("series splits = %d, want 2", len(splits))
+	}
+
+	// Peel the input: the remainder {branches + out}: cut at out.
+	var rest graph.NodeSet
+	for _, s := range splits {
+		if s.Left.Len() == 1 {
+			rest = s.Right
+		}
+	}
+	if rest.Empty() {
+		t.Fatal("no ({in}, rest) split found")
+	}
+	restSplits := d.SeriesSplits(rest)
+	if len(restSplits) != 1 {
+		t.Fatalf("rest splits = %d, want 1 (before out)", len(restSplits))
+	}
+	branchZone := restSplits[0].Left
+
+	comps := d.Components(branchZone)
+	if len(comps) != 3 {
+		t.Fatalf("branch zone components = %d, want 3", len(comps))
+	}
+	for _, c := range comps {
+		if c.Len() != 2 {
+			t.Errorf("component size = %d, want 2", c.Len())
+		}
+	}
+	psplits := d.ParallelSplits(branchZone)
+	if len(psplits) != 2 {
+		t.Fatalf("parallel splits = %d, want 2 (contiguous groupings)", len(psplits))
+	}
+	for _, s := range psplits {
+		if g.HasEdgeBetween(s.Left, s.Right) || g.HasEdgeBetween(s.Right, s.Left) {
+			t.Error("parallel split parts must share no edges")
+		}
+		if s.Series {
+			t.Error("parallel split marked Series")
+		}
+	}
+}
+
+func TestBranchComponentIsChain(t *testing.T) {
+	g := branches(t, 2, 3)
+	d := New(g)
+	// Zone = first branch ops only.
+	rest := d.SeriesSplits(d.Root())[0].Right // rest after {in}
+	pre := d.SeriesSplits(rest)[0].Left       // branches without out
+	comp := d.Components(pre)[0]
+	if comp.Len() != 3 {
+		t.Fatalf("component len = %d", comp.Len())
+	}
+	if got := len(d.SeriesSplits(comp)); got != 2 {
+		t.Errorf("branch chain of 3: %d series splits, want 2", got)
+	}
+}
+
+func TestDiamondSharedEndpoints(t *testing.T) {
+	// in -> {b, c} -> out where branches are single ops.
+	g := branches(t, 2, 1)
+	d := New(g)
+	root := d.Root()
+	if len(d.Cuts(root)) != 2 {
+		t.Fatalf("diamond cuts = %v", d.Cuts(root))
+	}
+	// Recurse: {in} | {b,c,out} then {b,c} | {out} then parallel {b}|{c},
+	// plus the sink-anchored split {b} | {c,out}.
+	n := d.CountZones()
+	// Zones: root, {in}, {b,c,out}, {b,c}, {out}, {b}, {c},
+	// {in,b,c} (left of before-out), and {c,out} (sink-anchored) = 9.
+	if n != 9 {
+		t.Errorf("CountZones = %d, want 9", n)
+	}
+}
+
+func TestZoneCountPolynomialInBranches(t *testing.T) {
+	// The partitioner's complexity hinges on the zone count being
+	// polynomial: roughly (per-branch chain zones) x branches + spine.
+	for _, nb := range []int{2, 4, 8} {
+		g := branches(t, nb, 4)
+		d := New(g)
+		n := d.CountZones()
+		// Each branch chain of 4 has 4*5/2 = 10 interval zones; spine adds
+		// O(nb) grouped zones. Generous bound: 20*nb + 40.
+		if n > 20*nb+40 {
+			t.Errorf("nb=%d: zone count %d looks super-polynomial", nb, n)
+		}
+	}
+}
+
+func TestSplitsPreserveConvexity(t *testing.T) {
+	g := branches(t, 3, 3)
+	d := New(g)
+	var walk func(z graph.NodeSet)
+	seen := map[string]bool{}
+	walk = func(z graph.NodeSet) {
+		if seen[z.Key()] {
+			return
+		}
+		seen[z.Key()] = true
+		if !g.InducedConvex(z) {
+			t.Fatalf("zone %v not convex", z)
+		}
+		for _, s := range append(d.SeriesSplits(z), d.ParallelSplits(z)...) {
+			if !s.Left.Union(s.Right).Equal(z) {
+				t.Fatalf("split of %v is not a partition", z)
+			}
+			if !s.Left.Disjoint(s.Right) {
+				t.Fatalf("split parts overlap in %v", z)
+			}
+			walk(s.Left)
+			walk(s.Right)
+		}
+	}
+	walk(d.Root())
+}
+
+func TestSeriesSplitEdgesForwardOnly(t *testing.T) {
+	g := branches(t, 4, 3)
+	d := New(g)
+	seen := map[string]bool{}
+	var walk func(z graph.NodeSet)
+	walk = func(z graph.NodeSet) {
+		if seen[z.Key()] {
+			return
+		}
+		seen[z.Key()] = true
+		for _, s := range d.SeriesSplits(z) {
+			if g.HasEdgeBetween(s.Right, s.Left) {
+				t.Fatalf("series split of %v has a backward edge", z)
+			}
+			if !g.HasEdgeBetween(s.Left, s.Right) {
+				t.Fatalf("series split of %v has no forward edge", z)
+			}
+			walk(s.Left)
+			walk(s.Right)
+		}
+		for _, s := range d.ParallelSplits(z) {
+			if g.HasEdgeBetween(s.Right, s.Left) {
+				t.Fatalf("parallel split of %v has backward cross edges", z)
+			}
+			if !s.SinkAnchored && g.HasEdgeBetween(s.Left, s.Right) {
+				t.Fatalf("plain parallel split of %v has cross edges", z)
+			}
+			if s.SinkAnchored {
+				// All Left → Right edges must target the merge operator.
+				if !s.Right.Contains(s.MergeOp) {
+					t.Fatalf("anchored split's MergeOp not in Right")
+				}
+				for _, v := range s.Left.IDs() {
+					for _, w := range g.Succ(v) {
+						if s.Right.Contains(w) && w != s.MergeOp {
+							t.Fatalf("anchored split leaks edge %d->%d past the merge op", v, w)
+						}
+					}
+				}
+			}
+			walk(s.Left)
+			walk(s.Right)
+		}
+	}
+	walk(d.Root())
+}
+
+func TestSinkAnchoredSplits(t *testing.T) {
+	g := branches(t, 3, 2)
+	d := New(g)
+	// Peel the shared input; the remaining zone {branches ∪ concat} has a
+	// unique sink joining otherwise-independent branches.
+	var zone graph.NodeSet
+	for _, s := range d.SeriesSplits(d.Root()) {
+		if s.Left.Len() == 1 {
+			zone = s.Right
+		}
+	}
+	if zone.Empty() {
+		t.Fatal("no ({input}, rest) split")
+	}
+	var anchored []Split
+	for _, s := range d.ParallelSplits(zone) {
+		if s.SinkAnchored {
+			anchored = append(anchored, s)
+		}
+	}
+	if len(anchored) != 2 {
+		t.Fatalf("anchored splits = %d, want 2 (contiguous groupings of 3 branches)", len(anchored))
+	}
+	sink := d.Sinks(zone)[0]
+	for _, s := range anchored {
+		if !s.Right.Contains(sink) {
+			t.Errorf("anchored split keeps sink in Left: %v | %v", s.Left, s.Right)
+		}
+		if !s.Left.Union(s.Right).Equal(zone) || !s.Left.Disjoint(s.Right) {
+			t.Errorf("anchored split is not a partition of the zone")
+		}
+		if !g.InducedConvex(s.Left) || !g.InducedConvex(s.Right) {
+			t.Errorf("anchored split parts not convex")
+		}
+	}
+	// The right part (branch + sink) decomposes in series, enabling a
+	// stage that holds a branch tail together with the merge operator
+	// (§7.5).
+	last := anchored[len(anchored)-1]
+	if len(d.SeriesSplits(last.Right)) == 0 && len(d.ParallelSplits(last.Right)) == 0 {
+		t.Error("anchored right part should decompose further")
+	}
+}
+
+func TestSourcesSinksOfZone(t *testing.T) {
+	g := branches(t, 2, 2)
+	d := New(g)
+	root := d.Root()
+	if s := d.Sources(root); len(s) != 1 || g.Op(s[0]).Kind != graph.OpInput {
+		t.Errorf("root sources = %v", s)
+	}
+	if s := d.Sinks(root); len(s) != 1 || g.Op(s[0]).Kind != graph.OpConcat {
+		t.Errorf("root sinks = %v", s)
+	}
+	// Branch zone has two sources and two sinks.
+	rest := d.SeriesSplits(root)[0].Right
+	pre := d.SeriesSplits(rest)[0].Left
+	if s := d.Sources(pre); len(s) != 2 {
+		t.Errorf("branch zone sources = %v", s)
+	}
+	if s := d.Sinks(pre); len(s) != 2 {
+		t.Errorf("branch zone sinks = %v", s)
+	}
+}
+
+func TestNonSPGraphFallsBackToAtom(t *testing.T) {
+	// A "crossing" graph that is not node-series-parallel:
+	// in -> a, in -> b; a -> c, a -> d; b -> d; c -> out, d -> out.
+	// The zone {a,b,c,d} has no cut and is weakly connected, so it must be
+	// an atom rather than decomposing incorrectly.
+	b := graph.NewBuilder("nonsp")
+	in := b.AddOp(graph.Op{Name: "in"})
+	a := b.AddOp(graph.Op{Name: "a"})
+	bb := b.AddOp(graph.Op{Name: "b"})
+	c := b.AddOp(graph.Op{Name: "c"})
+	dd := b.AddOp(graph.Op{Name: "d"})
+	out := b.AddOp(graph.Op{Name: "out"})
+	b.Connect(in, a)
+	b.Connect(in, bb)
+	b.Connect(a, c)
+	b.Connect(a, dd)
+	b.Connect(bb, dd)
+	b.Connect(c, out)
+	b.Connect(dd, out)
+	g := b.MustBuild()
+	d := New(g)
+	mid := graph.NodeSetOf(a, bb, c, dd)
+	if !d.IsAtom(mid) {
+		t.Errorf("crossing zone should be an atom; series=%v parallel=%v",
+			d.SeriesSplits(mid), d.ParallelSplits(mid))
+	}
+	// The root still series-splits around it.
+	if len(d.SeriesSplits(d.Root())) != 2 {
+		t.Errorf("root splits = %d, want 2", len(d.SeriesSplits(d.Root())))
+	}
+}
+
+func TestMemoization(t *testing.T) {
+	g := branches(t, 2, 2)
+	d := New(g)
+	a := d.SeriesSplits(d.Root())
+	b := d.SeriesSplits(d.Root())
+	if &a[0] != &b[0] {
+		// Same backing array implies the memo hit.
+		t.Error("SeriesSplits not memoized")
+	}
+}
+
+func TestLinearizedSplitsOnNonSPZone(t *testing.T) {
+	// The crossing graph from TestNonSPGraphFallsBackToAtom: zone
+	// {a,b,c,d} is a non-SP atom; LinearizedSplits must offer chain cuts.
+	b := graph.NewBuilder("nonsp2")
+	in := b.AddOp(graph.Op{Name: "in"})
+	a := b.AddOp(graph.Op{Name: "a"})
+	bb := b.AddOp(graph.Op{Name: "b"})
+	c := b.AddOp(graph.Op{Name: "c"})
+	dd := b.AddOp(graph.Op{Name: "d"})
+	out := b.AddOp(graph.Op{Name: "out"})
+	b.Connect(in, a)
+	b.Connect(in, bb)
+	b.Connect(a, c)
+	b.Connect(a, dd)
+	b.Connect(bb, dd)
+	b.Connect(c, out)
+	b.Connect(dd, out)
+	g := b.MustBuild()
+	d := New(g)
+	mid := graph.NodeSetOf(a, bb, c, dd)
+	if !d.IsAtom(mid) {
+		t.Fatal("test premise: zone must be a non-SP atom")
+	}
+	splits := d.LinearizedSplits(mid)
+	if len(splits) != 3 {
+		t.Fatalf("linearized splits = %d, want 3", len(splits))
+	}
+	for _, s := range splits {
+		if !s.Left.Union(s.Right).Equal(mid) || !s.Left.Disjoint(s.Right) {
+			t.Error("linearized split not a partition")
+		}
+		if g.HasEdgeBetween(s.Right, s.Left) {
+			t.Error("linearized split has a backward edge")
+		}
+	}
+	// Decomposable zones and single ops return nil.
+	if d.LinearizedSplits(graph.NodeSetOf(a)) != nil {
+		t.Error("single op should have no linearized splits")
+	}
+	if d.LinearizedSplits(d.Root()) != nil {
+		t.Error("decomposable zone should not use the fallback")
+	}
+}

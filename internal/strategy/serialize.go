@@ -1,0 +1,129 @@
+package strategy
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"graphpipe/internal/cluster"
+	"graphpipe/internal/graph"
+	"graphpipe/internal/schedule"
+)
+
+// The JSON wire format decouples persisted strategies from the in-memory
+// representation: operator sets and tasks are stored explicitly so a saved
+// strategy can be inspected, diffed, or replayed by external tooling (the
+// runtime equivalent of the paper's "optimized GPP training strategy"
+// artifact handed from the optimizer to the distributed runtime, Figure 3).
+
+type stageJSON struct {
+	ID              int     `json:"id"`
+	Ops             []int   `json:"ops"`
+	MicroBatch      int     `json:"micro_batch"`
+	K               int     `json:"kfkb"`
+	Devices         []int   `json:"devices"`
+	InFlightSamples int     `json:"in_flight_samples"`
+	Tasks           []tjson `json:"tasks,omitempty"`
+}
+
+type tjson struct {
+	Kind  string `json:"kind"` // "F" or "B"
+	Index int    `json:"index"`
+	Start int    `json:"start"`
+	End   int    `json:"end"`
+}
+
+type strategyJSON struct {
+	Planner   string      `json:"planner"`
+	MiniBatch int         `json:"mini_batch"`
+	Stages    []stageJSON `json:"stages"`
+	Succ      [][]int     `json:"succ"`
+}
+
+// MarshalJSON encodes the strategy in the stable wire format.
+func (s *Strategy) MarshalJSON() ([]byte, error) {
+	out := strategyJSON{
+		Planner:   s.Planner,
+		MiniBatch: s.MiniBatch,
+		Succ:      make([][]int, len(s.Succ)),
+	}
+	for _, st := range s.Stages {
+		sj := stageJSON{
+			ID:              int(st.ID),
+			MicroBatch:      st.Config.MicroBatch,
+			K:               st.Config.K,
+			InFlightSamples: st.InFlightSamples,
+		}
+		for _, op := range st.Ops.IDs() {
+			sj.Ops = append(sj.Ops, int(op))
+		}
+		for _, d := range st.Devices {
+			sj.Devices = append(sj.Devices, int(d))
+		}
+		for _, t := range st.Tasks {
+			sj.Tasks = append(sj.Tasks, tjson{
+				Kind: t.Kind.String(), Index: t.Index, Start: t.Start, End: t.End,
+			})
+		}
+		out.Stages = append(out.Stages, sj)
+	}
+	for i, ws := range s.Succ {
+		for _, w := range ws {
+			out.Succ[i] = append(out.Succ[i], int(w))
+		}
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON decodes the wire format and rebuilds Pred from Succ. The
+// caller should Validate the result against its graph and topology before
+// executing it.
+func (s *Strategy) UnmarshalJSON(data []byte) error {
+	var in strategyJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return fmt.Errorf("strategy: decode: %w", err)
+	}
+	s.Planner = in.Planner
+	s.MiniBatch = in.MiniBatch
+	s.Stages = nil
+	for _, sj := range in.Stages {
+		st := Stage{
+			ID:              StageID(sj.ID),
+			Config:          schedule.Config{MicroBatch: sj.MicroBatch, K: sj.K},
+			InFlightSamples: sj.InFlightSamples,
+		}
+		for _, op := range sj.Ops {
+			st.Ops.Add(graph.NodeID(op))
+		}
+		for _, d := range sj.Devices {
+			st.Devices = append(st.Devices, cluster.DeviceID(d))
+		}
+		for _, t := range sj.Tasks {
+			kind := schedule.Forward
+			if t.Kind == "B" {
+				kind = schedule.Backward
+			} else if t.Kind != "F" {
+				return fmt.Errorf("strategy: unknown task kind %q", t.Kind)
+			}
+			st.Tasks = append(st.Tasks, schedule.Task{
+				Kind: kind, Index: t.Index, Start: t.Start, End: t.End,
+			})
+		}
+		s.Stages = append(s.Stages, st)
+	}
+	n := len(s.Stages)
+	s.Succ = make([][]StageID, n)
+	s.Pred = make([][]StageID, n)
+	for i, ws := range in.Succ {
+		if i >= n {
+			return fmt.Errorf("strategy: succ table larger than stage list")
+		}
+		for _, w := range ws {
+			if w < 0 || w >= n {
+				return fmt.Errorf("strategy: succ edge to unknown stage %d", w)
+			}
+			s.Succ[i] = append(s.Succ[i], StageID(w))
+			s.Pred[w] = append(s.Pred[w], StageID(i))
+		}
+	}
+	return nil
+}

@@ -1,0 +1,90 @@
+package strategy
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"graphpipe/internal/cluster"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	g := twoBranch(t)
+	s := gppStrategy(t, g)
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Strategy
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Planner != s.Planner || back.MiniBatch != s.MiniBatch {
+		t.Errorf("header mismatch: %+v", back)
+	}
+	if back.NumStages() != s.NumStages() {
+		t.Fatalf("stage count %d != %d", back.NumStages(), s.NumStages())
+	}
+	for i := range s.Stages {
+		a, b := &s.Stages[i], &back.Stages[i]
+		if !a.Ops.Equal(b.Ops) {
+			t.Errorf("stage %d ops mismatch", i)
+		}
+		if a.Config != b.Config || a.InFlightSamples != b.InFlightSamples {
+			t.Errorf("stage %d config mismatch", i)
+		}
+		if len(a.Devices) != len(b.Devices) {
+			t.Errorf("stage %d devices mismatch", i)
+		}
+		if len(a.Tasks) != len(b.Tasks) {
+			t.Fatalf("stage %d tasks %d != %d", i, len(b.Tasks), len(a.Tasks))
+		}
+		for j := range a.Tasks {
+			if a.Tasks[j] != b.Tasks[j] {
+				t.Errorf("stage %d task %d mismatch: %v vs %v", i, j, a.Tasks[j], b.Tasks[j])
+			}
+		}
+	}
+	// The decoded strategy must still validate against the original graph.
+	topo := cluster.NewSummitTopology(4)
+	if err := back.Validate(g, topo); err != nil {
+		t.Fatalf("decoded strategy invalid: %v", err)
+	}
+}
+
+func TestJSONRejectsCorruptEdges(t *testing.T) {
+	bad := `{"planner":"x","mini_batch":8,
+		"stages":[{"id":0,"ops":[0],"micro_batch":1,"kfkb":1,"devices":[0],"in_flight_samples":1}],
+		"succ":[[7]]}`
+	var s Strategy
+	if err := json.Unmarshal([]byte(bad), &s); err == nil {
+		t.Error("accepted edge to unknown stage")
+	}
+	bad2 := strings.Replace(bad, `"succ":[[7]]`, `"succ":[[],[0]]`, 1)
+	var s2 Strategy
+	if err := json.Unmarshal([]byte(bad2), &s2); err == nil {
+		t.Error("accepted oversized succ table")
+	}
+	bad3 := `{"planner":"x","mini_batch":8,
+		"stages":[{"id":0,"ops":[0],"micro_batch":1,"kfkb":1,"devices":[0],
+		"in_flight_samples":1,"tasks":[{"kind":"Q","index":0,"start":0,"end":1}]}],
+		"succ":[[]]}`
+	var s3 Strategy
+	if err := json.Unmarshal([]byte(bad3), &s3); err == nil {
+		t.Error("accepted unknown task kind")
+	}
+}
+
+func TestJSONStableFields(t *testing.T) {
+	g := twoBranch(t)
+	s := gppStrategy(t, g)
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"planner"`, `"mini_batch"`, `"micro_batch"`, `"kfkb"`, `"in_flight_samples"`, `"succ"`} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("wire format missing %s", want)
+		}
+	}
+}

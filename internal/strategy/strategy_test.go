@@ -1,0 +1,206 @@
+package strategy
+
+import (
+	"strings"
+	"testing"
+
+	"graphpipe/internal/cluster"
+	"graphpipe/internal/graph"
+	"graphpipe/internal/schedule"
+)
+
+// twoBranch builds in -> {a1 -> a2, b1 -> b2} -> out.
+func twoBranch(t testing.TB) *graph.Graph {
+	t.Helper()
+	b := graph.NewBuilder("twobranch")
+	in := b.AddOp(graph.Op{Name: "in", Kind: graph.OpInput, OutputBytes: 4})
+	a1 := b.AddOp(graph.Op{Name: "a1", Kind: graph.OpLinear, FwdFLOPs: 10, OutputBytes: 4})
+	a2 := b.AddOp(graph.Op{Name: "a2", Kind: graph.OpLinear, FwdFLOPs: 10, OutputBytes: 4})
+	b1 := b.AddOp(graph.Op{Name: "b1", Kind: graph.OpLinear, FwdFLOPs: 10, OutputBytes: 4})
+	b2 := b.AddOp(graph.Op{Name: "b2", Kind: graph.OpLinear, FwdFLOPs: 10, OutputBytes: 4})
+	out := b.AddOp(graph.Op{Name: "out", Kind: graph.OpConcat, FwdFLOPs: 1, OutputBytes: 8})
+	b.Chain(in, a1, a2)
+	b.Chain(in, b1, b2)
+	b.Connect(a2, out)
+	b.Connect(b2, out)
+	return b.MustBuild()
+}
+
+// gppStrategy builds a 4-stage GPP strategy over twoBranch:
+// S0={in}, S1={a1,a2}, S2={b1,b2} (parallel), S3={out}.
+func gppStrategy(t testing.TB, g *graph.Graph) *Strategy {
+	t.Helper()
+	cfg := schedule.Config{MicroBatch: 2, K: 1}
+	mk := func(id StageID, ops graph.NodeSet, devs []cluster.DeviceID, inflight int) Stage {
+		tasks, err := schedule.BuildTasks(cfg, 8, inflight)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return Stage{ID: id, Ops: ops, Config: cfg, Devices: devs, InFlightSamples: inflight, Tasks: tasks}
+	}
+	s := &Strategy{
+		Planner:   "test",
+		MiniBatch: 8,
+		Stages: []Stage{
+			mk(0, graph.NodeSetOf(0), []cluster.DeviceID{0}, 6),
+			mk(1, graph.NodeSetOf(1, 2), []cluster.DeviceID{1}, 4),
+			mk(2, graph.NodeSetOf(3, 4), []cluster.DeviceID{2}, 4),
+			mk(3, graph.NodeSetOf(5), []cluster.DeviceID{3}, 2),
+		},
+	}
+	if err := s.BuildEdges(g); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestBuildEdges(t *testing.T) {
+	g := twoBranch(t)
+	s := gppStrategy(t, g)
+	// S0 -> S1, S0 -> S2, S1 -> S3, S2 -> S3.
+	if len(s.Succ[0]) != 2 || len(s.Pred[3]) != 2 {
+		t.Fatalf("edges wrong: succ0=%v pred3=%v", s.Succ[0], s.Pred[3])
+	}
+	if len(s.Succ[1]) != 1 || s.Succ[1][0] != 3 {
+		t.Errorf("succ(S1) = %v", s.Succ[1])
+	}
+}
+
+func TestValidateAcceptsGPP(t *testing.T) {
+	g := twoBranch(t)
+	topo := cluster.NewSummitTopology(4)
+	s := gppStrategy(t, g)
+	if err := s.Validate(g, topo); err != nil {
+		t.Fatalf("valid GPP strategy rejected: %v", err)
+	}
+}
+
+func TestDepth(t *testing.T) {
+	g := twoBranch(t)
+	s := gppStrategy(t, g)
+	// in -> branch -> out: depth 3 despite 4 stages (branches parallel).
+	if d := s.Depth(); d != 3 {
+		t.Errorf("GPP depth = %d, want 3", d)
+	}
+	// A sequential strategy over the same ops has depth 4.
+	seq := gppStrategy(t, g)
+	seq.Succ = [][]StageID{{1}, {2}, {3}, {}}
+	seq.Pred = [][]StageID{{}, {0}, {1}, {2}}
+	if d := seq.Depth(); d != 4 {
+		t.Errorf("sequential depth = %d, want 4", d)
+	}
+}
+
+func TestValidateC1Violations(t *testing.T) {
+	g := twoBranch(t)
+	topo := cluster.NewSummitTopology(4)
+
+	// Overlapping stages.
+	s := gppStrategy(t, g)
+	s.Stages[1].Ops.Add(0) // also in stage 0
+	if err := s.Validate(g, topo); err == nil {
+		t.Error("accepted overlapping stages")
+	}
+
+	// Missing coverage.
+	s = gppStrategy(t, g)
+	s.Stages[3].Ops = graph.NodeSetOf() // drop 'out'
+	if err := s.Validate(g, topo); err == nil {
+		t.Error("accepted empty/uncovering stage")
+	}
+
+	// Non-convex stage: {in, out} with branches elsewhere.
+	s = gppStrategy(t, g)
+	s.Stages[0].Ops = graph.NodeSetOf(0, 5)
+	s.Stages[3].Ops = graph.NodeSetOf(2) // give a2 to stage 3
+	s.Stages[1].Ops = graph.NodeSetOf(1)
+	if err := s.Validate(g, topo); err == nil {
+		t.Error("accepted non-convex stage")
+	}
+}
+
+func TestValidateC2Violations(t *testing.T) {
+	g := twoBranch(t)
+	topo := cluster.NewSummitTopology(4)
+	s := gppStrategy(t, g)
+	// Remove a required edge.
+	s.Succ[0] = s.Succ[0][:1]
+	if err := s.Validate(g, topo); err == nil || !strings.Contains(err.Error(), "C2") {
+		t.Errorf("accepted missing stage edge: %v", err)
+	}
+}
+
+func TestValidateC3Violations(t *testing.T) {
+	g := twoBranch(t)
+	topo := cluster.NewSummitTopology(4)
+
+	s := gppStrategy(t, g)
+	s.Stages[1].Devices = nil
+	if err := s.Validate(g, topo); err == nil {
+		t.Error("accepted stage with no devices")
+	}
+
+	s = gppStrategy(t, g)
+	s.Stages[1].Devices = []cluster.DeviceID{0} // also stage 0's device
+	if err := s.Validate(g, topo); err == nil {
+		t.Error("accepted device double-assignment")
+	}
+
+	s = gppStrategy(t, g)
+	s.Stages[1].Devices = []cluster.DeviceID{99}
+	if err := s.Validate(g, topo); err == nil {
+		t.Error("accepted unknown device")
+	}
+}
+
+func TestValidateC4AndBatchViolations(t *testing.T) {
+	g := twoBranch(t)
+	topo := cluster.NewSummitTopology(4)
+
+	s := gppStrategy(t, g)
+	s.Stages[2].Config.MicroBatch = 3 // does not divide 8
+	if err := s.Validate(g, topo); err == nil {
+		t.Error("accepted non-dividing micro-batch")
+	}
+
+	s = gppStrategy(t, g)
+	// Corrupt the task order: swap first two tasks (F0, F1).
+	s.Stages[1].Tasks[0], s.Stages[1].Tasks[1] = s.Stages[1].Tasks[1], s.Stages[1].Tasks[0]
+	if err := s.Validate(g, topo); err == nil {
+		t.Error("accepted invalid task order")
+	}
+}
+
+func TestStageOf(t *testing.T) {
+	g := twoBranch(t)
+	s := gppStrategy(t, g)
+	if s.StageOf(3) != 2 {
+		t.Errorf("StageOf(b1) = %d, want 2", s.StageOf(3))
+	}
+	if s.StageOf(graph.NodeID(99)) != -1 {
+		t.Error("StageOf(unknown) != -1")
+	}
+}
+
+func TestTopoOrderAndMaxInFlight(t *testing.T) {
+	g := twoBranch(t)
+	s := gppStrategy(t, g)
+	order := s.TopoOrder()
+	if len(order) != 4 || order[0] != 0 || order[3] != 3 {
+		t.Errorf("TopoOrder = %v", order)
+	}
+	if s.MaxInFlightSamples() != 6 {
+		t.Errorf("MaxInFlightSamples = %d, want 6", s.MaxInFlightSamples())
+	}
+}
+
+func TestStringSummary(t *testing.T) {
+	g := twoBranch(t)
+	s := gppStrategy(t, g)
+	out := s.String()
+	for _, want := range []string{"4 stages", "depth 3", "S0", "S3"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("String missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,56 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"graphpipe/internal/schedule"
+	"graphpipe/internal/sim"
+	"graphpipe/internal/strategy"
+)
+
+// ChromeTrace renders the simulated timeline in the Chrome trace-event
+// format (chrome://tracing, Perfetto): one row per pipeline stage, one
+// duration event per forward/backward task, with micro-batch metadata. The
+// output is the JSON-array form of the format.
+func ChromeTrace(st *strategy.Strategy, res *sim.Result) ([]byte, error) {
+	type event struct {
+		Name string            `json:"name"`
+		Cat  string            `json:"cat"`
+		Ph   string            `json:"ph"`
+		TS   float64           `json:"ts"`  // microseconds
+		Dur  float64           `json:"dur"` // microseconds
+		PID  int               `json:"pid"`
+		TID  int               `json:"tid"`
+		Args map[string]string `json:"args,omitempty"`
+	}
+	var events []event
+	// Stage name metadata.
+	for i := range st.Stages {
+		events = append(events, event{
+			Name: "thread_name", Ph: "M", PID: 1, TID: i,
+			Args: map[string]string{
+				"name": fmt.Sprintf("S%d %s devices=%v", i, st.Stages[i].Config, st.Stages[i].Devices),
+			},
+		})
+	}
+	for _, tr := range res.Timeline {
+		cat := "forward"
+		if tr.Task.Kind == schedule.Backward {
+			cat = "backward"
+		}
+		events = append(events, event{
+			Name: tr.Task.String(),
+			Cat:  cat,
+			Ph:   "X",
+			TS:   tr.Start * 1e6,
+			Dur:  (tr.End - tr.Start) * 1e6,
+			PID:  1,
+			TID:  int(tr.Stage),
+			Args: map[string]string{
+				"samples": fmt.Sprintf("[%d,%d)", tr.Task.Start, tr.Task.End),
+			},
+		})
+	}
+	return json.Marshal(events)
+}

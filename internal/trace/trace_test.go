@@ -1,0 +1,123 @@
+package trace
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"graphpipe/internal/cluster"
+	"graphpipe/internal/core"
+	"graphpipe/internal/costmodel"
+	"graphpipe/internal/models"
+	"graphpipe/internal/sim"
+)
+
+func TestGanttAndSummary(t *testing.T) {
+	g := models.SequentialTransformer(8)
+	topo := cluster.NewSummitTopology(4)
+	m := costmodel.NewDefault(topo)
+	p, err := core.NewPlanner(g, m, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := p.Plan(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.New(g, m).Run(r.Strategy)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	gantt := Gantt(r.Strategy, res, 80)
+	lines := strings.Split(strings.TrimRight(gantt, "\n"), "\n")
+	if len(lines) != r.Strategy.NumStages()+1 {
+		t.Errorf("gantt rows = %d, want %d stages + axis", len(lines), r.Strategy.NumStages())
+	}
+	if !strings.Contains(gantt, "F") {
+		t.Error("gantt missing forward marks")
+	}
+	if !strings.Contains(gantt, "B") {
+		t.Error("gantt missing backward marks")
+	}
+
+	sum := Summary(r.Strategy, res)
+	for _, want := range []string{"graphpipe", "stages", "depth", "throughput"} {
+		if !strings.Contains(sum, want) {
+			t.Errorf("summary missing %q: %s", want, sum)
+		}
+	}
+}
+
+func TestGanttDefaultsAndEmpty(t *testing.T) {
+	if out := Gantt(nil, &sim.Result{}, 0); out != "" {
+		t.Errorf("empty timeline should render empty, got %q", out)
+	}
+}
+
+func TestCSV(t *testing.T) {
+	c := NewCSV("devices", "graphpipe", "pipedream")
+	c.Add(4, 123.456789, 100.0)
+	c.Add(8, 250.0, "x")
+	s := c.String()
+	if !strings.HasPrefix(s, "devices,graphpipe,pipedream\n") {
+		t.Errorf("csv header wrong: %q", s)
+	}
+	if !strings.Contains(s, "4,123.457,100\n") {
+		t.Errorf("csv row formatting wrong: %q", s)
+	}
+	if !strings.Contains(s, "8,250,x\n") {
+		t.Errorf("csv mixed row wrong: %q", s)
+	}
+	md := c.Markdown()
+	if !strings.Contains(md, "| devices | graphpipe | pipedream |") ||
+		!strings.Contains(md, "|---|---|---|") {
+		t.Errorf("markdown wrong: %q", md)
+	}
+}
+
+func TestChromeTrace(t *testing.T) {
+	g := models.SequentialTransformer(8)
+	topo := cluster.NewSummitTopology(4)
+	m := costmodel.NewDefault(topo)
+	p, err := core.NewPlanner(g, m, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := p.Plan(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.New(g, m).Run(r.Strategy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := ChromeTrace(r.Strategy, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]interface{}
+	if err := json.Unmarshal(data, &events); err != nil {
+		t.Fatalf("chrome trace not valid JSON: %v", err)
+	}
+	// Metadata per stage + one event per task.
+	want := r.Strategy.NumStages() + len(res.Timeline)
+	if len(events) != want {
+		t.Errorf("events = %d, want %d", len(events), want)
+	}
+	counts := map[string]int{}
+	for _, e := range events {
+		if ph, _ := e["ph"].(string); ph == "X" {
+			counts[e["cat"].(string)]++
+			if e["dur"].(float64) <= 0 {
+				t.Error("zero-duration task event")
+			}
+		}
+	}
+	if counts["forward"] == 0 || counts["backward"] == 0 {
+		t.Errorf("missing categories: %v", counts)
+	}
+	if counts["forward"] != counts["backward"] {
+		t.Errorf("forward/backward imbalance: %v", counts)
+	}
+}
