@@ -1,41 +1,15 @@
 package graphpipe_test
 
 import (
-	"graphpipe/internal/cluster"
-	"graphpipe/internal/core"
-	"graphpipe/internal/costmodel"
 	"graphpipe/internal/experiments"
 	"graphpipe/internal/graph"
-	"graphpipe/internal/sim"
 )
 
-// runCoreWith plans with GraphPipe's core planner directly (so ablation
-// options can be set) and simulates one iteration, reporting an
-// experiments.Outcome for uniform handling in the benchmarks.
+// runCoreWith plans with the GraphPipe planner (resolved through the
+// planner registry by the harness) with the sink-anchored-split ablation
+// toggled, reporting an experiments.Outcome for uniform handling in the
+// benchmarks.
 func runCoreWith(g *graph.Graph, devices, miniBatch int, disableAnchored bool) experiments.Outcome {
-	out := experiments.Outcome{System: experiments.GraphPipe, Model: g.Name(),
-		Devices: devices, MiniBatch: miniBatch}
-	topo := cluster.NewSummitTopology(devices)
-	model := costmodel.NewDefault(topo)
-	p, err := core.NewPlanner(g, model, core.Options{DisableSinkAnchoredSplits: disableAnchored})
-	if err != nil {
-		out.Failed, out.Err = true, err
-		return out
-	}
-	r, err := p.Plan(miniBatch)
-	if err != nil {
-		out.Failed, out.Err = true, err
-		return out
-	}
-	res, err := sim.New(g, model).Run(r.Strategy)
-	if err != nil {
-		out.Failed, out.Err = true, err
-		return out
-	}
-	out.Throughput = res.Throughput
-	out.IterationTime = res.IterationTime
-	out.Stages = r.Strategy.NumStages()
-	out.Depth = r.Strategy.Depth()
-	out.MicroBatch = r.Strategy.Stages[0].Config.MicroBatch
-	return out
+	return experiments.Run(experiments.GraphPipe, g, devices, miniBatch,
+		experiments.RunOptions{DisableSinkAnchoredSplits: disableAnchored})
 }

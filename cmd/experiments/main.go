@@ -10,9 +10,12 @@
 //	experiments fig8                # case study schedules
 //	experiments fig9                # ablation
 //	experiments a3                  # sequential-model parity
+//	experiments planners            # list the registered planners
 //
 // Each experiment prints a CSV table (and, for fig8, the pipeline gantt
-// charts); EXPERIMENTS.md records a captured run.
+// charts); EXPERIMENTS.md records a captured run. The experiment grids
+// resolve planners through the graphpipe/internal/planner registry and
+// fan out across CPUs with deterministic row ordering.
 package main
 
 import (
@@ -20,6 +23,7 @@ import (
 	"os"
 
 	"graphpipe/internal/experiments"
+	"graphpipe/internal/planner"
 )
 
 func main() {
@@ -49,6 +53,10 @@ func main() {
 		err = runFig9()
 	case "a3":
 		err = runA3()
+	case "planners":
+		for _, name := range planner.Names() {
+			fmt.Println(name)
+		}
 	default:
 		err = fmt.Errorf("unknown experiment %q", what)
 	}

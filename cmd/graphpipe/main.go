@@ -2,40 +2,44 @@
 // the paper's evaluation models, simulates a training iteration, and prints
 // the strategy, its schedule, and the achieved throughput.
 //
+// Planners are resolved by name through the planner registry; any planner
+// registered via graphpipe/internal/planner is selectable with -planner.
+//
 // Usage:
 //
 //	graphpipe -model mmt -devices 8 -batch 128 [-planner graphpipe|pipedream|piper]
-//	          [-branches N] [-micro B] [-gantt] [-verbose]
+//	          [-branches N] [-micro B] [-workers N] [-gantt] [-verbose]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
-	"graphpipe/internal/baselines/pipedream"
-	"graphpipe/internal/baselines/piper"
 	"graphpipe/internal/cluster"
-	"graphpipe/internal/core"
-	"graphpipe/internal/costmodel"
 	"graphpipe/internal/graph"
 	"graphpipe/internal/models"
+	"graphpipe/internal/planner"
 	"graphpipe/internal/sim"
-	"graphpipe/internal/strategy"
 	"graphpipe/internal/trace"
+
+	_ "graphpipe/internal/planner/all" // register the built-in planners
 )
 
 func main() {
 	var (
-		modelName = flag.String("model", "mmt", "model: mmt | dlrm | candle-uno | case-study | sequential")
-		planner   = flag.String("planner", "graphpipe", "planner: graphpipe | pipedream | piper")
-		devices   = flag.Int("devices", 8, "number of devices (GPUs)")
-		batch     = flag.Int("batch", 0, "mini-batch size (default: the paper's size for the device count)")
-		branches  = flag.Int("branches", 0, "override the model's branch count")
-		micro     = flag.Int("micro", 0, "force a fixed micro-batch size")
-		gantt     = flag.Bool("gantt", false, "print the pipeline schedule as an ASCII gantt chart")
-		verbose   = flag.Bool("verbose", false, "print the full stage listing")
+		modelName   = flag.String("model", "mmt", "model: mmt | dlrm | candle-uno | case-study | sequential")
+		plannerName = flag.String("planner", "graphpipe",
+			"planner: "+strings.Join(planner.Names(), " | "))
+		devices  = flag.Int("devices", 8, "number of devices (GPUs)")
+		batch    = flag.Int("batch", 0, "mini-batch size (default: the paper's size for the device count)")
+		branches = flag.Int("branches", 0, "override the model's branch count")
+		micro    = flag.Int("micro", 0, "force a fixed micro-batch size")
+		workers  = flag.Int("workers", 0, "planning worker pool size (0: one per CPU, 1: sequential)")
+		gantt    = flag.Bool("gantt", false, "print the pipeline schedule as an ASCII gantt chart")
+		verbose  = flag.Bool("verbose", false, "print the full stage listing")
 	)
 	flag.Parse()
 
@@ -48,11 +52,19 @@ func main() {
 		mb = defBatch
 	}
 
+	pl, err := planner.Get(*plannerName)
+	if err != nil {
+		fatal(err)
+	}
 	topo := cluster.NewSummitTopology(*devices)
-	model := costmodel.NewDefault(topo)
+	model := planner.Options{}.Model(topo)
 
 	start := time.Now()
-	st, err := plan(*planner, g, model, mb, *micro)
+	st, stats, err := pl.Plan(g, topo, mb, planner.Options{
+		ForcedMicroBatch: *micro,
+		Workers:          *workers,
+		CostModel:        model,
+	})
 	if err != nil {
 		fatal(err)
 	}
@@ -65,7 +77,8 @@ func main() {
 
 	fmt.Printf("model      %s (%d ops)\n", g.Name(), g.Len())
 	fmt.Printf("devices    %d   mini-batch %d\n", *devices, mb)
-	fmt.Printf("planner    %s   search %.3fs\n", *planner, searchTime.Seconds())
+	fmt.Printf("planner    %s   search %.3fs   dp-states %d\n",
+		pl.Name(), searchTime.Seconds(), stats.DPStates)
 	fmt.Printf("result     %s\n", trace.Summary(st, res))
 	if *verbose {
 		fmt.Println()
@@ -111,35 +124,6 @@ func buildModel(name string, branches, devices int) (*graph.Graph, int, error) {
 		return models.SequentialTransformer(32), 16 * devices, nil
 	default:
 		return nil, 0, fmt.Errorf("unknown model %q", name)
-	}
-}
-
-func plan(planner string, g *graph.Graph, model *costmodel.Model, miniBatch, micro int) (*strategy.Strategy, error) {
-	switch planner {
-	case "graphpipe":
-		p, err := core.NewPlanner(g, model, core.Options{ForcedMicroBatch: micro})
-		if err != nil {
-			return nil, err
-		}
-		r, err := p.Plan(miniBatch)
-		if err != nil {
-			return nil, err
-		}
-		return r.Strategy, nil
-	case "pipedream":
-		r, err := pipedream.NewPlanner(g, model, pipedream.Options{ForcedMicroBatch: micro}).Plan(miniBatch)
-		if err != nil {
-			return nil, err
-		}
-		return r.Strategy, nil
-	case "piper":
-		r, err := piper.NewPlanner(g, model, piper.Options{ForcedMicroBatch: micro}).Plan(miniBatch)
-		if err != nil {
-			return nil, err
-		}
-		return r.Strategy, nil
-	default:
-		return nil, fmt.Errorf("unknown planner %q", planner)
 	}
 }
 

@@ -1,0 +1,3 @@
+module graphpipe
+
+go 1.22

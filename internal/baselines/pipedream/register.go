@@ -1,0 +1,30 @@
+package pipedream
+
+import (
+	"graphpipe/internal/cluster"
+	"graphpipe/internal/graph"
+	"graphpipe/internal/planner"
+	"graphpipe/internal/strategy"
+)
+
+// registered adapts the PipeDream baseline to the planner.Planner interface
+// and registers it as "pipedream".
+type registered struct{}
+
+func (registered) Name() string { return "pipedream" }
+
+func (registered) Plan(g *graph.Graph, topo *cluster.Topology, miniBatch int, opts planner.Options) (*strategy.Strategy, planner.Stats, error) {
+	r, err := NewPlanner(g, opts.Model(topo), Options{
+		ForcedMicroBatch: opts.ForcedMicroBatch,
+		MaxMicroBatch:    opts.MaxMicroBatch,
+	}).Plan(miniBatch)
+	if err != nil {
+		return nil, planner.Stats{}, err
+	}
+	return r.Strategy, planner.Stats{
+		BottleneckTPS: r.BottleneckTPS,
+		DPStates:      r.DPStates,
+	}, nil
+}
+
+func init() { planner.Register(registered{}) }

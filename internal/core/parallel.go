@@ -1,0 +1,136 @@
+package core
+
+import "sync"
+
+// workerPool is a bounded pool with inline fallback: Do never blocks
+// waiting for a slot, it runs the task on the submitting goroutine instead.
+// Tasks may therefore submit sub-tasks to the same pool (the per-probe root
+// fan-out runs inside the per-micro-batch searches) without deadlock — the
+// slot count bounds concurrency, not admission.
+type workerPool struct {
+	slots chan struct{}
+}
+
+func newWorkerPool(n int) *workerPool {
+	return &workerPool{slots: make(chan struct{}, n)}
+}
+
+// Do runs every task and returns when all have finished.
+func (p *workerPool) Do(tasks []func()) {
+	var wg sync.WaitGroup
+	for _, t := range tasks {
+		select {
+		case p.slots <- struct{}{}:
+			wg.Add(1)
+			go func(t func()) {
+				defer wg.Done()
+				defer func() { <-p.slots }()
+				t()
+			}(t)
+		default:
+			t()
+		}
+	}
+	wg.Wait()
+}
+
+// memoInfeasible is the stored representation of a memoized nil dpResult
+// (infeasible subproblem), so "absent" and "known infeasible" stay distinct.
+var memoInfeasible = &dpResult{}
+
+const memoShardCount = 64
+
+// memoTable is the DP memo, sharded by key hash so concurrent walkers of
+// one probe contend on 1/64th of the table instead of a single lock. A
+// subproblem's value is a pure function of its key (and the probe's frozen
+// inputs), so two walkers racing to insert the same key write identical
+// values — whichever lands is correct.
+type memoTable struct {
+	shards [memoShardCount]memoShard
+}
+
+type memoShard struct {
+	mu sync.Mutex
+	m  map[dpKey]*dpResult
+}
+
+func newMemoTable() *memoTable {
+	t := &memoTable{}
+	for i := range t.shards {
+		t.shards[i].m = make(map[dpKey]*dpResult)
+	}
+	return t
+}
+
+func (t *memoTable) shard(k dpKey) *memoShard {
+	// Fibonacci hashing spreads the packed-bitfield keys, whose low bits
+	// (zone id) cluster, across the shards.
+	return &t.shards[(uint64(k)*0x9E3779B97F4A7C15)>>58]
+}
+
+func (t *memoTable) get(k dpKey) (*dpResult, bool) {
+	sh := t.shard(k)
+	sh.mu.Lock()
+	r, ok := sh.m[k]
+	sh.mu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	if r == memoInfeasible {
+		return nil, true
+	}
+	return r, true
+}
+
+func (t *memoTable) put(k dpKey, r *dpResult) {
+	if r == nil {
+		r = memoInfeasible
+	}
+	sh := t.shard(k)
+	sh.mu.Lock()
+	sh.m[k] = r
+	sh.mu.Unlock()
+}
+
+const evalShardCount = 16
+
+// evalTable shards the per-(zone, micro-batch, devices) stage-cost cache.
+// Unlike the memo it lives across all probes of one micro-batch size; cost
+// evaluation happens outside the shard lock, so a race costs one duplicate
+// evaluation of a deterministic value, never a wrong entry.
+type evalTable struct {
+	shards [evalShardCount]evalShard
+}
+
+type evalShard struct {
+	mu sync.Mutex
+	m  map[stageEvalKey]stageEval
+}
+
+func newEvalTable() *evalTable {
+	t := &evalTable{}
+	for i := range t.shards {
+		t.shards[i].m = make(map[stageEvalKey]stageEval)
+	}
+	return t
+}
+
+func (t *evalTable) shard(k stageEvalKey) *evalShard {
+	h := uint64(k.zone)*0x9E3779B97F4A7C15 ^ uint64(k.b)<<32 ^ uint64(k.d)
+	return &t.shards[(h*0x9E3779B97F4A7C15)>>60]
+}
+
+func (t *evalTable) get(k stageEvalKey) (stageEval, bool) {
+	sh := t.shard(k)
+	sh.mu.Lock()
+	ev, ok := sh.m[k]
+	sh.mu.Unlock()
+	return ev, ok
+}
+
+func (t *evalTable) put(k stageEvalKey, ev stageEval) {
+	sh := t.shard(k)
+	sh.mu.Lock()
+	sh.m[k] = ev
+	sh.mu.Unlock()
+}

@@ -20,13 +20,22 @@
 // DP states are memoized on (zone, devices, source config, successor
 // config); the zone count is polynomial for series-parallel DNNs, which is
 // why GraphPipe's search is 9–21× faster than the SPP baselines (§7.2).
+//
+// The search is parallel: the independent per-micro-batch binary searches
+// and, within each TPS probe, the root zone's series/parallel branch
+// enumeration fan out across one bounded worker pool (Options.Workers),
+// sharing a mutex-sharded memo table. Every DP value is a pure function of
+// its state key, so the parallel search returns the same strategy as the
+// sequential path (Workers=1) — concurrency changes wall-clock, not the
+// result.
 package core
 
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sort"
-	"sync"
+	"sync/atomic"
 
 	"graphpipe/internal/cluster"
 	"graphpipe/internal/costmodel"
@@ -65,6 +74,11 @@ type Options struct {
 	DisableSinkAnchoredSplits bool
 	// Epsilon is the relative binary-search tolerance (default 2e-3).
 	Epsilon float64
+	// Workers bounds the planning worker pool shared by the
+	// per-micro-batch binary searches and the per-probe root branch
+	// enumeration: 0 means one worker per available CPU, 1 forces the
+	// fully sequential path. The chosen strategy is identical either way.
+	Workers int
 }
 
 func (o Options) withDefaults() Options {
@@ -107,9 +121,10 @@ type Planner struct {
 
 	// evalCaches memoizes per-(zone, micro-batch, devices) stage costs,
 	// partitioned by root micro-batch size so concurrent per-size searches
-	// never share a map. The costs are independent of the binary-search
-	// target and are therefore reused across all probes of one Plan call.
-	evalCaches map[int]map[stageEvalKey]stageEval
+	// never contend. The costs are independent of the binary-search
+	// target and are therefore reused across all probes of one Plan call;
+	// each table is internally sharded for the per-probe fan-out.
+	evalCaches map[int]*evalTable
 }
 
 type stageEvalKey struct {
@@ -369,31 +384,62 @@ func better(a, b *dpResult) *dpResult {
 // hundreds of millions of lookups for the largest models.
 type dpKey uint64
 
+// search holds one TPS probe's shared, concurrency-safe state: the sharded
+// memo and eval tables, the frozen config index, and the worker pool. The
+// recursion itself runs in dpWalker instances, one per concurrent branch.
 type search struct {
 	p         *Planner
 	miniBatch int
 	tmax      float64
 	bCands    []int // all candidate micro-batch sizes (per-stage mode)
 	dpDegrees map[int]bool
-	memo      map[dpKey]*dpResult
-	evalCache map[stageEvalKey]stageEval
-	states    int
+	memo      *memoTable
+	evalCache *evalTable
+	states    atomic.Int64
+	pool      *workerPool // nil: fully sequential probe
 
-	// cfgIndex interns schedule configs for key packing.
+	// cfgIndex interns schedule configs for key packing. It is frozen
+	// before the search starts (every reachable config is a micro-batch
+	// candidate × kFkB candidate), so concurrent walkers read it without
+	// locking and key packing is deterministic regardless of visit order.
 	cfgIndex map[schedule.Config]int
 	cfgs     []schedule.Config
 }
 
+// freezeConfigs pre-interns every schedule config the search can reach, in
+// a deterministic order. In the uniform-schedule default every boundary
+// inherits the probe's root micro-batch size, so only (rootB × KCandidates)
+// is reachable; per-stage mode offers the full cross product, exactly as
+// the old lazy interner would have reached.
+func (s *search) freezeConfigs(rootB int) {
+	s.cfgIndex = make(map[schedule.Config]int)
+	intern := func(c schedule.Config) {
+		if _, ok := s.cfgIndex[c]; ok {
+			return
+		}
+		if len(s.cfgs) >= 255 {
+			panic("core: too many distinct schedule configs")
+		}
+		s.cfgIndex[c] = len(s.cfgs)
+		s.cfgs = append(s.cfgs, c)
+	}
+	for _, k := range s.p.opts.KCandidates {
+		intern(schedule.Config{MicroBatch: rootB, K: k})
+	}
+	if s.p.opts.PerStageMicroBatch {
+		for _, b := range s.bCands {
+			for _, k := range s.p.opts.KCandidates {
+				intern(schedule.Config{MicroBatch: b, K: k})
+			}
+		}
+	}
+}
+
 func (s *search) configIdx(c schedule.Config) int {
-	if i, ok := s.cfgIndex[c]; ok {
-		return i
+	i, ok := s.cfgIndex[c]
+	if !ok {
+		panic(fmt.Sprintf("core: schedule config %+v not pre-interned", c))
 	}
-	i := len(s.cfgs)
-	if i >= 255 {
-		panic("core: too many distinct schedule configs")
-	}
-	s.cfgIndex[c] = i
-	s.cfgs = append(s.cfgs, c)
 	return i
 }
 
@@ -421,10 +467,12 @@ func (s *search) interNodeAllreduce(d int) bool {
 	return d > 4
 }
 
-// evalStage returns cached per-stage costs for (zone, b, d).
+// evalStage returns cached per-stage costs for (zone, b, d). The cost model
+// runs outside the shard lock; concurrent walkers may duplicate an
+// evaluation, but the value is deterministic so either write is correct.
 func (s *search) evalStage(zoneID, b, d int) stageEval {
 	key := stageEvalKey{zone: zoneID, b: b, d: d}
-	if ev, ok := s.evalCache[key]; ok {
+	if ev, ok := s.evalCache.get(key); ok {
 		return ev
 	}
 	cfg := costmodel.StageConfig{
@@ -440,7 +488,7 @@ func (s *search) evalStage(zoneID, b, d int) stageEval {
 		weightMem:    costs.WeightBytes,
 		actPerSample: costs.ActivationBytesPerSample,
 	}
-	s.evalCache[key] = ev
+	s.evalCache.put(key, ev)
 	return ev
 }
 
@@ -499,17 +547,35 @@ func (s *search) boundaryConfigs(cf schedule.Config) []schedule.Config {
 	return out
 }
 
+// dpWalker runs the DP recursion for one concurrent branch of the search.
+// Walkers share the probe's sharded memo table; the in-progress set — the
+// cycle guard that used to be a nil memo placeholder — is walker-local so
+// one walker's half-finished subproblem never masquerades as "infeasible"
+// to another.
+type dpWalker struct {
+	s          *search
+	inProgress map[dpKey]bool
+}
+
+func (s *search) newWalker() *dpWalker {
+	return &dpWalker{s: s, inProgress: make(map[dpKey]bool)}
+}
+
 // dp solves one subproblem: partition the zone over d devices such that the
 // source stage uses configuration cf, the stage after the zone has schedule
 // information cb (nil at the model's sink), and every stage meets the TPS
 // target. It returns nil when infeasible.
-func (s *search) dp(zoneID int, cf schedule.Config, cb *schedule.Successor, d int) *dpResult {
+func (w *dpWalker) dp(zoneID int, cf schedule.Config, cb *schedule.Successor, d int) *dpResult {
+	s := w.s
 	key := s.makeKey(zoneID, d, cf, cb)
-	if r, ok := s.memo[key]; ok {
+	if r, ok := s.memo.get(key); ok {
 		return r
 	}
-	s.states++
-	s.memo[key] = nil // cycle guard; overwritten below
+	if w.inProgress[key] {
+		return nil // cycle guard (series-parallel zones strictly shrink)
+	}
+	w.inProgress[key] = true
+	s.states.Add(1)
 
 	best := s.stageAttempt(zoneID, cf, cb, d)
 
@@ -520,59 +586,114 @@ func (s *search) dp(zoneID int, cf schedule.Config, cb *schedule.Successor, d in
 		for d2 := 1; d2 < d; d2++ {
 			d1 := d - d2
 			for _, cm := range s.boundaryConfigs(cf) {
-				r2 := s.dp(sp.right, cm, cb, d2)
-				if r2 == nil {
-					continue
-				}
-				mid := &schedule.Successor{Config: r2.srcCfg, InFlight: r2.inFlight}
-				r1 := s.dp(sp.left, cf, mid, d1)
-				if r1 == nil {
-					continue
-				}
-				cand := combine(r1, r2)
-				cand.inFlight = r1.inFlight
-				cand.srcCfg = r1.srcCfg
-				best = better(best, cand)
+				best = better(best, w.trySeries(sp, cf, cm, cb, d1, d2))
 			}
 		}
 	}
 
 	// Parallel decompositions: both groups share the source and sink
 	// schedule boundaries; continuous pipelining takes the larger source
-	// in-flight count (Algorithm 1 lines 41–47). For sink-anchored splits
-	// the right group carries the zone's shared sink operator, so the left
-	// group's successor is the sink-holding stage inside the right
-	// group's solution rather than the stage after the zone.
+	// in-flight count (Algorithm 1 lines 41–47).
 	for _, sp := range s.p.zones.parallelSplits(zoneID) {
 		for d1 := 1; d1 < d; d1++ {
-			d2 := d - d1
-			r2 := s.dp(sp.right, cf, cb, d2)
-			if r2 == nil {
-				continue
-			}
-			leftCB := cb
-			if sp.sinkAnchored {
-				cfg, ifl, ok := r2.stageInfoFor(sp.mergeOp)
-				if !ok {
-					continue // derivation must own the merge op
-				}
-				leftCB = &schedule.Successor{Config: cfg, InFlight: ifl}
-			}
-			r1 := s.dp(sp.left, cf, leftCB, d1)
-			if r1 == nil {
-				continue
-			}
-			cand := combine(r1, r2)
-			cand.inFlight = r1.inFlight
-			if r2.inFlight > cand.inFlight {
-				cand.inFlight = r2.inFlight
-			}
-			cand.srcCfg = cf
-			best = better(best, cand)
+			best = better(best, w.tryParallel(sp, cf, cb, d1, d-d1))
 		}
 	}
 
-	s.memo[key] = best
+	delete(w.inProgress, key)
+	s.memo.put(key, best)
+	return best
+}
+
+// trySeries evaluates one series-split candidate: right part on d2 devices
+// under boundary config cm, then the left part with the right's source
+// schedule as its successor.
+func (w *dpWalker) trySeries(sp splitIDs, cf, cm schedule.Config, cb *schedule.Successor, d1, d2 int) *dpResult {
+	r2 := w.dp(sp.right, cm, cb, d2)
+	if r2 == nil {
+		return nil
+	}
+	mid := &schedule.Successor{Config: r2.srcCfg, InFlight: r2.inFlight}
+	r1 := w.dp(sp.left, cf, mid, d1)
+	if r1 == nil {
+		return nil
+	}
+	cand := combine(r1, r2)
+	cand.inFlight = r1.inFlight
+	cand.srcCfg = r1.srcCfg
+	return cand
+}
+
+// tryParallel evaluates one parallel-split candidate. For sink-anchored
+// splits the right group carries the zone's shared sink operator, so the
+// left group's successor is the sink-holding stage inside the right group's
+// solution rather than the stage after the zone.
+func (w *dpWalker) tryParallel(sp splitIDs, cf schedule.Config, cb *schedule.Successor, d1, d2 int) *dpResult {
+	r2 := w.dp(sp.right, cf, cb, d2)
+	if r2 == nil {
+		return nil
+	}
+	leftCB := cb
+	if sp.sinkAnchored {
+		cfg, ifl, ok := r2.stageInfoFor(sp.mergeOp)
+		if !ok {
+			return nil // derivation must own the merge op
+		}
+		leftCB = &schedule.Successor{Config: cfg, InFlight: ifl}
+	}
+	r1 := w.dp(sp.left, cf, leftCB, d1)
+	if r1 == nil {
+		return nil
+	}
+	cand := combine(r1, r2)
+	cand.inFlight = r1.inFlight
+	if r2.inFlight > cand.inFlight {
+		cand.inFlight = r2.inFlight
+	}
+	cand.srcCfg = cf
+	return cand
+}
+
+// dpRoot solves the root zone. With a worker pool, the root's candidate
+// set — the single-stage attempt plus every (series split, device split,
+// boundary config) and (parallel split, device split) combination — fans
+// out across the pool, each task recursing sequentially through its own
+// walker into the shared memo. Candidates land in enumeration-order slots
+// and are folded with better in that same order, so the winner is the one
+// the sequential path picks: each candidate's value is a pure function of
+// its sub-keys, independent of which walker computed the memo entries.
+func (s *search) dpRoot(zoneID int, cf schedule.Config, cb *schedule.Successor, d int) *dpResult {
+	if s.pool == nil {
+		return s.newWalker().dp(zoneID, cf, cb, d)
+	}
+	var tasks []func()
+	var cands []*dpResult
+	spawn := func(f func(w *dpWalker) *dpResult) {
+		i := len(cands)
+		cands = append(cands, nil)
+		tasks = append(tasks, func() { cands[i] = f(s.newWalker()) })
+	}
+	spawn(func(w *dpWalker) *dpResult { return s.stageAttempt(zoneID, cf, cb, d) })
+	for _, sp := range s.p.zones.seriesSplits(zoneID) {
+		for d2 := 1; d2 < d; d2++ {
+			d1 := d - d2
+			for _, cm := range s.boundaryConfigs(cf) {
+				sp, cm, d1, d2 := sp, cm, d1, d2
+				spawn(func(w *dpWalker) *dpResult { return w.trySeries(sp, cf, cm, cb, d1, d2) })
+			}
+		}
+	}
+	for _, sp := range s.p.zones.parallelSplits(zoneID) {
+		for d1 := 1; d1 < d; d1++ {
+			sp, d1, d2 := sp, d1, d-d1
+			spawn(func(w *dpWalker) *dpResult { return w.tryParallel(sp, cf, cb, d1, d2) })
+		}
+	}
+	s.pool.Do(tasks)
+	var best *dpResult
+	for _, cand := range cands {
+		best = better(best, cand)
+	}
 	return best
 }
 
@@ -582,7 +703,7 @@ func (s *search) searchStageGraph(root, b int) *dpResult {
 	var best *dpResult
 	for _, k := range s.p.opts.KCandidates {
 		cf := schedule.Config{MicroBatch: b, K: k}
-		r := s.dp(root, cf, nil, s.p.topo.Len())
+		r := s.dpRoot(root, cf, nil, s.p.topo.Len())
 		best = s.betterRoot(best, r)
 	}
 	return best
@@ -620,6 +741,64 @@ func (s *search) betterRoot(a, b *dpResult) *dpResult {
 	return b
 }
 
+// perB accumulates one candidate micro-batch size's search outcome.
+type perB struct {
+	best   *dpResult
+	states int
+	iters  int
+}
+
+// searchMicroBatch runs one micro-batch size's binary search over the
+// bottleneck-TPS target. Probes are inherently sequential — each one
+// halves the bracket the previous probe established — so parallelism comes
+// from fanning each probe's root branch enumeration out on the pool, and
+// from the sibling per-size searches running concurrently.
+func (p *Planner) searchMicroBatch(out *perB, b, miniBatch int, bCands []int, degrees map[int]bool, maxTPS, eps float64, root int, pool *workerPool) {
+	probe := func(tmax float64) *dpResult {
+		s := &search{
+			p:         p,
+			miniBatch: miniBatch,
+			tmax:      tmax,
+			bCands:    bCands,
+			dpDegrees: degrees,
+			memo:      newMemoTable(),
+			evalCache: p.evalCaches[b],
+			pool:      pool,
+		}
+		s.freezeConfigs(b)
+		r := s.searchStageGraph(root, b)
+		out.states += int(s.states.Load())
+		return r
+	}
+	keep := func(r *dpResult) {
+		if r == nil {
+			return
+		}
+		if out.best == nil || rootScore(r, miniBatch) < rootScore(out.best, miniBatch) {
+			out.best = r
+		}
+	}
+	r0 := probe(maxTPS)
+	if r0 == nil {
+		return
+	}
+	keep(r0)
+	tl, tr := 0.0, r0.maxTPS
+	for tr-tl > eps {
+		out.iters++
+		tm := (tl + tr) / 2
+		if r := probe(tm); r != nil {
+			keep(r)
+			tr = tm
+			if r.maxTPS < tr {
+				tr = r.maxTPS
+			}
+		} else {
+			tl = tm
+		}
+	}
+}
+
 // Plan runs the full Algorithm 1: binary search over the bottleneck TPS
 // target with a fresh DP per probe, then assembles, schedules, and
 // validates the winning strategy.
@@ -631,9 +810,9 @@ func (p *Planner) Plan(miniBatch int) (*Result, error) {
 	if len(bCands) == 0 {
 		return nil, fmt.Errorf("core: no candidate micro-batch sizes divide mini-batch %d", miniBatch)
 	}
-	p.evalCaches = make(map[int]map[stageEvalKey]stageEval) // TPS depends on miniBatch
+	p.evalCaches = make(map[int]*evalTable) // TPS depends on miniBatch
 	for _, b := range bCands {
-		p.evalCaches[b] = make(map[stageEvalKey]stageEval)
+		p.evalCaches[b] = newEvalTable()
 	}
 	root := p.zones.intern(p.dec.Root())
 	p.zones.resolveAll(root) // make the zone table read-only
@@ -642,70 +821,38 @@ func (p *Planner) Plan(miniBatch int) (*Result, error) {
 	eps := p.opts.Epsilon * maxTPS
 	degrees := dataParDegrees(p.topo.Len())
 
+	workers := p.opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	var pool *workerPool
+	if workers > 1 {
+		pool = newWorkerPool(workers)
+	}
+
 	// Each candidate micro-batch size runs its own binary search over the
 	// bottleneck-TPS target (Algorithm 1 lines 2-11) so the feasibility
 	// frontier of every size is sampled near its own critical TPS values:
 	// the DP prefers minimal in-flight counts at loose targets (a single
 	// data-parallel stage hides pipelines), so each tightening step can
 	// reveal a better-scored strategy. The per-size searches are
-	// independent in the uniform-schedule default and run concurrently.
-	type perB struct {
-		best   *dpResult
-		states int
-		iters  int
-	}
+	// independent in the uniform-schedule default; they and their probes'
+	// root fan-outs share one bounded worker pool.
 	results := make([]perB, len(bCands))
-	var wg sync.WaitGroup
+	tasks := make([]func(), len(bCands))
 	for i, b := range bCands {
-		wg.Add(1)
-		go func(i, b int) {
-			defer wg.Done()
-			out := &results[i]
-			probe := func(tmax float64) *dpResult {
-				s := &search{
-					p:         p,
-					miniBatch: miniBatch,
-					tmax:      tmax,
-					bCands:    bCands,
-					dpDegrees: degrees,
-					memo:      make(map[dpKey]*dpResult),
-					evalCache: p.evalCaches[b],
-					cfgIndex:  make(map[schedule.Config]int),
-				}
-				r := s.searchStageGraph(root, b)
-				out.states += s.states
-				return r
-			}
-			keep := func(r *dpResult) {
-				if r == nil {
-					return
-				}
-				if out.best == nil || rootScore(r, miniBatch) < rootScore(out.best, miniBatch) {
-					out.best = r
-				}
-			}
-			r0 := probe(maxTPS)
-			if r0 == nil {
-				return
-			}
-			keep(r0)
-			tl, tr := 0.0, r0.maxTPS
-			for tr-tl > eps {
-				out.iters++
-				tm := (tl + tr) / 2
-				if r := probe(tm); r != nil {
-					keep(r)
-					tr = tm
-					if r.maxTPS < tr {
-						tr = r.maxTPS
-					}
-				} else {
-					tl = tm
-				}
-			}
-		}(i, b)
+		i, b := i, b
+		tasks[i] = func() {
+			p.searchMicroBatch(&results[i], b, miniBatch, bCands, degrees, maxTPS, eps, root, pool)
+		}
 	}
-	wg.Wait()
+	if pool == nil {
+		for _, t := range tasks {
+			t()
+		}
+	} else {
+		pool.Do(tasks)
+	}
 
 	var best *dpResult
 	states, iters := 0, 0

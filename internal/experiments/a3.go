@@ -20,16 +20,19 @@ type A3Row struct {
 func A3Sequential(systems []System) ([]A3Row, error) {
 	g := models.SequentialTransformer(32)
 	var rows []A3Row
+	var jobs []Job
 	for _, devs := range DeviceCounts() {
 		mb, err := models.PaperMiniBatch("mmt", devs)
 		if err != nil {
 			return nil, err
 		}
-		row := A3Row{Devices: devs, MiniBatch: mb, Outcomes: map[System]Outcome{}}
+		rows = append(rows, A3Row{Devices: devs, MiniBatch: mb, Outcomes: map[System]Outcome{}})
 		for _, sys := range systems {
-			row.Outcomes[sys] = Run(sys, g, devs, mb, RunOptions{})
+			jobs = append(jobs, Job{System: sys, Graph: g, Devices: devs, MiniBatch: mb})
 		}
-		rows = append(rows, row)
+	}
+	for i, o := range RunGrid(jobs) {
+		rows[i/len(systems)].Outcomes[o.System] = o
 	}
 	return rows, nil
 }

@@ -47,20 +47,24 @@ func Fig6(model string, systems []System) (*Fig6Result, error) {
 		return nil, err
 	}
 	res := &Fig6Result{Model: model}
+	var jobs []Job
 	for _, devs := range DeviceCounts() {
 		mb, err := models.PaperMiniBatch(model, devs)
 		if err != nil {
 			return nil, err
 		}
-		row := Fig6Row{Devices: devs, MiniBatch: mb, Outcomes: map[System]Outcome{}}
+		res.Rows = append(res.Rows, Fig6Row{Devices: devs, MiniBatch: mb, Outcomes: map[System]Outcome{}})
 		for _, sys := range systems {
 			// Piper gets a bounded wall-clock budget per point; points it
 			// cannot finish print ✗ — the paper's "missing data points
 			// indicate that no training strategy can be found within
 			// reasonable timeframes".
-			row.Outcomes[sys] = Run(sys, g, devs, mb, RunOptions{PiperTimeout: 90 * time.Second})
+			jobs = append(jobs, Job{System: sys, Graph: g, Devices: devs, MiniBatch: mb,
+				Opts: RunOptions{PiperTimeout: 90 * time.Second}})
 		}
-		res.Rows = append(res.Rows, row)
+	}
+	for i, o := range RunGrid(jobs) {
+		res.Rows[i/len(systems)].Outcomes[o.System] = o
 	}
 	return res, nil
 }

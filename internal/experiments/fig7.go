@@ -32,7 +32,9 @@ func Fig7Branches(branchCounts, devices []int, miniBatchPerBranchUnit int) ([]Fi
 	if miniBatchPerBranchUnit == 0 {
 		miniBatchPerBranchUnit = 1024
 	}
+	systems := []System{PipeDream, GraphPipe}
 	var rows []Fig7BranchRow
+	var jobs []Job
 	for _, devs := range devices {
 		for _, br := range branchCounts {
 			cfg := models.DefaultCANDLEUnoConfig()
@@ -41,15 +43,19 @@ func Fig7Branches(branchCounts, devices []int, miniBatchPerBranchUnit int) ([]Fi
 			// Scale the mini-batch with the device count as in the paper's
 			// per-device-count sizing.
 			mb := miniBatchPerBranchUnit * devs
-			row := Fig7BranchRow{Branches: br, Devices: devs, Outcomes: map[System]Outcome{}}
-			for _, sys := range []System{PipeDream, GraphPipe} {
-				row.Outcomes[sys] = Run(sys, g, devs, mb, RunOptions{})
+			rows = append(rows, Fig7BranchRow{Branches: br, Devices: devs, Outcomes: map[System]Outcome{}})
+			for _, sys := range systems {
+				jobs = append(jobs, Job{System: sys, Graph: g, Devices: devs, MiniBatch: mb})
 			}
-			gp, pd := row.Outcomes[GraphPipe], row.Outcomes[PipeDream]
-			if !gp.Failed && !pd.Failed && pd.Throughput > 0 {
-				row.Normalized = gp.Throughput / pd.Throughput
-			}
-			rows = append(rows, row)
+		}
+	}
+	for i, o := range RunGrid(jobs) {
+		rows[i/len(systems)].Outcomes[o.System] = o
+	}
+	for i := range rows {
+		gp, pd := rows[i].Outcomes[GraphPipe], rows[i].Outcomes[PipeDream]
+		if !gp.Failed && !pd.Failed && pd.Throughput > 0 {
+			rows[i].Normalized = gp.Throughput / pd.Throughput
 		}
 	}
 	return rows, nil
@@ -85,16 +91,21 @@ func Fig7MicroBatch(sizes []int) ([]Fig7MicroBatchRow, error) {
 	}
 	g := models.MMT(models.DefaultMMTConfig()) // four branches
 	const devices, miniBatch = 8, 128
+	systems := []System{PipeDream, GraphPipe}
 	var rows []Fig7MicroBatchRow
+	var jobs []Job
 	for _, b := range sizes {
 		if miniBatch%b != 0 {
 			return nil, fmt.Errorf("experiments: micro-batch %d does not divide %d", b, miniBatch)
 		}
-		row := Fig7MicroBatchRow{MicroBatch: b, Outcomes: map[System]Outcome{}}
-		for _, sys := range []System{PipeDream, GraphPipe} {
-			row.Outcomes[sys] = Run(sys, g, devices, miniBatch, RunOptions{ForcedMicroBatch: b})
+		rows = append(rows, Fig7MicroBatchRow{MicroBatch: b, Outcomes: map[System]Outcome{}})
+		for _, sys := range systems {
+			jobs = append(jobs, Job{System: sys, Graph: g, Devices: devices, MiniBatch: miniBatch,
+				Opts: RunOptions{ForcedMicroBatch: b}})
 		}
-		rows = append(rows, row)
+	}
+	for i, o := range RunGrid(jobs) {
+		rows[i/len(systems)].Outcomes[o.System] = o
 	}
 	return rows, nil
 }

@@ -4,11 +4,10 @@ import (
 	"fmt"
 	"strings"
 
-	"graphpipe/internal/baselines/pipedream"
 	"graphpipe/internal/cluster"
-	"graphpipe/internal/core"
 	"graphpipe/internal/costmodel"
 	"graphpipe/internal/models"
+	"graphpipe/internal/planner"
 	"graphpipe/internal/sim"
 	"graphpipe/internal/trace"
 )
@@ -40,10 +39,11 @@ func CaseStudy(miniBatch int) (*CaseStudyResult, error) {
 	}
 	g := models.CaseStudy(models.DefaultCaseStudyConfig())
 	const devices = 8
-	res := &CaseStudyResult{
-		GraphPipe: Run(GraphPipe, g, devices, miniBatch, RunOptions{}),
-		SPP:       Run(PipeDream, g, devices, miniBatch, RunOptions{}),
-	}
+	outs := RunGrid([]Job{
+		{System: GraphPipe, Graph: g, Devices: devices, MiniBatch: miniBatch},
+		{System: PipeDream, Graph: g, Devices: devices, MiniBatch: miniBatch},
+	})
+	res := &CaseStudyResult{GraphPipe: outs[0], SPP: outs[1]}
 	if res.GraphPipe.Failed || res.SPP.Failed {
 		return nil, fmt.Errorf("experiments: case study failed: gp=%v spp=%v",
 			res.GraphPipe.Err, res.SPP.Err)
@@ -62,22 +62,28 @@ func CaseStudy(miniBatch int) (*CaseStudyResult, error) {
 		res.ParallelOnlySpeedup = parallel.Throughput / res.SPP.Throughput
 	}
 
-	// Render the two schedules (Figure 8's panels).
+	// Render the two schedules (Figure 8's panels), re-planning through
+	// the registry to recover the strategy objects the grid discards.
 	topo := cluster.NewSummitTopology(devices)
 	model := costmodel.NewDefault(topo)
 	sm := sim.New(g, model)
-	if p, err := core.NewPlanner(g, model, core.Options{}); err == nil {
-		if r, err := p.Plan(miniBatch); err == nil {
-			if out, err := sm.Run(r.Strategy); err == nil {
-				res.GanttGPP = trace.Summary(r.Strategy, out) + "\n" + trace.Gantt(r.Strategy, out, 96)
-			}
+	gantt := func(name string) string {
+		pl, err := planner.Get(name)
+		if err != nil {
+			return ""
 		}
-	}
-	if r, err := pipedream.NewPlanner(g, model, pipedream.Options{}).Plan(miniBatch); err == nil {
-		if out, err := sm.Run(r.Strategy); err == nil {
-			res.GanttSPP = trace.Summary(r.Strategy, out) + "\n" + trace.Gantt(r.Strategy, out, 96)
+		st, _, err := pl.Plan(g, topo, miniBatch, planner.Options{CostModel: model})
+		if err != nil {
+			return ""
 		}
+		out, err := sm.Run(st)
+		if err != nil {
+			return ""
+		}
+		return trace.Summary(st, out) + "\n" + trace.Gantt(st, out, 96)
 	}
+	res.GanttGPP = gantt(string(GraphPipe))
+	res.GanttSPP = gantt(string(PipeDream))
 	return res, nil
 }
 

@@ -22,11 +22,15 @@ type Fig9Row struct {
 }
 
 // Fig9 regenerates the ablation (§7.4) on the three evaluation models at
-// 32 GPUs with the paper's mini-batch sizes.
+// 32 GPUs with the paper's mini-batch sizes. The SPP and full-GraphPipe
+// arms of every model run as one grid; the "Parallel" arms follow in a
+// second grid because each needs the micro-batch size its SPP arm chose.
 func Fig9() ([]Fig9Row, error) {
 	const devices = 32
-	var rows []Fig9Row
-	for _, m := range []string{"mmt", "dlrm", "candle-uno"} {
+	modelNames := []string{"mmt", "dlrm", "candle-uno"}
+	rows := make([]Fig9Row, len(modelNames))
+	var jobs []Job
+	for i, m := range modelNames {
 		g, err := buildModel(m)
 		if err != nil {
 			return nil, err
@@ -35,24 +39,37 @@ func Fig9() ([]Fig9Row, error) {
 		if err != nil {
 			return nil, err
 		}
-		row := Fig9Row{Model: m}
-		row.SPP = Run(PipeDream, g, devices, mb, RunOptions{})
-		if row.SPP.Failed {
-			return nil, fmt.Errorf("experiments: fig9 SPP failed on %s: %v", m, row.SPP.Err)
+		rows[i].Model = m
+		jobs = append(jobs,
+			Job{System: PipeDream, Graph: g, Devices: devices, MiniBatch: mb},
+			Job{System: GraphPipe, Graph: g, Devices: devices, MiniBatch: mb})
+	}
+	outs := RunGrid(jobs)
+	for i := range rows {
+		rows[i].SPP = outs[2*i]
+		rows[i].Full = outs[2*i+1]
+		if rows[i].SPP.Failed {
+			return nil, fmt.Errorf("experiments: fig9 SPP failed on %s: %v", rows[i].Model, rows[i].SPP.Err)
 		}
-		// "Parallel": graph pipeline stages, but SPP's micro-batch size —
-		// isolates concurrent stage execution from the memory-enabled
-		// micro-batch increase. (It is not possible to evaluate the larger
-		// micro-batch without the parallel stages, §7.4.)
-		row.Parallel = Run(GraphPipe, g, devices, mb, RunOptions{ForcedMicroBatch: row.SPP.MicroBatch})
-		row.Full = Run(GraphPipe, g, devices, mb, RunOptions{})
-		if !row.Parallel.Failed {
-			row.ParallelSpeedup = row.Parallel.Throughput / row.SPP.Throughput
+	}
+	// "Parallel": graph pipeline stages, but SPP's micro-batch size —
+	// isolates concurrent stage execution from the memory-enabled
+	// micro-batch increase. (It is not possible to evaluate the larger
+	// micro-batch without the parallel stages, §7.4.)
+	var arms []Job
+	for i := range rows {
+		arms = append(arms, Job{System: GraphPipe, Graph: jobs[2*i].Graph,
+			Devices: devices, MiniBatch: jobs[2*i].MiniBatch,
+			Opts: RunOptions{ForcedMicroBatch: rows[i].SPP.MicroBatch}})
+	}
+	for i, o := range RunGrid(arms) {
+		rows[i].Parallel = o
+		if !o.Failed {
+			rows[i].ParallelSpeedup = o.Throughput / rows[i].SPP.Throughput
 		}
-		if !row.Full.Failed {
-			row.FullSpeedup = row.Full.Throughput / row.SPP.Throughput
+		if !rows[i].Full.Failed {
+			rows[i].FullSpeedup = rows[i].Full.Throughput / rows[i].SPP.Throughput
 		}
-		rows = append(rows, row)
 	}
 	return rows, nil
 }

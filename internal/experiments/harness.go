@@ -9,16 +9,18 @@ package experiments
 import (
 	"errors"
 	"fmt"
+	"runtime"
+	"sync"
 	"time"
 
-	"graphpipe/internal/baselines/pipedream"
 	"graphpipe/internal/baselines/piper"
 	"graphpipe/internal/cluster"
-	"graphpipe/internal/core"
 	"graphpipe/internal/costmodel"
 	"graphpipe/internal/graph"
+	"graphpipe/internal/planner"
 	"graphpipe/internal/sim"
-	"graphpipe/internal/strategy"
+
+	_ "graphpipe/internal/planner/all" // register the built-in planners
 )
 
 // System identifies a planner.
@@ -62,57 +64,53 @@ type RunOptions struct {
 	// ForcedMicroBatch fixes the micro-batch size for every system
 	// (Figure 7 right, Figure 9's "Parallel" arm).
 	ForcedMicroBatch int
+	// DisableSinkAnchoredSplits removes GraphPipe's merge-anchored
+	// partitions (§7.5) for the ablation benchmarks.
+	DisableSinkAnchoredSplits bool
+	// Workers bounds the planner's internal worker pool (0: planner
+	// default of one per CPU). RunGrid forces unset values to 1 so a
+	// grid already one-job-per-CPU wide does not nest a second
+	// CPU-wide pool inside every job.
+	Workers int
 	// PiperBudget overrides the Piper state budget.
 	PiperBudget int
 	// PiperTimeout overrides the Piper wall-clock bound.
 	PiperTimeout time.Duration
 }
 
-// Run plans with the chosen system and simulates one training iteration,
-// returning the full outcome. A Failed outcome (rather than an error) is
-// returned when the planner cannot produce a strategy — the ✗ / missing
-// data points of the paper.
+// plannerOptions maps harness options onto the shared planner options.
+func (o RunOptions) plannerOptions() planner.Options {
+	return planner.Options{
+		ForcedMicroBatch:          o.ForcedMicroBatch,
+		DisableSinkAnchoredSplits: o.DisableSinkAnchoredSplits,
+		Workers:                   o.Workers,
+		StateBudget:               o.PiperBudget,
+		Timeout:                   o.PiperTimeout,
+	}
+}
+
+// Run resolves the system through the planner registry, plans, and
+// simulates one training iteration, returning the full outcome. A Failed
+// outcome (rather than an error) is returned when the planner cannot
+// produce a strategy — the ✗ / missing data points of the paper.
 func Run(sys System, g *graph.Graph, devices, miniBatch int, opts RunOptions) Outcome {
 	out := Outcome{System: sys, Model: g.Name(), Devices: devices, MiniBatch: miniBatch}
 	topo := cluster.NewSummitTopology(devices)
 	model := costmodel.NewDefault(topo)
 
-	var st *strategy.Strategy
-	start := time.Now()
-	switch sys {
-	case GraphPipe:
-		p, err := core.NewPlanner(g, model, core.Options{ForcedMicroBatch: opts.ForcedMicroBatch})
-		if err == nil {
-			var r *core.Result
-			r, err = p.Plan(miniBatch)
-			if err == nil {
-				st = r.Strategy
-			}
-		}
+	pl, err := planner.Get(string(sys))
+	if err != nil {
 		out.Err = err
-	case PipeDream:
-		r, err := pipedream.NewPlanner(g, model, pipedream.Options{
-			ForcedMicroBatch: opts.ForcedMicroBatch,
-		}).Plan(miniBatch)
-		if err == nil {
-			st = r.Strategy
-		}
-		out.Err = err
-	case Piper:
-		r, err := piper.NewPlanner(g, model, piper.Options{
-			ForcedMicroBatch: opts.ForcedMicroBatch,
-			StateBudget:      opts.PiperBudget,
-			Timeout:          opts.PiperTimeout,
-		}).Plan(miniBatch)
-		if err == nil {
-			st = r.Strategy
-		}
-		out.Err = err
-	default:
-		out.Err = fmt.Errorf("experiments: unknown system %q", sys)
+		out.Failed = true
+		return out
 	}
+	popts := opts.plannerOptions()
+	popts.CostModel = model
+	start := time.Now()
+	st, _, err := pl.Plan(g, topo, miniBatch, popts)
 	out.SearchTime = time.Since(start)
-	if out.Err != nil || st == nil {
+	if err != nil {
+		out.Err = err
 		out.Failed = true
 		return out
 	}
@@ -133,6 +131,66 @@ func Run(sys System, g *graph.Graph, devices, miniBatch int, opts RunOptions) Ou
 			out.PeakMemory = ss.PeakMemory
 		}
 	}
+	return out
+}
+
+// Job is one cell of an experiment grid: a planner on a model at a device
+// count.
+type Job struct {
+	System    System
+	Graph     *graph.Graph
+	Devices   int
+	MiniBatch int
+	Opts      RunOptions
+}
+
+// RunGrid fans a (model × planner × device-count) grid out across
+// goroutines, bounded by one worker per available CPU, and returns the
+// outcomes in job order — result ordering is deterministic regardless of
+// which job finishes first, so CSV rows never shuffle between runs.
+//
+// Jobs that do not pin Opts.Workers plan single-threaded: the grid itself
+// saturates the CPUs, and nesting a CPU-wide pool inside every cell would
+// oversubscribe the machine quadratically. This also keeps per-cell
+// SearchTime measurements comparable across systems — every planner runs
+// one cell on one worker. Wall-clock-budgeted cells (Piper's timeout)
+// still share the machine with sibling cells, so regenerated ✗ entries
+// reflect grid load, not a quiet machine.
+func RunGrid(jobs []Job) []Outcome {
+	out := make([]Outcome, len(jobs))
+	run := func(i int) {
+		j := jobs[i]
+		if j.Opts.Workers == 0 {
+			j.Opts.Workers = 1
+		}
+		out[i] = Run(j.System, j.Graph, j.Devices, j.MiniBatch, j.Opts)
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	if workers <= 1 {
+		for i := range jobs {
+			run(i)
+		}
+		return out
+	}
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				run(i)
+			}
+		}()
+	}
+	for i := range jobs {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
 	return out
 }
 

@@ -49,18 +49,21 @@ var Table1Models = []string{"mmt-2b", "dlrm", "candle-uno"}
 // are the payload; throughput is incidental.
 func Table1(systems []System) (*Table1Result, error) {
 	res := &Table1Result{}
+	var jobs []Job
 	for _, m := range Table1Models {
 		for _, devs := range DeviceCounts() {
-			row := Table1Row{Model: m, Devices: devs, Outcomes: map[System]Outcome{}}
 			g, mb, err := table1Graph(m, devs)
 			if err != nil {
 				return nil, err
 			}
+			res.Rows = append(res.Rows, Table1Row{Model: m, Devices: devs, Outcomes: map[System]Outcome{}})
 			for _, sys := range systems {
-				row.Outcomes[sys] = Run(sys, g, devs, mb, RunOptions{})
+				jobs = append(jobs, Job{System: sys, Graph: g, Devices: devs, MiniBatch: mb})
 			}
-			res.Rows = append(res.Rows, row)
 		}
+	}
+	for i, o := range RunGrid(jobs) {
+		res.Rows[i/len(systems)].Outcomes[o.System] = o
 	}
 	return res, nil
 }

@@ -1,0 +1,55 @@
+package planner
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+var (
+	regMu    sync.RWMutex
+	registry = make(map[string]Planner)
+)
+
+// Register adds a planner under its Name. Planner packages call it from an
+// init function; importing graphpipe/internal/planner/all registers every
+// built-in planner. Register panics on an empty name or a duplicate — both
+// are programmer errors that must fail loudly at process start.
+func Register(p Planner) {
+	name := p.Name()
+	if name == "" {
+		panic("planner: Register with empty name")
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("planner: Register called twice for %q", name))
+	}
+	registry[name] = p
+}
+
+// Get resolves a planner by name. The error lists the registered planners
+// so command-line typos are self-diagnosing.
+func Get(name string) (Planner, error) {
+	regMu.RLock()
+	p, ok := registry[name]
+	regMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("planner: unknown planner %q (registered: %s)",
+			name, strings.Join(Names(), ", "))
+	}
+	return p, nil
+}
+
+// Names returns the registered planner names, sorted.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
