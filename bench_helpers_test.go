@@ -13,3 +13,11 @@ func runCoreWith(g *graph.Graph, devices, miniBatch int, disableAnchored bool) e
 	return experiments.Run(experiments.GraphPipe, g, devices, miniBatch,
 		experiments.RunOptions{DisableSinkAnchoredSplits: disableAnchored})
 }
+
+// runOnBackend plans with the GraphPipe planner and evaluates on a named
+// backend from the eval registry, so the benchmarks can compare the
+// evaluation substrates themselves.
+func runOnBackend(g *graph.Graph, devices, miniBatch int, backend string) experiments.Outcome {
+	return experiments.Run(experiments.GraphPipe, g, devices, miniBatch,
+		experiments.RunOptions{Backend: backend})
+}

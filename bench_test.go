@@ -280,6 +280,29 @@ func BenchmarkA3Sequential8(b *testing.B)  { benchA3(b, 8) }
 func BenchmarkA3Sequential16(b *testing.B) { benchA3(b, 16) }
 func BenchmarkA3Sequential32(b *testing.B) { benchA3(b, 32) }
 
+// --- Evaluation backends ----------------------------------------------------
+//
+// One benchmark per registered evaluation backend: the same plan replayed
+// on the sequential simulator and the concurrent message-passing runtime.
+// The reported samples/s must agree (the eval parity tests pin equality);
+// the benchmark compares the evaluators' own wall-clock cost.
+
+func benchEvalBackend(b *testing.B, backend string) {
+	g := models.MMT(models.DefaultMMTConfig())
+	const devices, miniBatch = 8, 128
+	var out experiments.Outcome
+	for i := 0; i < b.N; i++ {
+		out = runOnBackend(g, devices, miniBatch, backend)
+	}
+	if out.Failed {
+		b.Fatal(out.Err)
+	}
+	b.ReportMetric(out.Throughput, backend+"_samples/s")
+}
+
+func BenchmarkEvalBackendSim(b *testing.B)     { benchEvalBackend(b, "sim") }
+func BenchmarkEvalBackendRuntime(b *testing.B) { benchEvalBackend(b, "runtime") }
+
 // --- Ablations of this reproduction's design choices -----------------------
 //
 // BenchmarkAblationSinkAnchored quantifies the sink-anchored parallel

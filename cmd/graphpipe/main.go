@@ -1,14 +1,23 @@
-// Command graphpipe plans a pipeline-parallel training strategy for one of
-// the paper's evaluation models, simulates a training iteration, and prints
-// the strategy, its schedule, and the achieved throughput.
+// Command graphpipe plans pipeline-parallel training strategies for the
+// paper's evaluation models, persists them as versioned JSON artifacts,
+// and (re-)evaluates them on any registered evaluation backend.
 //
-// Planners are resolved by name through the planner registry; any planner
-// registered via graphpipe/internal/planner is selectable with -planner.
+// Planners are resolved by name through the planner registry and
+// evaluation backends through the eval registry, so a plan can be
+// produced once, written to disk, and replayed anywhere:
+//
+//	graphpipe plan -model mmt -devices 8 -batch 128 -o plan.json
+//	graphpipe eval plan.json                  # simulator backend
+//	graphpipe eval -backend runtime plan.json # concurrent runtime backend
+//	graphpipe compare plan.json other.json    # side-by-side table
 //
 // Usage:
 //
-//	graphpipe -model mmt -devices 8 -batch 128 [-planner graphpipe|pipedream|piper]
-//	          [-branches N] [-micro B] [-workers N] [-gantt] [-verbose]
+//	graphpipe plan [-model M] [-devices N] [-batch B] [-planner P]
+//	               [-branches N] [-micro B] [-workers N] [-backend E]
+//	               [-o plan.json] [-gantt] [-verbose]
+//	graphpipe eval [-backend E] [-timeout D] [-gantt] [-verbose] plan.json
+//	graphpipe compare [-backend E] plan.json [plan2.json ...]
 package main
 
 import (
@@ -19,33 +28,86 @@ import (
 	"time"
 
 	"graphpipe/internal/cluster"
+	"graphpipe/internal/costmodel"
+	"graphpipe/internal/eval"
 	"graphpipe/internal/graph"
 	"graphpipe/internal/models"
 	"graphpipe/internal/planner"
-	"graphpipe/internal/sim"
+	"graphpipe/internal/strategy"
 	"graphpipe/internal/trace"
 
+	_ "graphpipe/internal/eval/all"    // register the built-in backends
 	_ "graphpipe/internal/planner/all" // register the built-in planners
 )
 
 func main() {
-	var (
-		modelName   = flag.String("model", "mmt", "model: mmt | dlrm | candle-uno | case-study | sequential")
-		plannerName = flag.String("planner", "graphpipe",
-			"planner: "+strings.Join(planner.Names(), " | "))
-		devices  = flag.Int("devices", 8, "number of devices (GPUs)")
-		batch    = flag.Int("batch", 0, "mini-batch size (default: the paper's size for the device count)")
-		branches = flag.Int("branches", 0, "override the model's branch count")
-		micro    = flag.Int("micro", 0, "force a fixed micro-batch size")
-		workers  = flag.Int("workers", 0, "planning worker pool size (0: one per CPU, 1: sequential)")
-		gantt    = flag.Bool("gantt", false, "print the pipeline schedule as an ASCII gantt chart")
-		verbose  = flag.Bool("verbose", false, "print the full stage listing")
-	)
-	flag.Parse()
-
-	g, defBatch, err := buildModel(*modelName, *branches, *devices)
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "plan":
+		err = cmdPlan(os.Args[2:])
+	case "eval":
+		err = cmdEval(os.Args[2:])
+	case "compare":
+		err = cmdCompare(os.Args[2:])
+	case "-h", "-help", "--help", "help":
+		usage()
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "graphpipe: unknown subcommand %q\n\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
 	if err != nil {
-		fatal(err)
+		fmt.Fprintln(os.Stderr, "graphpipe:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `graphpipe plans, persists, and evaluates pipeline-parallel strategies.
+
+Subcommands:
+  plan      discover a strategy and optionally write it as a JSON artifact
+  eval      load an artifact and evaluate it on a registered backend
+  compare   evaluate several artifacts side by side
+
+Planners:  %s
+Backends:  %s
+Models:    %s
+
+Run 'graphpipe <subcommand> -h' for flags.
+`, strings.Join(planner.Names(), " | "), strings.Join(eval.Names(), " | "),
+		strings.Join(models.Names(), " | "))
+}
+
+// cmdPlan plans a strategy, evaluates it once for the summary, and
+// optionally persists the artifact (with the evaluation recorded in its
+// metadata, so a later re-evaluation can be diffed against plan time).
+func cmdPlan(args []string) error {
+	fs := flag.NewFlagSet("plan", flag.ExitOnError)
+	var (
+		modelName   = fs.String("model", "mmt", "model: "+strings.Join(models.Names(), " | "))
+		plannerName = fs.String("planner", "graphpipe",
+			"planner: "+strings.Join(planner.Names(), " | "))
+		devices  = fs.Int("devices", 8, "number of devices (GPUs)")
+		batch    = fs.Int("batch", 0, "mini-batch size (default: the paper's size for the device count)")
+		branches = fs.Int("branches", 0, "override the model's branch count")
+		micro    = fs.Int("micro", 0, "force a fixed micro-batch size")
+		workers  = fs.Int("workers", 0, "planning worker pool size (0: one per CPU, 1: sequential)")
+		backend  = fs.String("backend", "sim", "evaluation backend: "+strings.Join(eval.Names(), " | "))
+		out      = fs.String("o", "", "write the strategy artifact to this file")
+		gantt    = fs.Bool("gantt", false, "print the pipeline schedule as an ASCII gantt chart")
+		verbose  = fs.Bool("verbose", false, "print the full stage listing")
+	)
+	fs.Parse(args)
+
+	g, defBatch, err := models.Build(*modelName, *branches, *devices)
+	if err != nil {
+		return err
 	}
 	mb := *batch
 	if mb == 0 {
@@ -54,10 +116,14 @@ func main() {
 
 	pl, err := planner.Get(*plannerName)
 	if err != nil {
-		fatal(err)
+		return err
+	}
+	ev, err := eval.Get(*backend)
+	if err != nil {
+		return err
 	}
 	topo := cluster.NewSummitTopology(*devices)
-	model := planner.Options{}.Model(topo)
+	model := costmodel.NewDefault(topo)
 
 	start := time.Now()
 	st, stats, err := pl.Plan(g, topo, mb, planner.Options{
@@ -66,68 +132,182 @@ func main() {
 		CostModel:        model,
 	})
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	searchTime := time.Since(start)
 
-	res, err := sim.New(g, model).Run(st)
+	rep, err := ev.Evaluate(g, topo, st, eval.Options{CostModel: model})
 	if err != nil {
-		fatal(err)
+		return err
 	}
 
 	fmt.Printf("model      %s (%d ops)\n", g.Name(), g.Len())
 	fmt.Printf("devices    %d   mini-batch %d\n", *devices, mb)
 	fmt.Printf("planner    %s   search %.3fs   dp-states %d\n",
 		pl.Name(), searchTime.Seconds(), stats.DPStates)
-	fmt.Printf("result     %s\n", trace.Summary(st, res))
-	if *verbose {
+	fmt.Printf("backend    %s\n", rep.Backend)
+	fmt.Printf("result     %s\n", trace.Summary(st, rep))
+	printDetails(st, rep, *verbose, *gantt)
+
+	if *out != "" {
+		art := &strategy.Artifact{
+			Model:     *modelName,
+			Branches:  *branches,
+			Devices:   *devices,
+			MiniBatch: mb,
+			Planner: strategy.PlannerMeta{
+				Name:          pl.Name(),
+				SearchSeconds: searchTime.Seconds(),
+				DPStates:      stats.DPStates,
+				BinaryIters:   stats.BinaryIters,
+			},
+			Evals: []strategy.EvalMeta{{
+				Backend:       rep.Backend,
+				IterationTime: rep.IterationTime,
+				Throughput:    rep.Throughput,
+			}},
+			Strategy: st,
+		}
+		data, err := strategy.EncodeArtifact(art)
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("artifact   %s (version %d, %d bytes)\n", *out, art.Version, len(data)+1)
+	}
+	return nil
+}
+
+// loadArtifact reads, decodes, and fully checks an artifact: version,
+// planner name against the registry, and strategy validity (C1–C4)
+// against the rebuilt graph and topology. It returns everything eval and
+// compare need to replay the plan.
+func loadArtifact(path string) (*strategy.Artifact, *graph.Graph, *cluster.Topology, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	art, err := strategy.DecodeArtifact(data)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if err := art.CheckPlanner(planner.Names()); err != nil {
+		return nil, nil, nil, fmt.Errorf("%s: %w", path, err)
+	}
+	g, _, err := models.Build(art.Model, art.Branches, art.Devices)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("%s: %w", path, err)
+	}
+	topo := cluster.NewSummitTopology(art.Devices)
+	if err := art.Validate(g, topo); err != nil {
+		return nil, nil, nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return art, g, topo, nil
+}
+
+// cmdEval loads a persisted plan and evaluates it on the selected
+// backend, reporting drift against the evaluations recorded at plan time.
+func cmdEval(args []string) error {
+	fs := flag.NewFlagSet("eval", flag.ExitOnError)
+	var (
+		backend = fs.String("backend", "sim", "evaluation backend: "+strings.Join(eval.Names(), " | "))
+		timeout = fs.Duration("timeout", 0, "wall-clock deadlock guard for concurrent backends (0: backend default)")
+		gantt   = fs.Bool("gantt", false, "print the pipeline schedule as an ASCII gantt chart")
+		verbose = fs.Bool("verbose", false, "print the full stage listing")
+	)
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("eval: want exactly one artifact file, got %d", fs.NArg())
+	}
+
+	ev, err := eval.Get(*backend)
+	if err != nil {
+		return err
+	}
+	art, g, topo, err := loadArtifact(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	rep, err := ev.Evaluate(g, topo, art.Strategy, eval.Options{Timeout: *timeout})
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("artifact   %s (version %d)\n", fs.Arg(0), art.Version)
+	fmt.Printf("model      %s (%d ops)   devices %d   mini-batch %d\n",
+		g.Name(), g.Len(), art.Devices, art.Strategy.MiniBatch)
+	fmt.Printf("planner    %s   search %.3fs\n", art.Planner.Name, art.Planner.SearchSeconds)
+	fmt.Printf("backend    %s\n", rep.Backend)
+	fmt.Printf("result     %s\n", trace.Summary(art.Strategy, rep))
+	for _, em := range art.Evals {
+		drift := 0.0
+		if em.Throughput > 0 {
+			drift = (rep.Throughput - em.Throughput) / em.Throughput * 100
+		}
+		fmt.Printf("recorded   %s: %.4g samples/s at plan time (drift %+.2f%%)\n",
+			em.Backend, em.Throughput, drift)
+	}
+	printDetails(art.Strategy, rep, *verbose, *gantt)
+	return nil
+}
+
+// cmdCompare evaluates several artifacts on one backend and prints them
+// side by side — the "which plan do we ship" table.
+func cmdCompare(args []string) error {
+	fs := flag.NewFlagSet("compare", flag.ExitOnError)
+	backend := fs.String("backend", "sim", "evaluation backend: "+strings.Join(eval.Names(), " | "))
+	fs.Parse(args)
+	if fs.NArg() < 1 {
+		return fmt.Errorf("compare: want at least one artifact file")
+	}
+	ev, err := eval.Get(*backend)
+	if err != nil {
+		return err
+	}
+
+	table := trace.NewCSV("artifact", "model", "planner", "devices", "mini_batch",
+		"stages", "depth", "iteration_s", "samples_per_s", "peak_mem_gb")
+	throughputs := make([]float64, fs.NArg())
+	for i := 0; i < fs.NArg(); i++ {
+		path := fs.Arg(i)
+		art, g, topo, err := loadArtifact(path)
+		if err != nil {
+			return err
+		}
+		rep, err := ev.Evaluate(g, topo, art.Strategy, eval.Options{})
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		throughputs[i] = rep.Throughput
+		table.Add(path, art.Model, art.Planner.Name, art.Devices, art.Strategy.MiniBatch,
+			art.Strategy.NumStages(), art.Strategy.Depth(),
+			rep.IterationTime, rep.Throughput, rep.PeakMemory()/1e9)
+	}
+	fmt.Printf("backend %s\n\n%s", *backend, table.Markdown())
+	if baseline := throughputs[0]; fs.NArg() > 1 && baseline > 0 {
+		fmt.Printf("\n(throughputs relative to %s: ", fs.Arg(0))
+		for i := range throughputs {
+			if i > 0 {
+				fmt.Print(", ")
+			}
+			fmt.Printf("%s %.2fx", fs.Arg(i), throughputs[i]/baseline)
+		}
+		fmt.Println(")")
+	}
+	return nil
+}
+
+// printDetails renders the optional stage listing and gantt chart shared
+// by plan and eval.
+func printDetails(st *strategy.Strategy, rep *eval.Report, verbose, gantt bool) {
+	if verbose {
 		fmt.Println()
 		fmt.Print(st.String())
 	}
-	if *gantt {
+	if gantt {
 		fmt.Println()
-		fmt.Print(trace.Gantt(st, res, 110))
+		fmt.Print(trace.Gantt(st, rep, 110))
 	}
-}
-
-func buildModel(name string, branches, devices int) (*graph.Graph, int, error) {
-	switch name {
-	case "mmt":
-		cfg := models.DefaultMMTConfig()
-		if branches > 0 {
-			cfg.Branches = branches
-		}
-		mb, err := models.PaperMiniBatch("mmt", devices)
-		if err != nil {
-			mb = 32 * devices
-		}
-		return models.MMT(cfg), mb, nil
-	case "dlrm":
-		mb, err := models.PaperMiniBatch("dlrm", devices)
-		if err != nil {
-			mb = 64 * devices
-		}
-		return models.DLRM(models.DefaultDLRMConfig()), mb, nil
-	case "candle-uno":
-		cfg := models.DefaultCANDLEUnoConfig()
-		if branches > 0 {
-			cfg.Branches = branches
-		}
-		mb, err := models.PaperMiniBatch("candle-uno", devices)
-		if err != nil {
-			mb = 1024 * devices
-		}
-		return models.CANDLEUno(cfg), mb, nil
-	case "case-study":
-		return models.CaseStudy(models.DefaultCaseStudyConfig()), 64, nil
-	case "sequential":
-		return models.SequentialTransformer(32), 16 * devices, nil
-	default:
-		return nil, 0, fmt.Errorf("unknown model %q", name)
-	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "graphpipe:", err)
-	os.Exit(1)
 }

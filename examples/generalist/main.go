@@ -11,46 +11,67 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"graphpipe/internal/cluster"
 	"graphpipe/internal/core"
 	"graphpipe/internal/costmodel"
+	"graphpipe/internal/eval"
 	"graphpipe/internal/models"
-	"graphpipe/internal/sim"
 	"graphpipe/internal/trace"
+
+	_ "graphpipe/internal/eval/all" // register the evaluation backends
 )
 
 func main() {
-	g := models.Generalist(models.DefaultGeneralistConfig())
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// modelCfg and miniBatch are the demo's workload; the smoke test shrinks
+// them so CI exercises both search modes without the full-size search.
+var (
+	modelCfg  = models.DefaultGeneralistConfig()
+	miniBatch = 256
+)
+
+func run(w io.Writer) error {
+	g := models.Generalist(modelCfg)
 	topo := cluster.NewSummitTopology(8)
 	model := costmodel.NewDefault(topo)
-	const miniBatch = 256
+	ev, err := eval.Get("sim")
+	if err != nil {
+		return err
+	}
 
 	for _, perStage := range []bool{false, true} {
 		planner, err := core.NewPlanner(g, model, core.Options{PerStageMicroBatch: perStage})
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		r, err := planner.Plan(miniBatch)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
-		res, err := sim.New(g, model).Run(r.Strategy)
+		rep, err := ev.Evaluate(g, topo, r.Strategy, eval.Options{CostModel: model})
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		mode := "uniform micro-batch "
 		if perStage {
 			mode = "per-stage micro-batch"
 		}
-		fmt.Printf("%s: %s\n", mode, trace.Summary(r.Strategy, res))
+		fmt.Fprintf(w, "%s: %s\n", mode, trace.Summary(r.Strategy, rep))
 		if perStage {
 			for i := range r.Strategy.Stages {
 				st := &r.Strategy.Stages[i]
-				fmt.Printf("  S%-2d µB=%-4d ops=%d devices=%v\n",
+				fmt.Fprintf(w, "  S%-2d µB=%-4d ops=%d devices=%v\n",
 					i, st.Config.MicroBatch, st.Ops.Len(), st.Devices)
 			}
 		}
 	}
+	return nil
 }

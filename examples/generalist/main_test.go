@@ -1,0 +1,33 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"graphpipe/internal/models"
+)
+
+// TestGeneralistSmoke runs the example end to end: both the uniform and
+// the per-stage micro-batch plans must evaluate and render. The workload
+// is shrunk — the per-stage search on the full demo model takes minutes,
+// which is the benchmark suite's budget, not a smoke test's.
+func TestGeneralistSmoke(t *testing.T) {
+	defer func(cfg models.GeneralistConfig, mb int) {
+		modelCfg, miniBatch = cfg, mb
+	}(modelCfg, miniBatch)
+	modelCfg.TextLayers = 2
+	modelCfg.TabularLayers = 2
+	modelCfg.EmbedTowers = 2
+	miniBatch = 64
+
+	var sb strings.Builder
+	if err := run(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"uniform micro-batch", "per-stage micro-batch", "throughput"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}

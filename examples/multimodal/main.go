@@ -9,64 +9,82 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 	"time"
 
 	"graphpipe/internal/baselines/pipedream"
 	"graphpipe/internal/cluster"
 	"graphpipe/internal/core"
 	"graphpipe/internal/costmodel"
+	"graphpipe/internal/eval"
 	"graphpipe/internal/models"
-	"graphpipe/internal/sim"
+
+	_ "graphpipe/internal/eval/all" // register the evaluation backends
 )
 
+// deviceCounts is the sweep; the smoke test narrows it to keep CI fast.
+var deviceCounts = []int{4, 8, 16, 32}
+
 func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(w io.Writer) error {
 	g := models.MMT(models.DefaultMMTConfig())
-	fmt.Printf("%-8s %-12s %-22s %-22s %s\n", "devices", "mini-batch",
+	ev, err := eval.Get("sim")
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%-8s %-12s %-22s %-22s %s\n", "devices", "mini-batch",
 		"graphpipe (samples/s)", "pipedream (samples/s)", "speedup")
 
-	for _, devices := range []int{4, 8, 16, 32} {
+	for _, devices := range deviceCounts {
 		miniBatch, err := models.PaperMiniBatch("mmt", devices)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		topo := cluster.NewSummitTopology(devices)
 		model := costmodel.NewDefault(topo)
-		sm := sim.New(g, model)
+		opts := eval.Options{CostModel: model}
 
 		// GraphPipe: topology-aware graph pipeline stages.
 		t0 := time.Now()
 		planner, err := core.NewPlanner(g, model, core.Options{})
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		gp, err := planner.Plan(miniBatch)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		gpSearch := time.Since(t0)
-		gpRes, err := sm.Run(gp.Strategy)
+		gpRes, err := ev.Evaluate(g, topo, gp.Strategy, opts)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 
 		// PipeDream: linearized sequential pipeline.
 		pd, err := pipedream.NewPlanner(g, model, pipedream.Options{}).Plan(miniBatch)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
-		pdRes, err := sm.Run(pd.Strategy)
+		pdRes, err := ev.Evaluate(g, topo, pd.Strategy, opts)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 
-		fmt.Printf("%-8d %-12d %-22s %-22s %.2fx\n",
+		fmt.Fprintf(w, "%-8d %-12d %-22s %-22s %.2fx\n",
 			devices, miniBatch,
 			fmt.Sprintf("%.0f (depth %d, %.1fs)", gpRes.Throughput, gp.Strategy.Depth(), gpSearch.Seconds()),
 			fmt.Sprintf("%.0f (depth %d)", pdRes.Throughput, pd.Strategy.Depth()),
 			gpRes.Throughput/pdRes.Throughput)
 	}
-	fmt.Println("\nGraph pipeline parallelism executes the four modality branches")
-	fmt.Println("concurrently, halving-or-better the pipeline depth; the gap widens")
-	fmt.Println("with the device count (paper §7.1).")
+	fmt.Fprintln(w, "\nGraph pipeline parallelism executes the four modality branches")
+	fmt.Fprintln(w, "concurrently, halving-or-better the pipeline depth; the gap widens")
+	fmt.Fprintln(w, "with the device count (paper §7.1).")
+	return nil
 }

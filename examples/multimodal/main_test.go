@@ -1,0 +1,28 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestMultimodalSmoke runs the example's sweep end to end on the two
+// smallest cluster sizes (the full 16/32-device sweep is the benchmark
+// suite's job, not a smoke test's).
+func TestMultimodalSmoke(t *testing.T) {
+	defer func(full []int) { deviceCounts = full }(deviceCounts)
+	deviceCounts = []int{4, 8}
+
+	var sb strings.Builder
+	if err := run(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"devices", "graphpipe", "pipedream", "speedup"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if lines := strings.Count(out, "x\n"); lines < 2 {
+		t.Errorf("expected one result row per device count, got output:\n%s", out)
+	}
+}

@@ -8,23 +8,33 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"graphpipe/internal/cluster"
 	"graphpipe/internal/core"
 	"graphpipe/internal/costmodel"
+	"graphpipe/internal/eval"
 	"graphpipe/internal/models"
-	"graphpipe/internal/sim"
 	"graphpipe/internal/trace"
+
+	_ "graphpipe/internal/eval/all" // register the evaluation backends
 )
 
 func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(w io.Writer) error {
 	// 1. Build a computation graph. The model zoo replicates the paper's
 	// evaluation models; here: a two-branch Multi-Modal Transformer.
 	cfg := models.DefaultMMTConfig()
 	cfg.Branches = 2
 	g := models.MMT(cfg)
-	fmt.Printf("model: %s with %d operators\n", g.Name(), g.Len())
+	fmt.Fprintf(w, "model: %s with %d operators\n", g.Name(), g.Len())
 
 	// 2. Describe the cluster: 8 V100-class GPUs, 4 per node (NVLink
 	// within a node, InfiniBand between nodes), as on the paper's testbed.
@@ -36,20 +46,28 @@ func main() {
 	// micro-batch sizes, and schedules every forward/backward pass.
 	planner, err := core.NewPlanner(g, model, core.Options{})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	const miniBatch = 128
 	result, err := planner.Plan(miniBatch)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("\nstrategy:\n%s\n", result.Strategy)
+	fmt.Fprintf(w, "\nstrategy:\n%s\n", result.Strategy)
 
-	// 4. Execute one training iteration on the simulated cluster.
-	out, err := sim.New(g, model).Run(result.Strategy)
+	// 4. Execute one training iteration through the evaluation layer. The
+	// "sim" backend is the sequential discrete-event simulator; swap the
+	// name for "runtime" to replay the same plan on the concurrent
+	// message-passing runtime — the report is identical.
+	ev, err := eval.Get("sim")
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Println(trace.Summary(result.Strategy, out))
-	fmt.Printf("\npipeline schedule:\n%s", trace.Gantt(result.Strategy, out, 100))
+	rep, err := ev.Evaluate(g, topo, result.Strategy, eval.Options{CostModel: model})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, trace.Summary(result.Strategy, rep))
+	fmt.Fprintf(w, "\npipeline schedule:\n%s", trace.Gantt(result.Strategy, rep, 100))
+	return nil
 }

@@ -1,0 +1,22 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestQuickstartSmoke runs the full example end to end — plan, evaluate,
+// render — so CI catches API drift in what the documentation tells users
+// to do first.
+func TestQuickstartSmoke(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"model:", "strategy:", "throughput", "pipeline schedule:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -52,7 +52,7 @@ var ErrNoStrategy = errors.New("pipedream: no valid strategy found")
 // Planner is the PipeDream baseline planner.
 type Planner struct {
 	g     *graph.Graph
-	model *costmodel.Model
+	model costmodel.Model
 	topo  *cluster.Topology
 	opts  Options
 	order []graph.NodeID // linearized operator chain
@@ -60,7 +60,7 @@ type Planner struct {
 
 // NewPlanner constructs the planner. Any DAG is accepted: linearization
 // imposes a total order regardless of branches.
-func NewPlanner(g *graph.Graph, model *costmodel.Model, opts Options) *Planner {
+func NewPlanner(g *graph.Graph, model costmodel.Model, opts Options) *Planner {
 	if opts.MaxMicroBatch == 0 {
 		opts.MaxMicroBatch = 4096
 	}

@@ -9,7 +9,7 @@ import (
 	"graphpipe/internal/sim"
 )
 
-func plan(t testing.TB, devices, mini int, opts Options) (*Result, *costmodel.Model) {
+func plan(t testing.TB, devices, mini int, opts Options) (*Result, costmodel.Model) {
 	t.Helper()
 	g := models.SequentialTransformer(8)
 	topo := cluster.NewSummitTopology(devices)

@@ -65,13 +65,13 @@ var ErrNoStrategy = errors.New("piper: no valid strategy found")
 // Planner is the Piper baseline planner.
 type Planner struct {
 	g     *graph.Graph
-	model *costmodel.Model
+	model costmodel.Model
 	topo  *cluster.Topology
 	opts  Options
 }
 
 // NewPlanner constructs the planner.
-func NewPlanner(g *graph.Graph, model *costmodel.Model, opts Options) *Planner {
+func NewPlanner(g *graph.Graph, model costmodel.Model, opts Options) *Planner {
 	if opts.MaxMicroBatch == 0 {
 		opts.MaxMicroBatch = 4096
 	}

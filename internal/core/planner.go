@@ -112,7 +112,7 @@ var ErrNoStrategy = errors.New("core: no valid strategy found")
 // Planner discovers GPP strategies for one model on one topology.
 type Planner struct {
 	g     *graph.Graph
-	model *costmodel.Model
+	model costmodel.Model
 	topo  *cluster.Topology
 	dec   *spgraph.Decomposer
 	opts  Options
@@ -221,7 +221,7 @@ func (zt *zoneTable) resolveAll(root int) {
 
 // NewPlanner constructs a planner. The graph must have a single source and
 // sink (spgraph.Validate).
-func NewPlanner(g *graph.Graph, model *costmodel.Model, opts Options) (*Planner, error) {
+func NewPlanner(g *graph.Graph, model costmodel.Model, opts Options) (*Planner, error) {
 	if err := spgraph.Validate(g); err != nil {
 		return nil, err
 	}

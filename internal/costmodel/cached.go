@@ -1,0 +1,157 @@
+package costmodel
+
+import (
+	"sync"
+
+	"graphpipe/internal/cluster"
+	"graphpipe/internal/graph"
+)
+
+// Cached memoizes the stage-level queries of an underlying Model. Planner
+// searches and the evaluation backends query the same (ops, micro-batch,
+// data-parallel, locality) stage configurations over and over — a binary
+// search re-probes identical zones hundreds of times, and every evaluator
+// replay re-derives the costs the planner already computed. Threading one
+// Cached instance through the planner and the evaluators computes each
+// distinct stage once per instance instead of once per caller.
+//
+// The cache is sharded by key hash so the parallel planner's workers and
+// concurrent evaluator replays do not serialize on a single lock.
+// Per-operator queries (OpForwardTime, OpBackwardTime) are already cheap
+// and pass through uncached.
+//
+// The cache never evicts: entries (and the graphs their keys pin) live as
+// long as the Cached value. Scope an instance to a workload — one plan +
+// its evaluations, one experiment cell — rather than holding one for the
+// lifetime of a long-running service.
+type Cached struct {
+	inner  Model
+	shards [cacheShards]cacheShard
+}
+
+const cacheShards = 64
+
+type cacheShard struct {
+	mu    sync.RWMutex
+	stage map[stageKey]StageCosts
+	tps   map[tpsKey]float64
+}
+
+// stageKey identifies one Stage query. NodeSet.Key is a compact canonical
+// string of the operator set — but operator indices are only meaningful
+// within one graph, so the key also carries the graph's identity: one
+// Cached model may serve evaluations of different graphs over the same
+// topology (e.g. two artifacts replayed back to back), and op-index
+// collisions between graphs must not alias their costs.
+type stageKey struct {
+	g                  *graph.Graph
+	ops                string
+	microBatch         int
+	dataPar            int
+	interNode          bool
+	interNodeAllreduce bool
+}
+
+type tpsKey struct {
+	stageKey
+	miniBatch int
+}
+
+// NewCached wraps inner with a memoizing layer. It is safe for concurrent
+// use if inner is.
+func NewCached(inner Model) *Cached {
+	c := &Cached{inner: inner}
+	for i := range c.shards {
+		c.shards[i].stage = make(map[stageKey]StageCosts)
+		c.shards[i].tps = make(map[tpsKey]float64)
+	}
+	return c
+}
+
+func keyOf(g *graph.Graph, cfg StageConfig) stageKey {
+	return stageKey{
+		g:                  g,
+		ops:                cfg.Ops.Key(),
+		microBatch:         cfg.MicroBatch,
+		dataPar:            cfg.DataPar,
+		interNode:          cfg.InterNode,
+		interNodeAllreduce: cfg.InterNodeAllreduce,
+	}
+}
+
+// shardFor hashes the operator-set key (FNV-1a over the canonical string)
+// to pick a shard; the other key fields vary far less than the op set.
+func (c *Cached) shardFor(ops string) *cacheShard {
+	h := uint32(2166136261)
+	for i := 0; i < len(ops); i++ {
+		h = (h ^ uint32(ops[i])) * 16777619
+	}
+	return &c.shards[h%cacheShards]
+}
+
+// Topology returns the underlying model's topology.
+func (c *Cached) Topology() *cluster.Topology { return c.inner.Topology() }
+
+// OpForwardTime passes through to the underlying model.
+func (c *Cached) OpForwardTime(op graph.Op, perDeviceBatch float64, dev cluster.Device) float64 {
+	return c.inner.OpForwardTime(op, perDeviceBatch, dev)
+}
+
+// OpBackwardTime passes through to the underlying model.
+func (c *Cached) OpBackwardTime(op graph.Op, perDeviceBatch float64, dev cluster.Device) float64 {
+	return c.inner.OpBackwardTime(op, perDeviceBatch, dev)
+}
+
+// Stage returns the memoized stage costs, computing them on first use. The
+// underlying model runs outside the shard lock; concurrent callers may
+// duplicate a computation, but the value is deterministic so either write
+// is correct.
+func (c *Cached) Stage(g *graph.Graph, cfg StageConfig) StageCosts {
+	key := keyOf(g, cfg)
+	sh := c.shardFor(key.ops)
+	sh.mu.RLock()
+	costs, ok := sh.stage[key]
+	sh.mu.RUnlock()
+	if ok {
+		return costs
+	}
+	costs = c.inner.Stage(g, cfg)
+	sh.mu.Lock()
+	sh.stage[key] = costs
+	sh.mu.Unlock()
+	return costs
+}
+
+// TPS returns the memoized time-per-sample of the stage.
+func (c *Cached) TPS(g *graph.Graph, cfg StageConfig, miniBatch int) float64 {
+	key := tpsKey{stageKey: keyOf(g, cfg), miniBatch: miniBatch}
+	sh := c.shardFor(key.ops)
+	sh.mu.RLock()
+	tps, ok := sh.tps[key]
+	sh.mu.RUnlock()
+	if ok {
+		return tps
+	}
+	tps = c.inner.TPS(g, cfg, miniBatch)
+	sh.mu.Lock()
+	sh.tps[key] = tps
+	sh.mu.Unlock()
+	return tps
+}
+
+// StageMemory derives the stage's memory from the memoized stage costs.
+func (c *Cached) StageMemory(g *graph.Graph, cfg StageConfig, inFlightSamples int) float64 {
+	costs := c.Stage(g, cfg)
+	return costs.WeightBytes + costs.ActivationBytesPerSample*float64(inFlightSamples)
+}
+
+// FitsMemory reports whether the stage satisfies the device memory budget.
+func (c *Cached) FitsMemory(g *graph.Graph, cfg StageConfig, inFlightSamples int) bool {
+	return c.StageMemory(g, cfg, inFlightSamples) <= c.inner.Topology().MinMemory()
+}
+
+// MaxTPS passes through to the underlying model (one call per Plan, not
+// worth caching).
+func (c *Cached) MaxTPS(g *graph.Graph, miniBatch int) float64 {
+	return c.inner.MaxTPS(g, miniBatch)
+}

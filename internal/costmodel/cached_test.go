@@ -1,0 +1,114 @@
+package costmodel
+
+import (
+	"sync"
+	"testing"
+
+	"graphpipe/internal/cluster"
+	"graphpipe/internal/graph"
+)
+
+// TestCachedMatchesAnalytic pins that the memoizing layer is transparent:
+// every query answers exactly what the wrapped model answers, on first use
+// and on cache hits.
+func TestCachedMatchesAnalytic(t *testing.T) {
+	g := testGraph(t)
+	topo := cluster.NewSummitTopology(8)
+	plain := New(DefaultParams(), topo)
+	cached := NewCached(New(DefaultParams(), topo))
+
+	var cfgs []StageConfig
+	for pick := 1; pick < 1<<uint(g.Len()); pick++ {
+		set := graph.NewNodeSet(g.Len())
+		for i := 0; i < g.Len(); i++ {
+			if pick&(1<<uint(i)) != 0 {
+				set.Add(graph.NodeID(i))
+			}
+		}
+		for _, b := range []int{1, 4, 16} {
+			for _, d := range []int{1, 2} {
+				cfgs = append(cfgs, StageConfig{
+					Ops: set, MicroBatch: b, DataPar: d,
+					InterNode: pick%2 == 0, InterNodeAllreduce: d > 1 && pick%3 == 0,
+				})
+			}
+		}
+	}
+	for round := 0; round < 2; round++ { // round 2 exercises cache hits
+		for _, cfg := range cfgs {
+			if got, want := cached.Stage(g, cfg), plain.Stage(g, cfg); got != want {
+				t.Fatalf("Stage(%+v) = %+v, want %+v", cfg, got, want)
+			}
+			if got, want := cached.TPS(g, cfg, 64), plain.TPS(g, cfg, 64); got != want {
+				t.Fatalf("TPS(%+v) = %g, want %g", cfg, got, want)
+			}
+			if got, want := cached.StageMemory(g, cfg, 8), plain.StageMemory(g, cfg, 8); got != want {
+				t.Fatalf("StageMemory(%+v) = %g, want %g", cfg, got, want)
+			}
+			if got, want := cached.FitsMemory(g, cfg, 8), plain.FitsMemory(g, cfg, 8); got != want {
+				t.Fatalf("FitsMemory(%+v) = %v, want %v", cfg, got, want)
+			}
+		}
+	}
+	if got, want := cached.MaxTPS(g, 64), plain.MaxTPS(g, 64); got != want {
+		t.Fatalf("MaxTPS = %g, want %g", got, want)
+	}
+	if cached.Topology() != topo {
+		t.Fatal("Topology not passed through")
+	}
+}
+
+// TestCachedDistinguishesGraphs pins that one Cached model serving two
+// different graphs never aliases their costs: operator indices overlap
+// between graphs, so the memo key must carry the graph identity.
+func TestCachedDistinguishesGraphs(t *testing.T) {
+	topo := cluster.NewSummitTopology(4)
+	plain := New(DefaultParams(), topo)
+	cached := NewCached(New(DefaultParams(), topo))
+
+	light := testGraph(t)
+	heavy := func() *graph.Graph {
+		b := graph.NewBuilder("heavy")
+		in := b.AddOp(graph.Op{Name: "in", Kind: graph.OpInput, OutputBytes: 1e3})
+		l1 := b.AddOp(graph.Op{Name: "l1", Kind: graph.OpLinear, FwdFLOPs: 7e11, ParamBytes: 3e8, ActivationBytes: 1e6, OutputBytes: 1e5})
+		l2 := b.AddOp(graph.Op{Name: "l2", Kind: graph.OpLinear, FwdFLOPs: 9e11, ParamBytes: 5e8, ActivationBytes: 2e6, OutputBytes: 1e5})
+		em := b.AddOp(graph.Op{Name: "emb", Kind: graph.OpEmbedding, FwdFLOPs: 1e6, ParamBytes: 1e9, ActivationBytes: 1e5, OutputBytes: 1e5})
+		b.Chain(in, l1, l2)
+		b.Connect(in, em)
+		return b.MustBuild()
+	}()
+
+	// Same op-index set {0,1,2}, same config — different graphs.
+	cfg := StageConfig{Ops: graph.NodeSetOf(0, 1, 2), MicroBatch: 4, DataPar: 1}
+	for _, g := range []*graph.Graph{light, heavy, light, heavy} { // repeats hit the cache
+		if got, want := cached.Stage(g, cfg), plain.Stage(g, cfg); got != want {
+			t.Fatalf("graph %s: cached Stage aliased another graph's costs:\n%+v\nwant\n%+v",
+				g.Name(), got, want)
+		}
+	}
+}
+
+// TestCachedConcurrent hammers one cache from many goroutines; run with
+// -race this pins the sharded locking.
+func TestCachedConcurrent(t *testing.T) {
+	g := testGraph(t)
+	cached := NewCached(New(DefaultParams(), cluster.NewSummitTopology(8)))
+	want := cached.Stage(g, StageConfig{Ops: g.AllNodes(), MicroBatch: 4, DataPar: 2})
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for b := 1; b <= 64; b *= 2 {
+				cfg := StageConfig{Ops: g.AllNodes(), MicroBatch: b, DataPar: 1 + i%2}
+				cached.Stage(g, cfg)
+				cached.TPS(g, cfg, 128)
+			}
+			got := cached.Stage(g, StageConfig{Ops: g.AllNodes(), MicroBatch: 4, DataPar: 2})
+			if got != want {
+				t.Errorf("concurrent Stage mismatch: %+v vs %+v", got, want)
+			}
+		}(i)
+	}
+	wg.Wait()
+}

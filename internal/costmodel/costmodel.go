@@ -65,31 +65,71 @@ func DefaultParams() Params {
 	}
 }
 
-// Model evaluates stage costs against a device topology.
-type Model struct {
+// Model is the cost-model contract shared by the planners and both
+// evaluation backends: per-operator pass times, aggregate stage costs, the
+// TPS objective (Equation 1), and the memory feasibility checks
+// (Equation 2). Implementations must be safe for concurrent use — the
+// parallel planner and the experiment grid both query one model from many
+// goroutines. Analytic is the roofline implementation; Cached memoizes any
+// Model so repeated stage queries (planner probes, evaluator replays) are
+// computed once.
+type Model interface {
+	// Topology returns the device topology the model was built over.
+	Topology() *cluster.Topology
+	// OpForwardTime returns the forward-pass time of op for perDeviceBatch
+	// samples on a single device dev.
+	OpForwardTime(op graph.Op, perDeviceBatch float64, dev cluster.Device) float64
+	// OpBackwardTime returns the backward-pass time of op for
+	// perDeviceBatch samples on a single device dev.
+	OpBackwardTime(op graph.Op, perDeviceBatch float64, dev cluster.Device) float64
+	// Stage computes the costs of a candidate stage over computation graph
+	// g.
+	Stage(g *graph.Graph, cfg StageConfig) StageCosts
+	// TPS returns the steady-state time the stage adds per training sample
+	// (Equation 1).
+	TPS(g *graph.Graph, cfg StageConfig, miniBatch int) float64
+	// StageMemory returns the per-device memory of the stage with
+	// inFlightSamples samples' activations resident (Equation 2).
+	StageMemory(g *graph.Graph, cfg StageConfig, inFlightSamples int) float64
+	// FitsMemory reports whether the stage satisfies the device memory
+	// budget.
+	FitsMemory(g *graph.Graph, cfg StageConfig, inFlightSamples int) bool
+	// MaxTPS returns a safe upper bound for the bottleneck TPS (the MAXTPS
+	// of Algorithm 1).
+	MaxTPS(g *graph.Graph, miniBatch int) float64
+}
+
+// Analytic is the roofline cost model: deterministic, closed-form stage
+// costs against a device topology.
+type Analytic struct {
 	params Params
 	topo   *cluster.Topology
 }
 
-// New returns a Model with the given parameters over the topology.
-func New(params Params, topo *cluster.Topology) *Model {
-	return &Model{params: params, topo: topo}
+// New returns an Analytic model with the given parameters over the
+// topology.
+func New(params Params, topo *cluster.Topology) *Analytic {
+	return &Analytic{params: params, topo: topo}
 }
 
-// NewDefault returns a Model with DefaultParams.
-func NewDefault(topo *cluster.Topology) *Model {
-	return New(DefaultParams(), topo)
+// NewDefault returns a memoizing cost model with DefaultParams: the
+// Analytic roofline wrapped in a Cached layer. Memoization is per
+// instance — callers that want planner probes and evaluator replays to
+// share stage costs must thread one model value through both (as
+// cmd/graphpipe's plan subcommand and the experiments harness do).
+func NewDefault(topo *cluster.Topology) Model {
+	return NewCached(New(DefaultParams(), topo))
 }
 
 // Topology returns the device topology the model was built over.
-func (m *Model) Topology() *cluster.Topology { return m.topo }
+func (m *Analytic) Topology() *cluster.Topology { return m.topo }
 
 // Params returns the model parameters.
-func (m *Model) Params() Params { return m.params }
+func (m *Analytic) Params() Params { return m.params }
 
 // efficiency returns the fraction of peak FLOPS an operator achieves at
 // perDeviceBatch samples.
-func (m *Model) efficiency(kind graph.OpKind, perDeviceBatch float64) float64 {
+func (m *Analytic) efficiency(kind graph.OpKind, perDeviceBatch float64) float64 {
 	half, ok := m.params.HalfSat[kind]
 	if !ok {
 		half = 4
@@ -102,13 +142,13 @@ func (m *Model) efficiency(kind graph.OpKind, perDeviceBatch float64) float64 {
 
 // OpForwardTime returns the forward-pass time of op for perDeviceBatch
 // samples on a single device dev.
-func (m *Model) OpForwardTime(op graph.Op, perDeviceBatch float64, dev cluster.Device) float64 {
+func (m *Analytic) OpForwardTime(op graph.Op, perDeviceBatch float64, dev cluster.Device) float64 {
 	return m.opTime(op, op.FwdFLOPs, perDeviceBatch, dev)
 }
 
 // OpBackwardTime returns the backward-pass time of op for perDeviceBatch
 // samples on a single device dev.
-func (m *Model) OpBackwardTime(op graph.Op, perDeviceBatch float64, dev cluster.Device) float64 {
+func (m *Analytic) OpBackwardTime(op graph.Op, perDeviceBatch float64, dev cluster.Device) float64 {
 	flops := op.BwdFLOPs
 	if flops == 0 && op.FwdFLOPs > 0 {
 		flops = op.FwdFLOPs * m.params.BackwardFLOPFactor
@@ -116,7 +156,7 @@ func (m *Model) OpBackwardTime(op graph.Op, perDeviceBatch float64, dev cluster.
 	return m.opTime(op, flops, perDeviceBatch, dev)
 }
 
-func (m *Model) opTime(op graph.Op, flopsPerSample, perDeviceBatch float64, dev cluster.Device) float64 {
+func (m *Analytic) opTime(op graph.Op, flopsPerSample, perDeviceBatch float64, dev cluster.Device) float64 {
 	if perDeviceBatch <= 0 {
 		return 0
 	}
@@ -168,7 +208,7 @@ type StageConfig struct {
 }
 
 // Stage computes the costs of a stage over computation graph g.
-func (m *Model) Stage(g *graph.Graph, cfg StageConfig) StageCosts {
+func (m *Analytic) Stage(g *graph.Graph, cfg StageConfig) StageCosts {
 	if cfg.DataPar < 1 {
 		cfg.DataPar = 1
 	}
@@ -213,7 +253,7 @@ func (m *Model) Stage(g *graph.Graph, cfg StageConfig) StageCosts {
 // maxInEdgeBytes returns the largest per-sample activation stream entering
 // the op set: the maximum OutputBytes over producers outside the set with an
 // edge into it.
-func (m *Model) maxInEdgeBytes(g *graph.Graph, set graph.NodeSet) float64 {
+func (m *Analytic) maxInEdgeBytes(g *graph.Graph, set graph.NodeSet) float64 {
 	var max float64
 	for v := 0; v < g.Len(); v++ {
 		id := graph.NodeID(v)
@@ -237,7 +277,7 @@ func (m *Model) maxInEdgeBytes(g *graph.Graph, set graph.NodeSet) float64 {
 // stage in Equation 1. In steady-state 1F1B, activation/gradient transfers
 // overlap with the compute of other micro-batches, so the stage is paced by
 // whichever is larger.
-func (m *Model) TPS(g *graph.Graph, cfg StageConfig, miniBatch int) float64 {
+func (m *Analytic) TPS(g *graph.Graph, cfg StageConfig, miniBatch int) float64 {
 	c := m.Stage(g, cfg)
 	perMicro := c.ForwardTime + c.BackwardTime
 	if comm := 2 * c.CommInTime; comm > perMicro {
@@ -252,21 +292,21 @@ func (m *Model) TPS(g *graph.Graph, cfg StageConfig, miniBatch int) float64 {
 
 // StageMemory returns the per-device memory of the stage when it keeps
 // inFlightSamples samples' activations resident (Equation 2 left-hand side).
-func (m *Model) StageMemory(g *graph.Graph, cfg StageConfig, inFlightSamples int) float64 {
+func (m *Analytic) StageMemory(g *graph.Graph, cfg StageConfig, inFlightSamples int) float64 {
 	c := m.Stage(g, cfg)
 	return c.WeightBytes + c.ActivationBytesPerSample*float64(inFlightSamples)
 }
 
 // FitsMemory reports whether the stage satisfies the device memory budget
 // with the given number of in-flight samples.
-func (m *Model) FitsMemory(g *graph.Graph, cfg StageConfig, inFlightSamples int) bool {
+func (m *Analytic) FitsMemory(g *graph.Graph, cfg StageConfig, inFlightSamples int) bool {
 	return m.StageMemory(g, cfg, inFlightSamples) <= m.topo.MinMemory()
 }
 
 // MaxTPS returns a safe upper bound for the bottleneck TPS (the MAXTPS of
 // Algorithm 1): the whole model as a single stage on one device with
 // micro-batch 1, which no sensible partition exceeds.
-func (m *Model) MaxTPS(g *graph.Graph, miniBatch int) float64 {
+func (m *Analytic) MaxTPS(g *graph.Graph, miniBatch int) float64 {
 	cfg := StageConfig{Ops: g.AllNodes(), MicroBatch: 1, DataPar: 1, InterNode: true}
 	return m.TPS(g, cfg, miniBatch) * 2
 }

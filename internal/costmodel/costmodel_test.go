@@ -20,9 +20,9 @@ func testGraph(t testing.TB) *graph.Graph {
 	return b.MustBuild()
 }
 
-func model(t testing.TB, n int) *Model {
+func model(t testing.TB, n int) *Analytic {
 	t.Helper()
-	return NewDefault(cluster.NewSummitTopology(n))
+	return New(DefaultParams(), cluster.NewSummitTopology(n))
 }
 
 func TestEfficiencyMonotone(t *testing.T) {

@@ -1,0 +1,10 @@
+// Package all registers every built-in evaluation backend with the eval
+// registry. Import it for side effects:
+//
+//	import _ "graphpipe/internal/eval/all"
+package all
+
+import (
+	_ "graphpipe/internal/runtime" // registers the "runtime" backend
+	_ "graphpipe/internal/sim"     // registers the "sim" backend
+)

@@ -1,0 +1,55 @@
+package eval
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+var (
+	regMu    sync.RWMutex
+	registry = make(map[string]Evaluator)
+)
+
+// Register adds an evaluator under its Name. Backend packages call it from
+// an init function; importing graphpipe/internal/eval/all registers every
+// built-in backend. Register panics on an empty name or a duplicate — both
+// are programmer errors that must fail loudly at process start.
+func Register(e Evaluator) {
+	name := e.Name()
+	if name == "" {
+		panic("eval: Register with empty name")
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("eval: Register called twice for %q", name))
+	}
+	registry[name] = e
+}
+
+// Get resolves an evaluator by name. The error lists the registered
+// backends so command-line typos are self-diagnosing.
+func Get(name string) (Evaluator, error) {
+	regMu.RLock()
+	e, ok := registry[name]
+	regMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("eval: unknown backend %q (registered: %s)",
+			name, strings.Join(Names(), ", "))
+	}
+	return e, nil
+}
+
+// Names returns the registered backend names, sorted.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -6,9 +6,9 @@ import (
 
 	"graphpipe/internal/cluster"
 	"graphpipe/internal/costmodel"
+	"graphpipe/internal/eval"
 	"graphpipe/internal/models"
 	"graphpipe/internal/planner"
-	"graphpipe/internal/sim"
 	"graphpipe/internal/trace"
 )
 
@@ -63,10 +63,14 @@ func CaseStudy(miniBatch int) (*CaseStudyResult, error) {
 	}
 
 	// Render the two schedules (Figure 8's panels), re-planning through
-	// the registry to recover the strategy objects the grid discards.
+	// the planner registry and replaying through the evaluator registry to
+	// recover the strategy objects the grid discards.
 	topo := cluster.NewSummitTopology(devices)
 	model := costmodel.NewDefault(topo)
-	sm := sim.New(g, model)
+	ev, err := eval.Get("sim")
+	if err != nil {
+		return nil, err
+	}
 	gantt := func(name string) string {
 		pl, err := planner.Get(name)
 		if err != nil {
@@ -76,7 +80,7 @@ func CaseStudy(miniBatch int) (*CaseStudyResult, error) {
 		if err != nil {
 			return ""
 		}
-		out, err := sm.Run(st)
+		out, err := ev.Evaluate(g, topo, st, eval.Options{CostModel: model})
 		if err != nil {
 			return ""
 		}

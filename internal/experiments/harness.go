@@ -16,10 +16,11 @@ import (
 	"graphpipe/internal/baselines/piper"
 	"graphpipe/internal/cluster"
 	"graphpipe/internal/costmodel"
+	"graphpipe/internal/eval"
 	"graphpipe/internal/graph"
 	"graphpipe/internal/planner"
-	"graphpipe/internal/sim"
 
+	_ "graphpipe/internal/eval/all"    // register the built-in backends
 	_ "graphpipe/internal/planner/all" // register the built-in planners
 )
 
@@ -38,8 +39,11 @@ var Systems = []System{Piper, PipeDream, GraphPipe}
 
 // Outcome is one (system, model, devices) measurement.
 type Outcome struct {
-	System     System
-	Model      string
+	System System
+	Model  string
+	// Backend names the evaluation backend that produced the measurement
+	// ("sim" unless overridden).
+	Backend    string
 	Devices    int
 	MiniBatch  int
 	SearchTime time.Duration
@@ -61,6 +65,10 @@ type Outcome struct {
 
 // RunOptions adjusts a single planner invocation.
 type RunOptions struct {
+	// Backend selects the evaluation backend from the eval registry
+	// (default "sim"). Every measurement is reproducible on any backend:
+	// the parity tests pin that the backends agree.
+	Backend string
 	// ForcedMicroBatch fixes the micro-batch size for every system
 	// (Figure 7 right, Figure 9's "Parallel" arm).
 	ForcedMicroBatch int
@@ -89,15 +97,28 @@ func (o RunOptions) plannerOptions() planner.Options {
 	}
 }
 
-// Run resolves the system through the planner registry, plans, and
-// simulates one training iteration, returning the full outcome. A Failed
-// outcome (rather than an error) is returned when the planner cannot
-// produce a strategy — the ✗ / missing data points of the paper.
+// Run resolves the system through the planner registry and the evaluation
+// backend through the eval registry, plans, and evaluates one training
+// iteration, returning the full outcome. A Failed outcome (rather than an
+// error) is returned when the planner cannot produce a strategy — the ✗ /
+// missing data points of the paper.
 func Run(sys System, g *graph.Graph, devices, miniBatch int, opts RunOptions) Outcome {
-	out := Outcome{System: sys, Model: g.Name(), Devices: devices, MiniBatch: miniBatch}
+	backend := opts.Backend
+	if backend == "" {
+		backend = "sim"
+	}
+	out := Outcome{System: sys, Model: g.Name(), Backend: backend, Devices: devices, MiniBatch: miniBatch}
 	topo := cluster.NewSummitTopology(devices)
 	model := costmodel.NewDefault(topo)
 
+	// An unknown backend is a harness-configuration bug, not a data point:
+	// a Failed outcome would render as the paper's ✗ (planner could not
+	// produce a strategy) across the whole grid. Fail loudly instead, like
+	// the registries do on bad registrations.
+	ev, err := eval.Get(backend)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: %v", err))
+	}
 	pl, err := planner.Get(string(sys))
 	if err != nil {
 		out.Err = err
@@ -115,22 +136,18 @@ func Run(sys System, g *graph.Graph, devices, miniBatch int, opts RunOptions) Ou
 		return out
 	}
 
-	res, err := sim.New(g, model).Run(st)
+	rep, err := ev.Evaluate(g, topo, st, eval.Options{CostModel: model})
 	if err != nil {
 		out.Err = err
 		out.Failed = true
 		return out
 	}
-	out.Throughput = res.Throughput
-	out.IterationTime = res.IterationTime
+	out.Throughput = rep.Throughput
+	out.IterationTime = rep.IterationTime
 	out.Stages = st.NumStages()
 	out.Depth = st.Depth()
 	out.MicroBatch = st.Stages[0].Config.MicroBatch
-	for _, ss := range res.Stages {
-		if ss.PeakMemory > out.PeakMemory {
-			out.PeakMemory = ss.PeakMemory
-		}
-	}
+	out.PeakMemory = rep.PeakMemory()
 	return out
 }
 

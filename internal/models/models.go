@@ -12,6 +12,7 @@ package models
 
 import (
 	"fmt"
+	"strings"
 
 	"graphpipe/internal/graph"
 )
@@ -367,6 +368,58 @@ func CaseStudy(cfg CaseStudyConfig) *graph.Graph {
 		b.Connect(prev, concat)
 	}
 	return b.MustBuild()
+}
+
+// Names lists the model names Build accepts, in a stable order.
+func Names() []string {
+	return []string{"mmt", "dlrm", "candle-uno", "case-study", "generalist", "sequential"}
+}
+
+// Build constructs an evaluation model by name along with its default
+// mini-batch size for the device count (the paper's pairing where one
+// exists, a proportional fallback otherwise). branches > 0 overrides the
+// model's branch count where the model has one. It is the single
+// name→graph mapping shared by the CLI, the examples, and artifact
+// re-evaluation, so a persisted strategy.Artifact can be rebuilt into its
+// evaluation context from its metadata alone.
+func Build(name string, branches, devices int) (*graph.Graph, int, error) {
+	switch name {
+	case "mmt":
+		cfg := DefaultMMTConfig()
+		if branches > 0 {
+			cfg.Branches = branches
+		}
+		mb, err := PaperMiniBatch("mmt", devices)
+		if err != nil {
+			mb = 32 * devices
+		}
+		return MMT(cfg), mb, nil
+	case "dlrm":
+		mb, err := PaperMiniBatch("dlrm", devices)
+		if err != nil {
+			mb = 64 * devices
+		}
+		return DLRM(DefaultDLRMConfig()), mb, nil
+	case "candle-uno":
+		cfg := DefaultCANDLEUnoConfig()
+		if branches > 0 {
+			cfg.Branches = branches
+		}
+		mb, err := PaperMiniBatch("candle-uno", devices)
+		if err != nil {
+			mb = 1024 * devices
+		}
+		return CANDLEUno(cfg), mb, nil
+	case "case-study":
+		return CaseStudy(DefaultCaseStudyConfig()), 64, nil
+	case "generalist":
+		return Generalist(DefaultGeneralistConfig()), 32 * devices, nil
+	case "sequential":
+		return SequentialTransformer(32), 16 * devices, nil
+	default:
+		return nil, 0, fmt.Errorf("models: unknown model %q (known: %s)",
+			name, strings.Join(Names(), ", "))
+	}
 }
 
 // PaperMiniBatch returns the mini-batch size the paper pairs with each

@@ -50,12 +50,12 @@ type Options struct {
 	// CostModel overrides the default analytical cost model. It must be
 	// built on the same topology that is passed to Plan; nil selects
 	// costmodel.NewDefault(topo).
-	CostModel *costmodel.Model
+	CostModel costmodel.Model
 }
 
 // Model resolves the cost model for a topology: the override if set, the
 // default otherwise.
-func (o Options) Model(topo *cluster.Topology) *costmodel.Model {
+func (o Options) Model(topo *cluster.Topology) costmodel.Model {
 	if o.CostModel != nil {
 		return o.CostModel
 	}

@@ -56,7 +56,7 @@ var DefaultBatchSamples = []int{1, 2, 4, 8, 16, 32, 64, 128, 256}
 
 // Run profiles every operator of g against the cost model's device 0 and
 // fits the communication links from sampled transfer sizes.
-func Run(g *graph.Graph, model *costmodel.Model) *Profile {
+func Run(g *graph.Graph, model costmodel.Model) *Profile {
 	topo := model.Topology()
 	dev := topo.Device(0)
 	p := &Profile{Model: g.Name()}

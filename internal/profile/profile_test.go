@@ -9,7 +9,7 @@ import (
 	"graphpipe/internal/models"
 )
 
-func profiled(t testing.TB) (*Profile, *costmodel.Model) {
+func profiled(t testing.TB) (*Profile, costmodel.Model) {
 	t.Helper()
 	g := models.SequentialTransformer(4)
 	topo := cluster.NewSummitTopology(4)

@@ -1,0 +1,37 @@
+package runtime
+
+import (
+	"graphpipe/internal/cluster"
+	"graphpipe/internal/eval"
+	"graphpipe/internal/graph"
+	"graphpipe/internal/strategy"
+)
+
+// Backend is the eval-registry name of the concurrent runtime backend.
+const Backend = "runtime"
+
+// evaluator adapts the message-passing runtime to the shared Evaluator
+// interface: execute the stage goroutines, hand the observed timeline to
+// eval.Assemble. Because the virtual-clock protocol reproduces the
+// earliest-finish execution the simulator computes, the assembled report
+// is identical to the sim backend's — the parity tests pin it.
+type evaluator struct{}
+
+func init() { eval.Register(evaluator{}) }
+
+// Name returns the registry key.
+func (evaluator) Name() string { return Backend }
+
+// Evaluate executes one training iteration of st on the concurrent
+// runtime and assembles the shared report from the observed timeline.
+func (evaluator) Evaluate(g *graph.Graph, topo *cluster.Topology, st *strategy.Strategy, opts eval.Options) (*eval.Report, error) {
+	model, err := eval.ResolveModel(topo, opts)
+	if err != nil {
+		return nil, err
+	}
+	res, err := New(g, model, Options{Timeout: opts.Timeout}).Run(st)
+	if err != nil {
+		return nil, err
+	}
+	return eval.Assemble(g, model, st, Backend, res.Timeline), nil
+}

@@ -23,10 +23,13 @@ package runtime
 import (
 	"fmt"
 	"math"
+	"sort"
+	"strings"
 	"sync"
 	"time"
 
 	"graphpipe/internal/costmodel"
+	"graphpipe/internal/eval"
 	"graphpipe/internal/graph"
 	"graphpipe/internal/schedule"
 	"graphpipe/internal/strategy"
@@ -59,17 +62,64 @@ type Result struct {
 	StageClocks []float64
 	// MessagesSent counts all inter-stage tensor transfers.
 	MessagesSent int
+	// Timeline holds every executed task, ordered per stage by execution
+	// order (concatenated stage by stage, not globally sorted).
+	Timeline []eval.TaskRecord
+}
+
+// PendingDep is one unsatisfied cross-stage dependency of a blocked task:
+// the neighbor stage that has not delivered, and the contiguous sample
+// range still missing from its coverage.
+type PendingDep struct {
+	// From is the neighbor stage the blocked stage is waiting on.
+	From strategy.StageID
+	// MissingStart/MissingEnd is the first contiguous run of samples
+	// [MissingStart, MissingEnd) not yet covered by From's messages.
+	MissingStart, MissingEnd int
+}
+
+// DeadlockError reports a wall-clock timeout while a stage was blocked on
+// channel receives: the stuck stage, the task it could not start, and the
+// exact dependencies that never arrived. A mis-ordered schedule (C4
+// violations the planner let through, or a hand-edited artifact) surfaces
+// here instead of as a bare timeout.
+type DeadlockError struct {
+	// Stage is the stuck stage.
+	Stage strategy.StageID
+	// Task is the task the stage could not start.
+	Task schedule.Task
+	// What names the missing tensor kind: "activations" or "gradients".
+	What string
+	// Pending lists, per unsatisfied neighbor, the sample ranges still
+	// outstanding.
+	Pending []PendingDep
+}
+
+// Error renders the deadlock with its full dependency diagnosis.
+func (e *DeadlockError) Error() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "runtime: stage %d deadlocked waiting for %s of samples [%d,%d) for task %s%d",
+		e.Stage, e.What, e.Task.Start, e.Task.End, e.Task.Kind, e.Task.Index)
+	for i, p := range e.Pending {
+		if i == 0 {
+			sb.WriteString(": pending ")
+		} else {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(&sb, "samples [%d,%d) from stage %d", p.MissingStart, p.MissingEnd, p.From)
+	}
+	return sb.String()
 }
 
 // Runtime executes strategies for one model on one topology.
 type Runtime struct {
 	g     *graph.Graph
-	model *costmodel.Model
+	model costmodel.Model
 	opts  Options
 }
 
 // New returns a Runtime.
-func New(g *graph.Graph, model *costmodel.Model, opts Options) *Runtime {
+func New(g *graph.Graph, model costmodel.Model, opts Options) *Runtime {
 	if opts.Timeout == 0 {
 		opts.Timeout = 30 * time.Second
 	}
@@ -112,6 +162,23 @@ func (c *coverage) have(start, end int) (float64, bool) {
 	return latest, true
 }
 
+// missing returns the first contiguous run of samples in [start, end) not
+// yet covered, or ok=false if the range is fully covered.
+func (c *coverage) missing(start, end int) (lo, hi int, ok bool) {
+	for s := start; s < end; s++ {
+		if !math.IsNaN(c.readyAt[s]) {
+			continue
+		}
+		lo = s
+		hi = s + 1
+		for hi < end && math.IsNaN(c.readyAt[hi]) {
+			hi++
+		}
+		return lo, hi, true
+	}
+	return 0, 0, false
+}
+
 // stageWorker is the per-stage goroutine state.
 type stageWorker struct {
 	id    strategy.StageID
@@ -136,8 +203,9 @@ type stageWorker struct {
 	actReady  map[strategy.StageID]*coverage
 	gradReady map[strategy.StageID]*coverage
 
-	clock float64
-	sent  int
+	clock   float64
+	sent    int
+	records []eval.TaskRecord
 }
 
 // Run executes one training iteration of st and returns the observed
@@ -257,6 +325,7 @@ func (rt *Runtime) Run(st *strategy.Strategy) (*Result, error) {
 			iter = end
 		}
 		res.MessagesSent += w.sent
+		res.Timeline = append(res.Timeline, w.records...)
 	}
 	res.IterationTime = iter
 	res.Throughput = float64(st.MiniBatch) / iter
@@ -271,8 +340,11 @@ func (rt *Runtime) runStage(st *strategy.Strategy, workers []*stageWorker, w *st
 
 	deadline := time.Now().Add(rt.opts.Timeout)
 	// awaitRange blocks until every neighbor's coverage includes the
-	// sample range, returning the latest arrival time over all of them.
-	awaitRange := func(ch chan message, covs map[strategy.StageID]*coverage, start, end int, what string) (float64, error) {
+	// sample range, returning the latest arrival time over all of them. On
+	// timeout it returns a *DeadlockError diagnosing, per unsatisfied
+	// neighbor, exactly which samples never arrived.
+	awaitRange := func(ch chan message, covs map[strategy.StageID]*coverage, task schedule.Task, what string) (float64, error) {
+		start, end := task.Start, task.End
 		for {
 			latest, all := 0.0, true
 			for _, cov := range covs {
@@ -292,8 +364,32 @@ func (rt *Runtime) runStage(st *strategy.Strategy, workers []*stageWorker, w *st
 			case m := <-ch:
 				covs[m.from].add(m)
 			case <-time.After(time.Until(deadline)):
-				return 0, fmt.Errorf("runtime: stage %d deadlocked waiting for %s of samples [%d,%d)",
-					w.id, what, start, end)
+				// Drain messages already in flight so the diagnosis
+				// reflects everything that was ever going to arrive —
+				// and if the drain completed the coverage (the inputs
+				// were merely queued when the deadline fired), the task
+				// is runnable after all, not deadlocked.
+				for {
+					select {
+					case m := <-ch:
+						covs[m.from].add(m)
+						continue
+					default:
+					}
+					break
+				}
+				derr := &DeadlockError{Stage: w.id, Task: task, What: what}
+				for _, from := range sortedStageIDs(covs) {
+					if lo, hi, missing := covs[from].missing(start, end); missing {
+						derr.Pending = append(derr.Pending, PendingDep{
+							From: from, MissingStart: lo, MissingEnd: hi,
+						})
+					}
+				}
+				if len(derr.Pending) == 0 {
+					continue // drained to completion: recheck and run
+				}
+				return 0, derr
 			}
 		}
 	}
@@ -302,9 +398,9 @@ func (rt *Runtime) runStage(st *strategy.Strategy, workers []*stageWorker, w *st
 		ready := 0.0
 		var err error
 		if task.Kind == schedule.Forward && w.needsAct {
-			ready, err = awaitRange(w.actCh, w.actReady, task.Start, task.End, "activations")
+			ready, err = awaitRange(w.actCh, w.actReady, task, "activations")
 		} else if task.Kind == schedule.Backward && w.needsGrad {
-			ready, err = awaitRange(w.gradCh, w.gradReady, task.Start, task.End, "gradients")
+			ready, err = awaitRange(w.gradCh, w.gradReady, task, "gradients")
 		}
 		if err != nil {
 			return err
@@ -331,6 +427,18 @@ func (rt *Runtime) runStage(st *strategy.Strategy, workers []*stageWorker, w *st
 				w.sent++
 			}
 		}
+		w.records = append(w.records, eval.TaskRecord{Stage: w.id, Task: task, Start: start, End: w.clock})
 	}
 	return nil
+}
+
+// sortedStageIDs returns the coverage map's keys in ascending order so
+// deadlock diagnoses are deterministic.
+func sortedStageIDs(covs map[strategy.StageID]*coverage) []strategy.StageID {
+	ids := make([]strategy.StageID, 0, len(covs))
+	for id := range covs {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
 }

@@ -1,6 +1,7 @@
 package runtime
 
 import (
+	"errors"
 	"math"
 	"strings"
 	"testing"
@@ -18,7 +19,7 @@ import (
 
 // planned returns a GraphPipe strategy for the model plus the shared cost
 // model.
-func planned(t testing.TB, g *graph.Graph, devices, mini int) (*strategy.Strategy, *costmodel.Model) {
+func planned(t testing.TB, g *graph.Graph, devices, mini int) (*strategy.Strategy, costmodel.Model) {
 	t.Helper()
 	topo := cluster.NewSummitTopology(devices)
 	m := costmodel.NewDefault(topo)
@@ -152,6 +153,35 @@ func TestRuntimeDetectsDeadlock(t *testing.T) {
 	}
 	if !strings.Contains(err.Error(), "deadlock") {
 		t.Fatalf("unexpected error: %v", err)
+	}
+	// The timeout must surface as a structured diagnosis naming the stuck
+	// stage and the dependencies that never arrived — not a bare timeout.
+	var derr *DeadlockError
+	if !errors.As(err, &derr) {
+		t.Fatalf("error is not a *DeadlockError: %#v", err)
+	}
+	if derr.What != "activations" && derr.What != "gradients" {
+		t.Fatalf("DeadlockError.What = %q", derr.What)
+	}
+	if len(derr.Pending) == 0 {
+		t.Fatal("DeadlockError names no pending dependencies")
+	}
+	// Whichever stage's timeout fires first, the pending dependency must
+	// name the other stage and a sample range inside the blocked task.
+	for _, p := range derr.Pending {
+		if p.From == derr.Stage {
+			t.Fatalf("pending dependency names the stuck stage itself: %+v", p)
+		}
+		if p.MissingStart >= p.MissingEnd {
+			t.Fatalf("empty missing range: %+v", p)
+		}
+		if p.MissingStart < derr.Task.Start || p.MissingEnd > derr.Task.End {
+			t.Fatalf("missing range %+v outside blocked task [%d,%d)",
+				p, derr.Task.Start, derr.Task.End)
+		}
+	}
+	if !strings.Contains(err.Error(), "pending") {
+		t.Fatalf("rendered error lacks the dependency diagnosis: %v", err)
 	}
 }
 

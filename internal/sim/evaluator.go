@@ -1,0 +1,38 @@
+package sim
+
+import (
+	"graphpipe/internal/cluster"
+	"graphpipe/internal/eval"
+	"graphpipe/internal/graph"
+	"graphpipe/internal/strategy"
+)
+
+// Backend is the eval-registry name of the simulator backend.
+const Backend = "sim"
+
+// evaluator adapts the sequential simulator to the shared Evaluator
+// interface: run the engine, hand its timeline to eval.Assemble.
+type evaluator struct{}
+
+func init() { eval.Register(evaluator{}) }
+
+// Name returns the registry key.
+func (evaluator) Name() string { return Backend }
+
+// Evaluate simulates one training iteration of st and assembles the
+// shared report from the executed timeline.
+func (evaluator) Evaluate(g *graph.Graph, topo *cluster.Topology, st *strategy.Strategy, opts eval.Options) (*eval.Report, error) {
+	model, err := eval.ResolveModel(topo, opts)
+	if err != nil {
+		return nil, err
+	}
+	res, err := New(g, model).Run(st)
+	if err != nil {
+		return nil, err
+	}
+	timeline := make([]eval.TaskRecord, len(res.Timeline))
+	for i, tr := range res.Timeline {
+		timeline[i] = eval.TaskRecord{Stage: tr.Stage, Task: tr.Task, Start: tr.Start, End: tr.End}
+	}
+	return eval.Assemble(g, model, st, Backend, timeline), nil
+}

@@ -67,7 +67,7 @@ type Result struct {
 // Simulator executes strategies for one model on one topology.
 type Simulator struct {
 	g     *graph.Graph
-	model *costmodel.Model
+	model costmodel.Model
 	topo  *cluster.Topology
 
 	// xfer caches per-sample transfer seconds for each stage edge of the
@@ -76,7 +76,7 @@ type Simulator struct {
 }
 
 // New returns a Simulator.
-func New(g *graph.Graph, model *costmodel.Model) *Simulator {
+func New(g *graph.Graph, model costmodel.Model) *Simulator {
 	return &Simulator{g: g, model: model, topo: model.Topology()}
 }
 

@@ -1,0 +1,163 @@
+package strategy
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"graphpipe/internal/cluster"
+	"graphpipe/internal/graph"
+)
+
+// An Artifact is a strategy promoted to a first-class, persistable object:
+// the plan itself plus the metadata needed to rebuild its evaluation
+// context (model, cluster size, mini-batch) and to audit where it came
+// from (planner, search statistics, recorded evaluations). It is the
+// on-disk hand-off of the paper's Figure 3 — the optimizer emits an
+// "optimized GPP training strategy" that the distributed runtime consumes
+// — and the unit a planning service stores, serves, and re-evaluates.
+//
+// The wire format is versioned JSON. Version bumps are explicit:
+// DecodeArtifact rejects versions it does not understand with
+// ErrUnknownVersion rather than guessing, so stale tooling fails loudly.
+const ArtifactVersion = 1
+
+// Sentinel errors for artifact decoding and checking. Wrapped errors add
+// context; test with errors.Is.
+var (
+	// ErrCorruptArtifact marks data that does not parse as an artifact.
+	ErrCorruptArtifact = errors.New("strategy: corrupt artifact")
+	// ErrUnknownVersion marks an artifact written by an incompatible
+	// format version.
+	ErrUnknownVersion = errors.New("strategy: unknown artifact version")
+	// ErrUnknownPlanner marks an artifact whose planner name is not
+	// registered in this process.
+	ErrUnknownPlanner = errors.New("strategy: unknown planner")
+)
+
+// PlannerMeta records how the strategy was produced.
+type PlannerMeta struct {
+	// Name is the planner-registry key ("graphpipe", "pipedream", ...).
+	Name string `json:"name"`
+	// SearchSeconds is the planning wall-clock time.
+	SearchSeconds float64 `json:"search_seconds,omitempty"`
+	// DPStates counts dynamic-programming subproblems explored.
+	DPStates int `json:"dp_states,omitempty"`
+	// BinaryIters counts binary-search iterations (graphpipe only).
+	BinaryIters int `json:"binary_iters,omitempty"`
+}
+
+// EvalMeta records one evaluation of the strategy, so an artifact carries
+// the numbers it was shipped with and a re-evaluation can be diffed
+// against them.
+type EvalMeta struct {
+	// Backend is the eval-registry key ("sim", "runtime").
+	Backend string `json:"backend"`
+	// IterationTime is the evaluated per-iteration virtual time in
+	// seconds.
+	IterationTime float64 `json:"iteration_seconds"`
+	// Throughput is the evaluated samples/second.
+	Throughput float64 `json:"throughput"`
+}
+
+// Artifact is the persistable plan: strategy + provenance.
+type Artifact struct {
+	// Version is the wire-format version; EncodeArtifact stamps it.
+	Version int `json:"version"`
+	// Model names the computation graph the strategy partitions (a
+	// models.Build name, e.g. "mmt").
+	Model string `json:"model"`
+	// Branches is the model's branch-count override (0: model default).
+	Branches int `json:"branches,omitempty"`
+	// Devices is the cluster size the strategy was planned for.
+	Devices int `json:"devices"`
+	// MiniBatch is B (duplicated from the strategy for inspection without
+	// decoding it).
+	MiniBatch int `json:"mini_batch"`
+	// Planner records the producing search.
+	Planner PlannerMeta `json:"planner"`
+	// Evals records evaluations of the strategy, in the order they ran.
+	Evals []EvalMeta `json:"evals,omitempty"`
+	// Strategy is the plan itself.
+	Strategy *Strategy `json:"strategy"`
+}
+
+// EncodeArtifact stamps the current version and renders the artifact as
+// indented JSON (artifacts are meant to be diffed and code-reviewed).
+func EncodeArtifact(a *Artifact) ([]byte, error) {
+	if a.Strategy == nil {
+		return nil, fmt.Errorf("strategy: artifact without a strategy")
+	}
+	a.Version = ArtifactVersion
+	if a.MiniBatch == 0 {
+		a.MiniBatch = a.Strategy.MiniBatch
+	}
+	if a.Planner.Name == "" {
+		a.Planner.Name = a.Strategy.Planner
+	}
+	return json.MarshalIndent(a, "", "  ")
+}
+
+// DecodeArtifact parses a versioned artifact. It distinguishes the three
+// load-time failure classes: data that is not an artifact at all
+// (ErrCorruptArtifact), a version this build does not speak
+// (ErrUnknownVersion), and structurally valid artifacts missing their
+// strategy (also ErrCorruptArtifact). Planner-name and graph/topology
+// validation are separate steps — CheckPlanner and Strategy.Validate —
+// because they need context (registries, the rebuilt graph) the decoder
+// does not have.
+func DecodeArtifact(data []byte) (*Artifact, error) {
+	// Probe the version before decoding the body so a future format's
+	// artifact reports "unknown version", not a field-level JSON error.
+	var probe struct {
+		Version *int `json:"version"`
+	}
+	if err := json.Unmarshal(data, &probe); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorruptArtifact, err)
+	}
+	if probe.Version == nil {
+		return nil, fmt.Errorf("%w: missing version field", ErrCorruptArtifact)
+	}
+	if *probe.Version != ArtifactVersion {
+		return nil, fmt.Errorf("%w: got %d, this build speaks %d",
+			ErrUnknownVersion, *probe.Version, ArtifactVersion)
+	}
+	var a Artifact
+	if err := json.Unmarshal(data, &a); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorruptArtifact, err)
+	}
+	if a.Strategy == nil {
+		return nil, fmt.Errorf("%w: missing strategy", ErrCorruptArtifact)
+	}
+	return &a, nil
+}
+
+// CheckPlanner verifies the artifact's planner name against the caller's
+// registered planner names (typically planner.Names(); the strategy
+// package cannot import the registry without a cycle). An artifact from a
+// build with planners this process lacks fails with ErrUnknownPlanner.
+func (a *Artifact) CheckPlanner(registered []string) error {
+	for _, name := range registered {
+		if a.Planner.Name == name {
+			return nil
+		}
+	}
+	return fmt.Errorf("%w: %q (registered: %v)", ErrUnknownPlanner, a.Planner.Name, registered)
+}
+
+// Validate checks the embedded strategy against the rebuilt graph and
+// topology (C1–C4) and the artifact's own metadata for consistency.
+func (a *Artifact) Validate(g *graph.Graph, topo *cluster.Topology) error {
+	if a.Strategy == nil {
+		return fmt.Errorf("%w: missing strategy", ErrCorruptArtifact)
+	}
+	if a.Devices != 0 && a.Devices != topo.Len() {
+		return fmt.Errorf("strategy: artifact planned for %d devices, topology has %d",
+			a.Devices, topo.Len())
+	}
+	if a.MiniBatch != 0 && a.MiniBatch != a.Strategy.MiniBatch {
+		return fmt.Errorf("strategy: artifact mini-batch %d disagrees with strategy %d",
+			a.MiniBatch, a.Strategy.MiniBatch)
+	}
+	return a.Strategy.Validate(g, topo)
+}

@@ -1,0 +1,137 @@
+package strategy
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"graphpipe/internal/cluster"
+)
+
+func artifactFor(t testing.TB) (*Artifact, []byte) {
+	t.Helper()
+	g := twoBranch(t)
+	s := gppStrategy(t, g)
+	a := &Artifact{
+		Model:     "two-branch",
+		Devices:   4,
+		Planner:   PlannerMeta{Name: s.Planner, SearchSeconds: 0.25, DPStates: 42},
+		Evals:     []EvalMeta{{Backend: "sim", IterationTime: 0.5, Throughput: 16}},
+		Strategy:  s,
+		MiniBatch: s.MiniBatch,
+	}
+	data, err := EncodeArtifact(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a, data
+}
+
+func TestArtifactRoundTrip(t *testing.T) {
+	a, data := artifactFor(t)
+	back, err := DecodeArtifact(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Version != ArtifactVersion {
+		t.Errorf("version = %d, want %d", back.Version, ArtifactVersion)
+	}
+	if back.Model != a.Model || back.Devices != a.Devices || back.MiniBatch != a.MiniBatch {
+		t.Errorf("metadata mismatch: %+v", back)
+	}
+	if back.Planner != a.Planner {
+		t.Errorf("planner meta %+v != %+v", back.Planner, a.Planner)
+	}
+	if len(back.Evals) != 1 || back.Evals[0] != a.Evals[0] {
+		t.Errorf("eval meta mismatch: %+v", back.Evals)
+	}
+	g := twoBranch(t)
+	if err := back.Validate(g, cluster.NewSummitTopology(4)); err != nil {
+		t.Fatalf("decoded artifact invalid: %v", err)
+	}
+	if back.Strategy.NumStages() != a.Strategy.NumStages() {
+		t.Errorf("stage count %d != %d", back.Strategy.NumStages(), a.Strategy.NumStages())
+	}
+}
+
+func TestArtifactRejectsCorruptData(t *testing.T) {
+	for name, data := range map[string]string{
+		"not json":         "not json at all {",
+		"missing version":  `{"model":"x","strategy":null}`,
+		"missing strategy": `{"version":1,"model":"x"}`,
+		"bad strategy":     `{"version":1,"model":"x","strategy":{"succ":[[9]],"stages":[]}}`,
+	} {
+		if _, err := DecodeArtifact([]byte(data)); !errors.Is(err, ErrCorruptArtifact) {
+			t.Errorf("%s: err = %v, want ErrCorruptArtifact", name, err)
+		}
+	}
+}
+
+func TestArtifactRejectsUnknownVersion(t *testing.T) {
+	_, data := artifactFor(t)
+	future := strings.Replace(string(data), `"version": 1`, `"version": 99`, 1)
+	if future == string(data) {
+		t.Fatal("version field not found in encoded artifact")
+	}
+	_, err := DecodeArtifact([]byte(future))
+	if !errors.Is(err, ErrUnknownVersion) {
+		t.Fatalf("err = %v, want ErrUnknownVersion", err)
+	}
+	// The message must name both versions so operators can tell which side
+	// is stale.
+	if !strings.Contains(err.Error(), "99") || !strings.Contains(err.Error(), "1") {
+		t.Errorf("unhelpful version error: %v", err)
+	}
+}
+
+func TestArtifactCheckPlanner(t *testing.T) {
+	a, _ := artifactFor(t)
+	if err := a.CheckPlanner([]string{"graphpipe", a.Planner.Name}); err != nil {
+		t.Fatalf("known planner rejected: %v", err)
+	}
+	err := a.CheckPlanner([]string{"pipedream", "piper"})
+	if !errors.Is(err, ErrUnknownPlanner) {
+		t.Fatalf("err = %v, want ErrUnknownPlanner", err)
+	}
+	if !strings.Contains(err.Error(), a.Planner.Name) {
+		t.Errorf("error does not name the missing planner: %v", err)
+	}
+}
+
+func TestArtifactValidateMetadataConsistency(t *testing.T) {
+	a, _ := artifactFor(t)
+	g := twoBranch(t)
+
+	wrongTopo := cluster.NewSummitTopology(8)
+	if err := a.Validate(g, wrongTopo); err == nil {
+		t.Error("accepted artifact on a differently-sized topology")
+	}
+
+	a2, _ := artifactFor(t)
+	a2.MiniBatch = a2.Strategy.MiniBatch + 1
+	if err := a2.Validate(g, cluster.NewSummitTopology(4)); err == nil {
+		t.Error("accepted artifact whose mini-batch disagrees with its strategy")
+	}
+}
+
+func TestEncodeArtifactFillsDefaults(t *testing.T) {
+	g := twoBranch(t)
+	s := gppStrategy(t, g)
+	data, err := EncodeArtifact(&Artifact{Model: "two-branch", Devices: 4, Strategy: s})
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeArtifact(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Planner.Name != s.Planner {
+		t.Errorf("planner name not defaulted: %q", back.Planner.Name)
+	}
+	if back.MiniBatch != s.MiniBatch {
+		t.Errorf("mini-batch not defaulted: %d", back.MiniBatch)
+	}
+	if _, err := EncodeArtifact(&Artifact{Model: "x"}); err == nil {
+		t.Error("encoded artifact without a strategy")
+	}
+}

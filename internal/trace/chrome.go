@@ -4,16 +4,16 @@ import (
 	"encoding/json"
 	"fmt"
 
+	"graphpipe/internal/eval"
 	"graphpipe/internal/schedule"
-	"graphpipe/internal/sim"
 	"graphpipe/internal/strategy"
 )
 
-// ChromeTrace renders the simulated timeline in the Chrome trace-event
+// ChromeTrace renders an evaluated timeline in the Chrome trace-event
 // format (chrome://tracing, Perfetto): one row per pipeline stage, one
 // duration event per forward/backward task, with micro-batch metadata. The
 // output is the JSON-array form of the format.
-func ChromeTrace(st *strategy.Strategy, res *sim.Result) ([]byte, error) {
+func ChromeTrace(st *strategy.Strategy, res *eval.Report) ([]byte, error) {
 	type event struct {
 		Name string            `json:"name"`
 		Cat  string            `json:"cat"`

@@ -8,17 +8,18 @@ import (
 	"sort"
 	"strings"
 
+	"graphpipe/internal/eval"
 	"graphpipe/internal/schedule"
-	"graphpipe/internal/sim"
 	"graphpipe/internal/strategy"
 )
 
-// Gantt renders the simulated timeline as one row per stage, `width`
+// Gantt renders an evaluated timeline as one row per stage, `width`
 // characters wide. Forward passes print the micro-batch index, backward
 // passes print '·' followed by the index in brackets when space permits;
 // idle time prints '-'. It is a debugging and documentation aid, not a
-// parser-stable format.
-func Gantt(st *strategy.Strategy, res *sim.Result, width int) string {
+// parser-stable format. Reports from any registered evaluation backend
+// render identically: the timeline is the shared eval.Report currency.
+func Gantt(st *strategy.Strategy, res *eval.Report, width int) string {
 	if width <= 0 {
 		width = 100
 	}
@@ -39,7 +40,7 @@ func Gantt(st *strategy.Strategy, res *sim.Result, width int) string {
 	}
 	// Paint later tasks over earlier ones in start order for stable
 	// output.
-	recs := append([]sim.TaskRecord(nil), res.Timeline...)
+	recs := append([]eval.TaskRecord(nil), res.Timeline...)
 	sort.Slice(recs, func(i, j int) bool { return recs[i].Start < recs[j].Start })
 	for _, tr := range recs {
 		lo := int(tr.Start * scale)
@@ -73,19 +74,11 @@ func Gantt(st *strategy.Strategy, res *sim.Result, width int) string {
 }
 
 // Summary renders a one-paragraph description of a strategy and its
-// simulated result: stage count, pipeline depth, chosen micro-batch size,
+// evaluated result: stage count, pipeline depth, chosen micro-batch size,
 // throughput, and peak memory — the quantities §7.5's case study compares.
-func Summary(st *strategy.Strategy, res *sim.Result) string {
-	var peakMem float64
-	maxIF := 0
-	for _, ss := range res.Stages {
-		if ss.PeakMemory > peakMem {
-			peakMem = ss.PeakMemory
-		}
-		if ss.PeakInFlightSamples > maxIF {
-			maxIF = ss.PeakInFlightSamples
-		}
-	}
+func Summary(st *strategy.Strategy, res *eval.Report) string {
+	peakMem := res.PeakMemory()
+	maxIF := res.MaxInFlightSamples()
 	microBatches := map[int]bool{}
 	for i := range st.Stages {
 		microBatches[st.Stages[i].Config.MicroBatch] = true

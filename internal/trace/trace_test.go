@@ -8,8 +8,11 @@ import (
 	"graphpipe/internal/cluster"
 	"graphpipe/internal/core"
 	"graphpipe/internal/costmodel"
+	"graphpipe/internal/eval"
+	"graphpipe/internal/graph"
 	"graphpipe/internal/models"
-	"graphpipe/internal/sim"
+
+	_ "graphpipe/internal/eval/all"
 )
 
 func TestGanttAndSummary(t *testing.T) {
@@ -24,10 +27,7 @@ func TestGanttAndSummary(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := sim.New(g, m).Run(r.Strategy)
-	if err != nil {
-		t.Fatal(err)
-	}
+	res := evaluated(t, g, topo, m, r)
 
 	gantt := Gantt(r.Strategy, res, 80)
 	lines := strings.Split(strings.TrimRight(gantt, "\n"), "\n")
@@ -50,7 +50,7 @@ func TestGanttAndSummary(t *testing.T) {
 }
 
 func TestGanttDefaultsAndEmpty(t *testing.T) {
-	if out := Gantt(nil, &sim.Result{}, 0); out != "" {
+	if out := Gantt(nil, &eval.Report{}, 0); out != "" {
 		t.Errorf("empty timeline should render empty, got %q", out)
 	}
 }
@@ -88,10 +88,7 @@ func TestChromeTrace(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := sim.New(g, m).Run(r.Strategy)
-	if err != nil {
-		t.Fatal(err)
-	}
+	res := evaluated(t, g, topo, m, r)
 	data, err := ChromeTrace(r.Strategy, res)
 	if err != nil {
 		t.Fatal(err)
@@ -120,4 +117,18 @@ func TestChromeTrace(t *testing.T) {
 	if counts["forward"] != counts["backward"] {
 		t.Errorf("forward/backward imbalance: %v", counts)
 	}
+}
+
+// evaluated runs one iteration through the registered sim backend.
+func evaluated(t *testing.T, g *graph.Graph, topo *cluster.Topology, m costmodel.Model, r *core.Result) *eval.Report {
+	t.Helper()
+	ev, err := eval.Get("sim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := ev.Evaluate(g, topo, r.Strategy, eval.Options{CostModel: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
 }
