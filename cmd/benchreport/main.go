@@ -1,0 +1,136 @@
+// Command benchreport converts `go test -bench` output into a committed,
+// machine-readable performance baseline. It parses the benchmark lines —
+// including the custom metrics the harness reports (samples/s, search
+// seconds, depths, speedups) — and merges them under a named run label into
+// a JSON report, so a repository can track a perf trajectory across PRs:
+//
+//	go test -run '^$' -bench . -benchtime=1x . | benchreport -label after -o BENCH_PR3.json
+//
+// Merging is label-wise: writing label "after" into a file that already
+// holds a "before" run keeps both, which is how before/after comparisons
+// for one change are captured in a single artifact (see scripts/bench.sh).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Run is one captured benchmark sweep.
+type Run struct {
+	// Captured is the RFC 3339 time the run was recorded.
+	Captured string `json:"captured,omitempty"`
+	// Note is a free-form description of what the run measures (e.g. the
+	// commit or change it was taken against).
+	Note string `json:"note,omitempty"`
+	// Benchmarks maps benchmark name (without the "Benchmark" prefix and
+	// -GOMAXPROCS suffix) to its metrics: unit → value, with ns/op included
+	// alongside the harness's custom units.
+	Benchmarks map[string]map[string]float64 `json:"benchmarks"`
+}
+
+// Report is the top-level artifact: labeled runs, e.g. "before"/"after".
+type Report struct {
+	Runs map[string]Run `json:"runs"`
+}
+
+// cpuSuffix strips the trailing -N GOMAXPROCS marker from benchmark names.
+var cpuSuffix = regexp.MustCompile(`-\d+$`)
+
+// parseBench extracts benchmarks from `go test -bench` text. Lines that are
+// not benchmark results (headers, PASS/ok trailers) are ignored.
+func parseBench(lines *bufio.Scanner) (map[string]map[string]float64, error) {
+	out := make(map[string]map[string]float64)
+	for lines.Scan() {
+		fields := strings.Fields(lines.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := cpuSuffix.ReplaceAllString(strings.TrimPrefix(fields[0], "Benchmark"), "")
+		metrics := make(map[string]float64)
+		// fields[1] is the iteration count; the rest are value/unit pairs.
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchmark %s: bad value %q: %v", name, fields[i], err)
+			}
+			metrics[fields[i+1]] = v
+		}
+		if len(metrics) > 0 {
+			out[name] = metrics
+		}
+	}
+	return out, lines.Err()
+}
+
+func run() error {
+	var (
+		label = flag.String("label", "", "run label to store the results under (e.g. before, after); required")
+		note  = flag.String("note", "", "free-form note recorded with the run")
+		in    = flag.String("in", "", "read benchmark output from this file instead of stdin")
+		out   = flag.String("o", "BENCH_PR3.json", "JSON report to merge the run into")
+	)
+	flag.Parse()
+	if *label == "" {
+		return fmt.Errorf("-label is required")
+	}
+
+	src := os.Stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		src = f
+	}
+	sc := bufio.NewScanner(src)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	benches, err := parseBench(sc)
+	if err != nil {
+		return err
+	}
+	if len(benches) == 0 {
+		return fmt.Errorf("no benchmark lines found in input")
+	}
+
+	report := Report{Runs: make(map[string]Run)}
+	if data, err := os.ReadFile(*out); err == nil {
+		if err := json.Unmarshal(data, &report); err != nil {
+			return fmt.Errorf("%s exists but does not parse as a bench report: %v", *out, err)
+		}
+		if report.Runs == nil {
+			report.Runs = make(map[string]Run)
+		}
+	}
+	report.Runs[*label] = Run{
+		Captured:   time.Now().UTC().Format(time.RFC3339),
+		Note:       *note,
+		Benchmarks: benches,
+	}
+
+	data, err := json.MarshalIndent(&report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "benchreport: %d benchmarks recorded under %q in %s\n",
+		len(benches), *label, *out)
+	return nil
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchreport:", err)
+		os.Exit(1)
+	}
+}

@@ -15,15 +15,23 @@
 //
 //	graphpipe plan [-model M] [-devices N] [-batch B] [-planner P]
 //	               [-branches N] [-micro B] [-workers N] [-backend E]
+//	               [-cpuprofile F] [-memprofile F]
 //	               [-o plan.json] [-gantt] [-verbose]
-//	graphpipe eval [-backend E] [-timeout D] [-gantt] [-verbose] plan.json
+//	graphpipe eval [-backend E] [-timeout D] [-gantt] [-verbose]
+//	               [-cpuprofile F] [-memprofile F] plan.json
 //	graphpipe compare [-backend E] plan.json [plan2.json ...]
+//
+// The -cpuprofile/-memprofile flags write pprof profiles covering the
+// subcommand's work (planning plus evaluation), so planner hot spots are
+// diagnosable with `go tool pprof` without editing code.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -67,6 +75,49 @@ func main() {
 	}
 }
 
+// profileFlags registers -cpuprofile/-memprofile on a subcommand's flag
+// set and returns a start function; the stop function it yields finishes
+// both profiles and must run before the process exits.
+func profileFlags(fs *flag.FlagSet) (start func() (stop func() error, err error)) {
+	cpu := fs.String("cpuprofile", "", "write a CPU profile of this run to the file")
+	mem := fs.String("memprofile", "", "write a heap profile at the end of this run to the file")
+	return func() (func() error, error) {
+		var cpuFile *os.File
+		if *cpu != "" {
+			f, err := os.Create(*cpu)
+			if err != nil {
+				return nil, fmt.Errorf("cpuprofile: %w", err)
+			}
+			if err := pprof.StartCPUProfile(f); err != nil {
+				f.Close()
+				return nil, fmt.Errorf("cpuprofile: %w", err)
+			}
+			cpuFile = f
+		}
+		memPath := *mem
+		return func() error {
+			if cpuFile != nil {
+				pprof.StopCPUProfile()
+				if err := cpuFile.Close(); err != nil {
+					return fmt.Errorf("cpuprofile: %w", err)
+				}
+			}
+			if memPath != "" {
+				f, err := os.Create(memPath)
+				if err != nil {
+					return fmt.Errorf("memprofile: %w", err)
+				}
+				defer f.Close()
+				runtime.GC() // materialize the live heap before snapshotting
+				if err := pprof.WriteHeapProfile(f); err != nil {
+					return fmt.Errorf("memprofile: %w", err)
+				}
+			}
+			return nil
+		}, nil
+	}
+}
+
 func usage() {
 	fmt.Fprintf(os.Stderr, `graphpipe plans, persists, and evaluates pipeline-parallel strategies.
 
@@ -87,8 +138,9 @@ Run 'graphpipe <subcommand> -h' for flags.
 // cmdPlan plans a strategy, evaluates it once for the summary, and
 // optionally persists the artifact (with the evaluation recorded in its
 // metadata, so a later re-evaluation can be diffed against plan time).
-func cmdPlan(args []string) error {
+func cmdPlan(args []string) (retErr error) {
 	fs := flag.NewFlagSet("plan", flag.ExitOnError)
+	startProf := profileFlags(fs)
 	var (
 		modelName   = fs.String("model", "mmt", "model: "+strings.Join(models.Names(), " | "))
 		plannerName = fs.String("planner", "graphpipe",
@@ -104,6 +156,15 @@ func cmdPlan(args []string) error {
 		verbose  = fs.Bool("verbose", false, "print the full stage listing")
 	)
 	fs.Parse(args)
+	stopProf, err := startProf()
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProf(); perr != nil && retErr == nil {
+			retErr = perr
+		}
+	}()
 
 	g, defBatch, err := models.Build(*modelName, *branches, *devices)
 	if err != nil {
@@ -209,8 +270,9 @@ func loadArtifact(path string) (*strategy.Artifact, *graph.Graph, *cluster.Topol
 
 // cmdEval loads a persisted plan and evaluates it on the selected
 // backend, reporting drift against the evaluations recorded at plan time.
-func cmdEval(args []string) error {
+func cmdEval(args []string) (retErr error) {
 	fs := flag.NewFlagSet("eval", flag.ExitOnError)
+	startProf := profileFlags(fs)
 	var (
 		backend = fs.String("backend", "sim", "evaluation backend: "+strings.Join(eval.Names(), " | "))
 		timeout = fs.Duration("timeout", 0, "wall-clock deadlock guard for concurrent backends (0: backend default)")
@@ -221,6 +283,15 @@ func cmdEval(args []string) error {
 	if fs.NArg() != 1 {
 		return fmt.Errorf("eval: want exactly one artifact file, got %d", fs.NArg())
 	}
+	stopProf, err := startProf()
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProf(); perr != nil && retErr == nil {
+			retErr = perr
+		}
+	}()
 
 	ev, err := eval.Get(*backend)
 	if err != nil {

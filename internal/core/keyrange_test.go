@@ -1,0 +1,86 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"graphpipe/internal/cluster"
+	"graphpipe/internal/costmodel"
+	"graphpipe/internal/graph"
+	"graphpipe/internal/models"
+)
+
+// The dpKey packing masks each field to a fixed bit width; Plan must reject
+// any configuration that could overflow a field instead of silently
+// colliding memo keys (and returning a corrupt strategy).
+
+func newTestPlanner(t *testing.T, devices int, opts Options) *Planner {
+	t.Helper()
+	g := models.SequentialTransformer(2)
+	topo := cluster.NewSummitTopology(devices)
+	p, err := NewPlanner(g, costmodel.NewDefault(topo), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestKeyRangeDeviceLimit(t *testing.T) {
+	// 127 devices is the last packable count; direct validation accepts it.
+	p := newTestPlanner(t, 127, Options{})
+	if err := p.validateKeyRanges([]int{1}); err != nil {
+		t.Errorf("127 devices rejected: %v", err)
+	}
+	// 128 devices would wrap the 7-bit field to 0: Plan must error out.
+	p = newTestPlanner(t, 128, Options{})
+	if _, err := p.Plan(256); err == nil || !strings.Contains(err.Error(), "device") {
+		t.Errorf("128 devices: want device-limit error, got %v", err)
+	}
+}
+
+func TestKeyRangeConfigLimit(t *testing.T) {
+	ks := func(n int) []int {
+		out := make([]int, n)
+		for i := range out {
+			out[i] = i + 1
+		}
+		return out
+	}
+	// 256 schedule configs exceed the 8-bit index.
+	p := newTestPlanner(t, 2, Options{KCandidates: ks(256)})
+	if _, err := p.Plan(4); err == nil || !strings.Contains(err.Error(), "config") {
+		t.Errorf("256 configs: want config-limit error, got %v", err)
+	}
+	// 255 fit (boundary): validation itself must pass.
+	p = newTestPlanner(t, 2, Options{KCandidates: ks(255)})
+	if err := p.validateKeyRanges([]int{1}); err != nil {
+		t.Errorf("255 configs rejected: %v", err)
+	}
+}
+
+func TestKeyRangeInFlightBound(t *testing.T) {
+	// A micro-batch so large that the worst-case in-flight count
+	// (3·k·b·devices) cannot fit the 26-bit field. ForcedMicroBatch
+	// bypasses the MaxMicroBatch cap, which is exactly how an oversized
+	// model would have silently truncated before the check existed.
+	const huge = 1 << 25
+	p := newTestPlanner(t, 4, Options{ForcedMicroBatch: huge})
+	if _, err := p.Plan(huge); err == nil || !strings.Contains(err.Error(), "in-flight") {
+		t.Errorf("huge micro-batch: want in-flight-bound error, got %v", err)
+	}
+}
+
+func TestKeyRangeZoneLimit(t *testing.T) {
+	p := newTestPlanner(t, 2, Options{})
+	// White-box: inflate the interned-zone table past the 14-bit id space;
+	// building a real >16384-zone model in a unit test would dominate the
+	// suite's runtime.
+	p.zones.sets = make([]graph.NodeSet, maxZoneID+2)
+	if err := p.validateKeyRanges([]int{1}); err == nil || !strings.Contains(err.Error(), "zone") {
+		t.Errorf("oversized zone table: want zone-limit error, got %v", err)
+	}
+	p.zones.sets = p.zones.sets[:maxZoneID+1] // boundary: exactly 2^14 zones fit
+	if err := p.validateKeyRanges([]int{1}); err != nil {
+		t.Errorf("full-but-legal zone table rejected: %v", err)
+	}
+}

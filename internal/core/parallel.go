@@ -40,24 +40,57 @@ var memoInfeasible = &dpResult{}
 
 const memoShardCount = 64
 
+// memoEntry is one memoized DP value together with the half-open interval
+// of binary-search targets on which it is valid (see the span type). An
+// entry is consulted by every probe of one micro-batch search; a probe
+// whose target falls outside the span recomputes the state and overwrites
+// the entry with the new value and its interval.
+type memoEntry struct {
+	res *dpResult
+	sp  span
+}
+
 // memoTable is the DP memo, sharded by key hash so concurrent walkers of
 // one probe contend on 1/64th of the table instead of a single lock. A
-// subproblem's value is a pure function of its key (and the probe's frozen
-// inputs), so two walkers racing to insert the same key write identical
-// values — whichever lands is correct.
+// subproblem's value is a pure function of its key and validity interval,
+// so two walkers racing to insert the same key at the same probe target
+// write identical values — whichever lands is correct. The table lives
+// across all probes of one micro-batch search; probes are sequential, so
+// cross-probe overwrites never race. A search with no worker pool has
+// exactly one walker, so it constructs the table unlocked and skips the
+// mutexes entirely.
+//
+// Each shard is a flat open-addressed table (Fibonacci hash, linear
+// probing) rather than a Go map: the memo lookup is the single hottest
+// operation of the whole search — one get per DP state visit, hundreds of
+// millions for the largest models — and the flat probe sequence halves its
+// cost in profiles. dpKey 0 doubles as the empty-slot sentinel, which is
+// sound because every real key has its device field ≥ 1 (bits 14–20
+// nonzero; validateKeyRanges caps devices at 127 so the field cannot wrap
+// to zero).
 type memoTable struct {
+	locked bool
 	shards [memoShardCount]memoShard
 }
 
 type memoShard struct {
-	mu sync.Mutex
-	m  map[dpKey]*dpResult
+	mu   sync.Mutex
+	keys []dpKey
+	vals []memoEntry
+	mask uint64
+	n    int
 }
 
-func newMemoTable() *memoTable {
-	t := &memoTable{}
+// memoShardInitSize is each shard's starting capacity (slots). Must be a
+// power of two.
+const memoShardInitSize = 256
+
+func newMemoTable(locked bool) *memoTable {
+	t := &memoTable{locked: locked}
 	for i := range t.shards {
-		t.shards[i].m = make(map[dpKey]*dpResult)
+		t.shards[i].keys = make([]dpKey, memoShardInitSize)
+		t.shards[i].vals = make([]memoEntry, memoShardInitSize)
+		t.shards[i].mask = memoShardInitSize - 1
 	}
 	return t
 }
@@ -68,28 +101,97 @@ func (t *memoTable) shard(k dpKey) *memoShard {
 	return &t.shards[(uint64(k)*0x9E3779B97F4A7C15)>>58]
 }
 
-func (t *memoTable) get(k dpKey) (*dpResult, bool) {
-	sh := t.shard(k)
-	sh.mu.Lock()
-	r, ok := sh.m[k]
-	sh.mu.Unlock()
-	if !ok {
-		return nil, false
-	}
-	if r == memoInfeasible {
-		return nil, true
-	}
-	return r, true
+// slotHash spreads keys within a shard; the low bits index the table.
+func slotHash(k dpKey) uint64 {
+	h := uint64(k) * 0x9E3779B97F4A7C15
+	return h ^ h>>29
 }
 
-func (t *memoTable) put(k dpKey, r *dpResult) {
+func (sh *memoShard) lookup(k dpKey) (memoEntry, bool) {
+	i := slotHash(k) & sh.mask
+	for {
+		switch sh.keys[i] {
+		case k:
+			return sh.vals[i], true
+		case 0:
+			return memoEntry{}, false
+		}
+		i = (i + 1) & sh.mask
+	}
+}
+
+func (sh *memoShard) store(k dpKey, e memoEntry) {
+	if 2*(sh.n+1) >= len(sh.keys) { // grow at 50% load: shorter probe chains
+		sh.grow()
+	}
+	i := slotHash(k) & sh.mask
+	for {
+		switch sh.keys[i] {
+		case k:
+			sh.vals[i] = e
+			return
+		case 0:
+			sh.keys[i] = k
+			sh.vals[i] = e
+			sh.n++
+			return
+		}
+		i = (i + 1) & sh.mask
+	}
+}
+
+func (sh *memoShard) grow() {
+	oldK, oldV := sh.keys, sh.vals
+	size := 2 * len(oldK)
+	sh.keys = make([]dpKey, size)
+	sh.vals = make([]memoEntry, size)
+	sh.mask = uint64(size - 1)
+	for i, k := range oldK {
+		if k == 0 {
+			continue
+		}
+		j := slotHash(k) & sh.mask
+		for sh.keys[j] != 0 {
+			j = (j + 1) & sh.mask
+		}
+		sh.keys[j] = k
+		sh.vals[j] = oldV[i]
+	}
+}
+
+// get returns the memoized value for k if its validity interval covers the
+// probe target tmax, plus the interval itself (callers intersect it into
+// their own).
+func (t *memoTable) get(k dpKey, tmax float64) (*dpResult, span, bool) {
+	sh := t.shard(k)
+	if t.locked {
+		sh.mu.Lock()
+	}
+	e, ok := sh.lookup(k)
+	if t.locked {
+		sh.mu.Unlock()
+	}
+	if !ok || !e.sp.covers(tmax) {
+		return nil, span{}, false
+	}
+	if e.res == memoInfeasible {
+		return nil, e.sp, true
+	}
+	return e.res, e.sp, true
+}
+
+func (t *memoTable) put(k dpKey, r *dpResult, sp span) {
 	if r == nil {
 		r = memoInfeasible
 	}
 	sh := t.shard(k)
-	sh.mu.Lock()
-	sh.m[k] = r
-	sh.mu.Unlock()
+	if t.locked {
+		sh.mu.Lock()
+	}
+	sh.store(k, memoEntry{res: r, sp: sp})
+	if t.locked {
+		sh.mu.Unlock()
+	}
 }
 
 const evalShardCount = 16
@@ -97,8 +199,10 @@ const evalShardCount = 16
 // evalTable shards the per-(zone, micro-batch, devices) stage-cost cache.
 // Unlike the memo it lives across all probes of one micro-batch size; cost
 // evaluation happens outside the shard lock, so a race costs one duplicate
-// evaluation of a deterministic value, never a wrong entry.
+// evaluation of a deterministic value, never a wrong entry. Like the memo,
+// a sequential search (no pool) constructs it unlocked.
 type evalTable struct {
+	locked bool
 	shards [evalShardCount]evalShard
 }
 
@@ -107,8 +211,8 @@ type evalShard struct {
 	m  map[stageEvalKey]stageEval
 }
 
-func newEvalTable() *evalTable {
-	t := &evalTable{}
+func newEvalTable(locked bool) *evalTable {
+	t := &evalTable{locked: locked}
 	for i := range t.shards {
 		t.shards[i].m = make(map[stageEvalKey]stageEval)
 	}
@@ -122,15 +226,23 @@ func (t *evalTable) shard(k stageEvalKey) *evalShard {
 
 func (t *evalTable) get(k stageEvalKey) (stageEval, bool) {
 	sh := t.shard(k)
-	sh.mu.Lock()
+	if t.locked {
+		sh.mu.Lock()
+	}
 	ev, ok := sh.m[k]
-	sh.mu.Unlock()
+	if t.locked {
+		sh.mu.Unlock()
+	}
 	return ev, ok
 }
 
 func (t *evalTable) put(k stageEvalKey, ev stageEval) {
 	sh := t.shard(k)
-	sh.mu.Lock()
+	if t.locked {
+		sh.mu.Lock()
+	}
 	sh.m[k] = ev
-	sh.mu.Unlock()
+	if t.locked {
+		sh.mu.Unlock()
+	}
 }

@@ -21,18 +21,31 @@
 // config); the zone count is polynomial for series-parallel DNNs, which is
 // why GraphPipe's search is 9–21× faster than the SPP baselines (§7.2).
 //
+// The memo spans the probes of one binary search. A DP value depends on the
+// probe's TPS target only through the [tps ≤ tmax] comparisons made while
+// computing it, and feasibility is monotone in the target, so each memo
+// entry records the half-open interval of targets for which its value is
+// provably unchanged: lo is the largest stage TPS the computation accepted,
+// hi the smallest it rejected. A later probe whose target falls inside the
+// interval reuses the entry outright; only states whose interval does not
+// cover the new target are recomputed. Binary search converges, so late
+// probes land inside the intervals of earlier ones and re-solve almost
+// nothing (see docs/ARCHITECTURE.md, "Search-time engineering").
+//
 // The search is parallel: the independent per-micro-batch binary searches
 // and, within each TPS probe, the root zone's series/parallel branch
 // enumeration fan out across one bounded worker pool (Options.Workers),
 // sharing a mutex-sharded memo table. Every DP value is a pure function of
-// its state key, so the parallel search returns the same strategy as the
-// sequential path (Workers=1) — concurrency changes wall-clock, not the
-// result.
+// its state key and validity interval, so the parallel search returns the
+// same strategy as the sequential path (Workers=1), and the probe-spanning
+// memo returns the same strategy as a fresh memo per probe
+// (Options.FreshProbeMemo) — both pinned by test.
 package core
 
 import (
 	"errors"
 	"fmt"
+	"math"
 	"runtime"
 	"sort"
 	"sync/atomic"
@@ -79,6 +92,12 @@ type Options struct {
 	// enumeration: 0 means one worker per available CPU, 1 forces the
 	// fully sequential path. The chosen strategy is identical either way.
 	Workers int
+	// FreshProbeMemo restores the reference search: a fresh DP memo for
+	// every binary-search probe instead of the probe-spanning memo with
+	// monotone validity intervals. The chosen strategy is identical either
+	// way (pinned by TestCrossProbeReuseEquivalence); the flag exists for
+	// that test and for benchmarking the reuse itself.
+	FreshProbeMemo bool
 }
 
 func (o Options) withDefaults() Options {
@@ -168,6 +187,10 @@ func (zt *zoneTable) intern(set graph.NodeSet) int {
 	}
 	id := len(zt.sets)
 	zt.ids[key] = id
+	// Prime the cached content fingerprint: every StageConfig built from
+	// this zone copies the set (and the cache with it), so cost-model cache
+	// lookups on the DP hot path never rehash the bitset.
+	set.Fingerprint()
 	zt.sets = append(zt.sets, set)
 	zt.series = append(zt.series, nil)
 	zt.parallel = append(zt.parallel, nil)
@@ -268,14 +291,12 @@ func (p *Planner) microBatchCandidates(miniBatch int) []int {
 	return out
 }
 
-// dataParDegrees returns the allowed per-stage data-parallel degrees
-// (powers of two, §5 complexity analysis).
-func dataParDegrees(max int) map[int]bool {
-	out := make(map[int]bool)
-	for d := 1; d <= max; d *= 2 {
-		out[d] = true
-	}
-	return out
+// allowedDegree reports whether d is a permitted per-stage data-parallel
+// degree: powers of two up to the cluster size (§5 complexity analysis).
+// The check replaces the map the search used to carry — a branch-free
+// bit-trick instead of a heap allocation plus a hash per stage attempt.
+func allowedDegree(d, max int) bool {
+	return d > 0 && d <= max && d&(d-1) == 0
 }
 
 // --- DP machinery ---
@@ -308,8 +329,13 @@ type dpResult struct {
 	left, right *dpResult
 }
 
-func combine(a, b *dpResult) *dpResult {
-	out := &dpResult{
+// combineInto writes the series/parallel combination of a and b into out —
+// a caller-owned scratch value, not an allocation: the DP inner loop
+// evaluates orders of magnitude more candidates than it keeps, so candidate
+// values are built in place and only copied into an arena node when they
+// win the better comparison.
+func combineInto(out, a, b *dpResult) {
+	*out = dpResult{
 		maxMem:  a.maxMem,
 		maxTPS:  a.maxTPS,
 		nStages: a.nStages + b.nStages,
@@ -322,7 +348,6 @@ func combine(a, b *dpResult) *dpResult {
 	if b.maxTPS > out.maxTPS {
 		out.maxTPS = b.maxTPS
 	}
-	return out
 }
 
 // stageInfoFor returns the schedule configuration and in-flight sample
@@ -381,29 +406,64 @@ func better(a, b *dpResult) *dpResult {
 // dpKey packs a DP state into one word: zone id (14 bits), devices (7),
 // source config index (8), successor config index + presence (9), successor
 // in-flight samples (26). Packing keeps memo lookups cheap; the hot path is
-// hundreds of millions of lookups for the largest models.
+// hundreds of millions of lookups for the largest models. Plan validates
+// every field's range up front (validateKeyRanges), so the packing cannot
+// silently alias distinct states.
 type dpKey uint64
 
-// search holds one TPS probe's shared, concurrency-safe state: the sharded
-// memo and eval tables, the frozen config index, and the worker pool. The
-// recursion itself runs in dpWalker instances, one per concurrent branch.
+// span is the half-open interval [lo, hi) of binary-search targets for
+// which a memoized DP value is provably unchanged. A DP computation depends
+// on the probe target tmax only through its [tps ≤ tmax] stage-feasibility
+// comparisons: lo accumulates the largest accepted stage TPS, hi the
+// smallest rejected one, intersected over every sub-computation consulted.
+// For any target inside the span, each of those comparisons — and therefore
+// the entire computation, candidate by candidate — comes out identical, so
+// the memo entry can be reused across probes (§7.2's parametric search made
+// incremental).
+type span struct{ lo, hi float64 }
+
+func fullSpan() span { return span{lo: 0, hi: math.Inf(1)} }
+
+// join intersects o into v.
+func (v *span) join(o span) {
+	if o.lo > v.lo {
+		v.lo = o.lo
+	}
+	if o.hi < v.hi {
+		v.hi = o.hi
+	}
+}
+
+func (v span) covers(t float64) bool { return v.lo <= t && t < v.hi }
+
+// search holds one micro-batch size's binary-search state, shared by every
+// probe of that search: the probe-spanning sharded memo, the eval table,
+// the frozen config index, and the worker pool. tmax is the current probe's
+// target; probes are sequential within one search, so mutating it between
+// probes is race-free. The recursion itself runs in dpWalker instances, one
+// per concurrent branch.
 type search struct {
 	p         *Planner
 	miniBatch int
 	tmax      float64
 	bCands    []int // all candidate micro-batch sizes (per-stage mode)
-	dpDegrees map[int]bool
+	maxDegree int   // cluster size: data-parallel degrees are powers of two ≤ this
 	memo      *memoTable
 	evalCache *evalTable
 	states    atomic.Int64
 	pool      *workerPool // nil: fully sequential probe
 
-	// cfgIndex interns schedule configs for key packing. It is frozen
-	// before the search starts (every reachable config is a micro-batch
-	// candidate × kFkB candidate), so concurrent walkers read it without
-	// locking and key packing is deterministic regardless of visit order.
-	cfgIndex map[schedule.Config]int
-	cfgs     []schedule.Config
+	// cfgs interns schedule configs for key packing. It is frozen before
+	// the search starts (every reachable config is a micro-batch candidate
+	// × kFkB candidate), so concurrent walkers read it without locking and
+	// key packing is deterministic regardless of visit order.
+	cfgs []schedule.Config
+	// boundary is the fixed list of candidate stage-boundary configs: every
+	// source config of this search shares one micro-batch size (uniform
+	// mode) or the boundary offers the full candidate cross product
+	// (per-stage mode), so the list is computed once per search instead of
+	// allocated per DP state.
+	boundary []schedule.Config
 }
 
 // freezeConfigs pre-interns every schedule config the search can reach, in
@@ -412,15 +472,15 @@ type search struct {
 // is reachable; per-stage mode offers the full cross product, exactly as
 // the old lazy interner would have reached.
 func (s *search) freezeConfigs(rootB int) {
-	s.cfgIndex = make(map[schedule.Config]int)
 	intern := func(c schedule.Config) {
-		if _, ok := s.cfgIndex[c]; ok {
-			return
+		for _, fc := range s.cfgs {
+			if fc == c {
+				return
+			}
 		}
 		if len(s.cfgs) >= 255 {
 			panic("core: too many distinct schedule configs")
 		}
-		s.cfgIndex[c] = len(s.cfgs)
 		s.cfgs = append(s.cfgs, c)
 	}
 	for _, k := range s.p.opts.KCandidates {
@@ -433,14 +493,36 @@ func (s *search) freezeConfigs(rootB int) {
 			}
 		}
 	}
+	// Stage-boundary candidates (§6): in the uniform default every boundary
+	// inherits the search's root micro-batch size, one candidate per kFkB
+	// choice; per-stage mode offers the full cross product (Figure 5's
+	// per-stage sizes). Either way the list is independent of the DP state,
+	// so it is built once here instead of per series split.
+	if s.p.opts.PerStageMicroBatch {
+		for _, b := range s.bCands {
+			for _, k := range s.p.opts.KCandidates {
+				s.boundary = append(s.boundary, schedule.Config{MicroBatch: b, K: k})
+			}
+		}
+	} else {
+		for _, k := range s.p.opts.KCandidates {
+			s.boundary = append(s.boundary, schedule.Config{MicroBatch: rootB, K: k})
+		}
+	}
 }
 
+// configIdx resolves a schedule config to its frozen index by scanning the
+// (tiny: one per micro-batch × kFkB candidate) config list. makeKey calls
+// this for every DP state; a linear compare over at most a few structs
+// beats hashing the struct into a map, which used to be ~20% of the whole
+// search in profiles.
 func (s *search) configIdx(c schedule.Config) int {
-	i, ok := s.cfgIndex[c]
-	if !ok {
-		panic(fmt.Sprintf("core: schedule config %+v not pre-interned", c))
+	for i, fc := range s.cfgs {
+		if fc == c {
+			return i
+		}
 	}
-	return i
+	panic(fmt.Sprintf("core: schedule config %+v not pre-interned", c))
 }
 
 func (s *search) makeKey(zoneID, d int, cf schedule.Config, cb *schedule.Successor) dpKey {
@@ -451,6 +533,64 @@ func (s *search) makeKey(zoneID, d int, cf schedule.Config, cb *schedule.Success
 		k |= uint64(cb.InFlight&0x3FFFFFF) << 38
 	}
 	return dpKey(k)
+}
+
+// dpKey bit widths. makeKey masks each field to its width; validateKeyRanges
+// proves once per Plan that the masks cannot truncate, so an oversized model
+// fails loudly instead of silently colliding memo keys.
+const (
+	maxZoneID    = 1<<14 - 1
+	maxKeyDevs   = 1<<7 - 1
+	maxCfgIdx    = 1<<8 - 1
+	maxKInFlight = 1<<26 - 1
+)
+
+// validateKeyRanges checks that every field makeKey packs fits its bit
+// width for this search. Zone and config counts are final here (resolveAll
+// has run; freezeConfigs interns only root × candidate configs, bounded by
+// the product below). In-flight counts are produced by
+// schedule.ComputeInFlight, whose Table 2 recurrences add at most
+// k·b + 2·max(b) ≤ 3·maxK·maxB per stage over a pipeline of at most
+// topo.Len() stages, so 3·maxK·maxB·devices bounds every successor
+// in-flight value the DP can construct.
+func (p *Planner) validateKeyRanges(bCands []int) error {
+	if n := len(p.zones.sets); n-1 > maxZoneID {
+		return fmt.Errorf("core: %d series-parallel zones exceed the DP key's %d-zone limit", n, maxZoneID+1)
+	}
+	if d := p.topo.Len(); d > maxKeyDevs {
+		return fmt.Errorf("core: %d devices exceed the DP key's %d-device limit", d, maxKeyDevs)
+	}
+	nCfg := len(p.opts.KCandidates)
+	if p.opts.PerStageMicroBatch {
+		nCfg += len(bCands) * len(p.opts.KCandidates)
+	}
+	// freezeConfigs interns at most maxCfgIdx configs (one 8-bit index is
+	// reserved headroom for its own invariant panic).
+	if nCfg > maxCfgIdx {
+		return fmt.Errorf("core: %d schedule configs exceed the DP key's %d-config limit", nCfg, maxCfgIdx)
+	}
+	maxK, maxB := 1, 1
+	for _, k := range p.opts.KCandidates {
+		if k > maxK {
+			maxK = k
+		}
+	}
+	for _, b := range bCands {
+		if b > maxB {
+			maxB = b
+		}
+	}
+	// Guard the factors before multiplying so the int64 product (each
+	// factor ≤ 2²⁶, devices ≤ 2⁷) cannot itself overflow.
+	if maxK > maxKInFlight || maxB > maxKInFlight {
+		return fmt.Errorf("core: kFkB candidate %d / micro-batch candidate %d exceed the DP key's in-flight limit %d",
+			maxK, maxB, maxKInFlight)
+	}
+	if bound := 3 * int64(maxK) * int64(maxB) * int64(p.topo.Len()); bound > maxKInFlight {
+		return fmt.Errorf("core: worst-case in-flight samples %d (3·k·b·devices with k=%d, b=%d) exceed the DP key's limit %d",
+			bound, maxK, maxB, maxKInFlight)
+	}
+	return nil
 }
 
 // interNodeComm reports whether stage-boundary transfers should be costed
@@ -492,18 +632,24 @@ func (s *search) evalStage(zoneID, b, d int) stageEval {
 	return ev
 }
 
-// stageAttempt evaluates a zone as a single stage.
-func (s *search) stageAttempt(zoneID int, cf schedule.Config, cb *schedule.Successor, d int) *dpResult {
-	if !s.dpDegrees[d] {
-		return nil
+// stageAttempt evaluates a zone as a single stage. The returned span is the
+// target interval on which the outcome (the result, or nil) is unchanged:
+// a TPS rejection caps hi at the rejecting TPS, an accepted stage raises lo
+// to its TPS, and the degree/divisibility/memory rejections are independent
+// of the target (a memory rejection stays nil below the stage's TPS too —
+// there the TPS check rejects instead).
+func (w *dpWalker) stageAttempt(zoneID int, cf schedule.Config, cb *schedule.Successor, d int) (*dpResult, span) {
+	s := w.s
+	if !allowedDegree(d, s.maxDegree) {
+		return nil, fullSpan()
 	}
 	if s.miniBatch%cf.MicroBatch != 0 {
-		return nil
+		return nil, fullSpan()
 	}
 	ev := s.evalStage(zoneID, cf.MicroBatch, d)
 	tps := ev.tps
 	if tps > s.tmax {
-		return nil
+		return nil, span{lo: 0, hi: tps}
 	}
 	var succs []schedule.Successor
 	if cb != nil {
@@ -512,81 +658,108 @@ func (s *search) stageAttempt(zoneID int, cf schedule.Config, cb *schedule.Succe
 	inFlight := schedule.ComputeInFlight(cf, succs)
 	mem := ev.weightMem + ev.actPerSample*float64(inFlight)
 	if mem > s.p.topo.MinMemory() {
-		return nil
+		return nil, fullSpan()
 	}
-	return &dpResult{
-		inFlight: inFlight,
-		srcCfg:   cf,
-		maxMem:   mem,
-		maxTPS:   tps,
-		nStages:  1,
-		leaf: &dpStage{
-			ops: s.p.zones.sets[zoneID], cfg: cf, devs: d, inFlight: inFlight, memory: mem, tps: tps,
-		},
+	r := w.newResult()
+	r.inFlight = inFlight
+	r.srcCfg = cf
+	r.maxMem = mem
+	r.maxTPS = tps
+	r.nStages = 1
+	r.leaf = w.newStage()
+	*r.leaf = dpStage{
+		ops: s.p.zones.sets[zoneID], cfg: cf, devs: d, inFlight: inFlight, memory: mem, tps: tps,
 	}
-}
-
-// boundaryConfigs enumerates candidate schedule configurations for a stage
-// boundary. In the default (uniform) mode the boundary inherits the global
-// micro-batch size under consideration, so this is a single candidate per
-// kFkB choice; with PerStageMicroBatch every candidate size is offered
-// (Figure 5's per-stage sizes).
-func (s *search) boundaryConfigs(cf schedule.Config) []schedule.Config {
-	var out []schedule.Config
-	if s.p.opts.PerStageMicroBatch {
-		for _, b := range s.bCands {
-			for _, k := range s.p.opts.KCandidates {
-				out = append(out, schedule.Config{MicroBatch: b, K: k})
-			}
-		}
-		return out
-	}
-	for _, k := range s.p.opts.KCandidates {
-		out = append(out, schedule.Config{MicroBatch: cf.MicroBatch, K: k})
-	}
-	return out
+	return r, span{lo: tps, hi: math.Inf(1)}
 }
 
 // dpWalker runs the DP recursion for one concurrent branch of the search.
-// Walkers share the probe's sharded memo table; the in-progress set — the
-// cycle guard that used to be a nil memo placeholder — is walker-local so
-// one walker's half-finished subproblem never masquerades as "infeasible"
-// to another.
+// Walkers share the search's sharded memo table. Recursion cannot cycle —
+// every series/parallel/linearized split yields strictly smaller zones, so
+// the zone size strictly decreases along any recursion path — and instead
+// of the per-call hash-set guard this used to carry, the walker enforces
+// that invariant with a depth counter bounded by the graph's node count
+// (one int compare on a path the profiler showed spending ~10% of the
+// search in guard-map traffic). Results are slab-allocated per walker:
+// dpResults live in the memo for the whole search, so freeing is never
+// safe, but batching the allocations keeps the DP inner loop off the
+// allocator's hot path.
 type dpWalker struct {
-	s          *search
-	inProgress map[dpKey]bool
+	s         *search
+	depth     int
+	maxDepth  int
+	resSlab   []dpResult
+	stageSlab []dpStage
 }
 
+const walkerSlabSize = 256
+
 func (s *search) newWalker() *dpWalker {
-	return &dpWalker{s: s, inProgress: make(map[dpKey]bool)}
+	// Zone sizes strictly decrease along a recursion path, so a path can
+	// hold at most one dp frame per distinct size ≤ |V| (+1 for the root).
+	return &dpWalker{s: s, maxDepth: s.p.g.Len() + 1}
+}
+
+func (w *dpWalker) newResult() *dpResult {
+	if len(w.resSlab) == 0 {
+		w.resSlab = make([]dpResult, walkerSlabSize)
+	}
+	r := &w.resSlab[0]
+	w.resSlab = w.resSlab[1:]
+	return r
+}
+
+func (w *dpWalker) newStage() *dpStage {
+	if len(w.stageSlab) == 0 {
+		w.stageSlab = make([]dpStage, walkerSlabSize)
+	}
+	st := &w.stageSlab[0]
+	w.stageSlab = w.stageSlab[1:]
+	return st
 }
 
 // dp solves one subproblem: partition the zone over d devices such that the
 // source stage uses configuration cf, the stage after the zone has schedule
 // information cb (nil at the model's sink), and every stage meets the TPS
-// target. It returns nil when infeasible.
-func (w *dpWalker) dp(zoneID int, cf schedule.Config, cb *schedule.Successor, d int) *dpResult {
+// target. It returns nil when infeasible, plus the target interval on which
+// the answer holds (the intersection of every consulted sub-computation's
+// interval): a memo entry whose interval covers a later probe's target is
+// reused without recomputation.
+func (w *dpWalker) dp(zoneID int, cf schedule.Config, cb *schedule.Successor, d int) (*dpResult, span) {
 	s := w.s
 	key := s.makeKey(zoneID, d, cf, cb)
-	if r, ok := s.memo.get(key); ok {
-		return r
+	if r, sp, ok := s.memo.get(key, s.tmax); ok {
+		return r, sp
 	}
-	if w.inProgress[key] {
-		return nil // cycle guard (series-parallel zones strictly shrink)
+	w.depth++
+	if w.depth > w.maxDepth {
+		panic("core: DP recursion deeper than the graph — a split failed to shrink its zone")
 	}
-	w.inProgress[key] = true
 	s.states.Add(1)
 
-	best := s.stageAttempt(zoneID, cf, cb, d)
+	sp := fullSpan()
+	best, asp := w.stageAttempt(zoneID, cf, cb, d)
+	sp.join(asp)
+
+	// Candidates are evaluated into a scratch value and copied into an
+	// arena node only when they beat the incumbent, so losing candidates
+	// (the overwhelming majority) cost no allocation.
+	var tmp dpResult
 
 	// Series decompositions: solve downstream (right) first; its source
 	// in-flight count becomes the upstream (left) sink's successor info
 	// (Algorithm 1 lines 33–40).
-	for _, sp := range s.p.zones.seriesSplits(zoneID) {
+	for _, spl := range s.p.zones.seriesSplits(zoneID) {
 		for d2 := 1; d2 < d; d2++ {
 			d1 := d - d2
-			for _, cm := range s.boundaryConfigs(cf) {
-				best = better(best, w.trySeries(sp, cf, cm, cb, d1, d2))
+			for _, cm := range s.boundary {
+				ok, rsp := w.trySeries(&tmp, spl, cf, cm, cb, d1, d2)
+				sp.join(rsp)
+				if ok && better(best, &tmp) == &tmp {
+					n := w.newResult()
+					*n = tmp
+					best = n
+				}
 			}
 		}
 	}
@@ -594,64 +767,77 @@ func (w *dpWalker) dp(zoneID int, cf schedule.Config, cb *schedule.Successor, d 
 	// Parallel decompositions: both groups share the source and sink
 	// schedule boundaries; continuous pipelining takes the larger source
 	// in-flight count (Algorithm 1 lines 41–47).
-	for _, sp := range s.p.zones.parallelSplits(zoneID) {
+	for _, spl := range s.p.zones.parallelSplits(zoneID) {
 		for d1 := 1; d1 < d; d1++ {
-			best = better(best, w.tryParallel(sp, cf, cb, d1, d-d1))
+			ok, rsp := w.tryParallel(&tmp, spl, cf, cb, d1, d-d1)
+			sp.join(rsp)
+			if ok && better(best, &tmp) == &tmp {
+				n := w.newResult()
+				*n = tmp
+				best = n
+			}
 		}
 	}
 
-	delete(w.inProgress, key)
-	s.memo.put(key, best)
-	return best
+	w.depth--
+	s.memo.put(key, best, sp)
+	return best, sp
 }
 
-// trySeries evaluates one series-split candidate: right part on d2 devices
-// under boundary config cm, then the left part with the right's source
-// schedule as its successor.
-func (w *dpWalker) trySeries(sp splitIDs, cf, cm schedule.Config, cb *schedule.Successor, d1, d2 int) *dpResult {
-	r2 := w.dp(sp.right, cm, cb, d2)
+// trySeries evaluates one series-split candidate into out: right part on
+// d2 devices under boundary config cm, then the left part with the right's
+// source schedule as its successor. When the right part is infeasible the
+// left is never consulted — exactly as a fresh computation at any target
+// inside the returned span would behave, so the early return keeps reuse
+// sound.
+func (w *dpWalker) trySeries(out *dpResult, sp splitIDs, cf, cm schedule.Config, cb *schedule.Successor, d1, d2 int) (bool, span) {
+	r2, v := w.dp(sp.right, cm, cb, d2)
 	if r2 == nil {
-		return nil
+		return false, v
 	}
-	mid := &schedule.Successor{Config: r2.srcCfg, InFlight: r2.inFlight}
-	r1 := w.dp(sp.left, cf, mid, d1)
+	mid := schedule.Successor{Config: r2.srcCfg, InFlight: r2.inFlight}
+	r1, v1 := w.dp(sp.left, cf, &mid, d1)
+	v.join(v1)
 	if r1 == nil {
-		return nil
+		return false, v
 	}
-	cand := combine(r1, r2)
-	cand.inFlight = r1.inFlight
-	cand.srcCfg = r1.srcCfg
-	return cand
+	combineInto(out, r1, r2)
+	out.inFlight = r1.inFlight
+	out.srcCfg = r1.srcCfg
+	return true, v
 }
 
-// tryParallel evaluates one parallel-split candidate. For sink-anchored
-// splits the right group carries the zone's shared sink operator, so the
-// left group's successor is the sink-holding stage inside the right group's
-// solution rather than the stage after the zone.
-func (w *dpWalker) tryParallel(sp splitIDs, cf schedule.Config, cb *schedule.Successor, d1, d2 int) *dpResult {
-	r2 := w.dp(sp.right, cf, cb, d2)
+// tryParallel evaluates one parallel-split candidate into out. For
+// sink-anchored splits the right group carries the zone's shared sink
+// operator, so the left group's successor is the sink-holding stage inside
+// the right group's solution rather than the stage after the zone.
+func (w *dpWalker) tryParallel(out *dpResult, sp splitIDs, cf schedule.Config, cb *schedule.Successor, d1, d2 int) (bool, span) {
+	r2, v := w.dp(sp.right, cf, cb, d2)
 	if r2 == nil {
-		return nil
+		return false, v
 	}
 	leftCB := cb
+	var anchored schedule.Successor
 	if sp.sinkAnchored {
 		cfg, ifl, ok := r2.stageInfoFor(sp.mergeOp)
 		if !ok {
-			return nil // derivation must own the merge op
+			return false, v // derivation must own the merge op
 		}
-		leftCB = &schedule.Successor{Config: cfg, InFlight: ifl}
+		anchored = schedule.Successor{Config: cfg, InFlight: ifl}
+		leftCB = &anchored
 	}
-	r1 := w.dp(sp.left, cf, leftCB, d1)
+	r1, v1 := w.dp(sp.left, cf, leftCB, d1)
+	v.join(v1)
 	if r1 == nil {
-		return nil
+		return false, v
 	}
-	cand := combine(r1, r2)
-	cand.inFlight = r1.inFlight
-	if r2.inFlight > cand.inFlight {
-		cand.inFlight = r2.inFlight
+	combineInto(out, r1, r2)
+	out.inFlight = r1.inFlight
+	if r2.inFlight > out.inFlight {
+		out.inFlight = r2.inFlight
 	}
-	cand.srcCfg = cf
-	return cand
+	out.srcCfg = cf
+	return true, v
 }
 
 // dpRoot solves the root zone. With a worker pool, the root's candidate
@@ -661,39 +847,71 @@ func (w *dpWalker) tryParallel(sp splitIDs, cf schedule.Config, cb *schedule.Suc
 // walker into the shared memo. Candidates land in enumeration-order slots
 // and are folded with better in that same order, so the winner is the one
 // the sequential path picks: each candidate's value is a pure function of
-// its sub-keys, independent of which walker computed the memo entries.
+// its sub-keys, independent of which walker computed the memo entries. The
+// root state is memoized like any other, so a later probe whose target
+// falls inside the root entry's span skips the whole fan-out.
 func (s *search) dpRoot(zoneID int, cf schedule.Config, cb *schedule.Successor, d int) *dpResult {
 	if s.pool == nil {
-		return s.newWalker().dp(zoneID, cf, cb, d)
+		r, _ := s.newWalker().dp(zoneID, cf, cb, d)
+		return r
 	}
+	key := s.makeKey(zoneID, d, cf, cb)
+	if r, _, ok := s.memo.get(key, s.tmax); ok {
+		return r
+	}
+	s.states.Add(1)
 	var tasks []func()
 	var cands []*dpResult
-	spawn := func(f func(w *dpWalker) *dpResult) {
+	var spans []span
+	spawn := func(f func(w *dpWalker) (*dpResult, span)) {
 		i := len(cands)
 		cands = append(cands, nil)
-		tasks = append(tasks, func() { cands[i] = f(s.newWalker()) })
+		spans = append(spans, fullSpan())
+		tasks = append(tasks, func() { cands[i], spans[i] = f(s.newWalker()) })
 	}
-	spawn(func(w *dpWalker) *dpResult { return s.stageAttempt(zoneID, cf, cb, d) })
+	spawn(func(w *dpWalker) (*dpResult, span) { return w.stageAttempt(zoneID, cf, cb, d) })
+	// materialize copies a feasible scratch candidate into the walker's
+	// arena (root candidates outlive their task, unlike the DP inner loop's
+	// losing candidates).
+	materialize := func(w *dpWalker, tmp *dpResult, ok bool, v span) (*dpResult, span) {
+		if !ok {
+			return nil, v
+		}
+		r := w.newResult()
+		*r = *tmp
+		return r, v
+	}
 	for _, sp := range s.p.zones.seriesSplits(zoneID) {
 		for d2 := 1; d2 < d; d2++ {
 			d1 := d - d2
-			for _, cm := range s.boundaryConfigs(cf) {
+			for _, cm := range s.boundary {
 				sp, cm, d1, d2 := sp, cm, d1, d2
-				spawn(func(w *dpWalker) *dpResult { return w.trySeries(sp, cf, cm, cb, d1, d2) })
+				spawn(func(w *dpWalker) (*dpResult, span) {
+					var tmp dpResult
+					ok, v := w.trySeries(&tmp, sp, cf, cm, cb, d1, d2)
+					return materialize(w, &tmp, ok, v)
+				})
 			}
 		}
 	}
 	for _, sp := range s.p.zones.parallelSplits(zoneID) {
 		for d1 := 1; d1 < d; d1++ {
 			sp, d1, d2 := sp, d1, d-d1
-			spawn(func(w *dpWalker) *dpResult { return w.tryParallel(sp, cf, cb, d1, d2) })
+			spawn(func(w *dpWalker) (*dpResult, span) {
+				var tmp dpResult
+				ok, v := w.tryParallel(&tmp, sp, cf, cb, d1, d2)
+				return materialize(w, &tmp, ok, v)
+			})
 		}
 	}
 	s.pool.Do(tasks)
 	var best *dpResult
-	for _, cand := range cands {
+	rootSpan := fullSpan()
+	for i, cand := range cands {
 		best = better(best, cand)
+		rootSpan.join(spans[i])
 	}
+	s.memo.put(key, best, rootSpan)
 	return best
 }
 
@@ -753,21 +971,29 @@ type perB struct {
 // halves the bracket the previous probe established — so parallelism comes
 // from fanning each probe's root branch enumeration out on the pool, and
 // from the sibling per-size searches running concurrently.
-func (p *Planner) searchMicroBatch(out *perB, b, miniBatch int, bCands []int, degrees map[int]bool, maxTPS, eps float64, root int, pool *workerPool) {
+//
+// All probes of one search share one memo table: entries carry the target
+// interval on which they are valid, so a probe only re-solves states whose
+// interval does not cover its target (FreshProbeMemo restores the
+// reference one-memo-per-probe behavior).
+func (p *Planner) searchMicroBatch(out *perB, b, miniBatch int, bCands []int, maxDegree int, maxTPS, eps float64, root int, pool *workerPool) {
+	s := &search{
+		p:         p,
+		miniBatch: miniBatch,
+		bCands:    bCands,
+		maxDegree: maxDegree,
+		memo:      newMemoTable(pool != nil),
+		evalCache: p.evalCaches[b],
+		pool:      pool,
+	}
+	s.freezeConfigs(b)
 	probe := func(tmax float64) *dpResult {
-		s := &search{
-			p:         p,
-			miniBatch: miniBatch,
-			tmax:      tmax,
-			bCands:    bCands,
-			dpDegrees: degrees,
-			memo:      newMemoTable(),
-			evalCache: p.evalCaches[b],
-			pool:      pool,
+		if p.opts.FreshProbeMemo {
+			s.memo = newMemoTable(pool != nil)
 		}
-		s.freezeConfigs(b)
+		s.tmax = tmax
 		r := s.searchStageGraph(root, b)
-		out.states += int(s.states.Load())
+		out.states = int(s.states.Load()) // cumulative across probes
 		return r
 	}
 	keep := func(r *dpResult) {
@@ -800,8 +1026,10 @@ func (p *Planner) searchMicroBatch(out *perB, b, miniBatch int, bCands []int, de
 }
 
 // Plan runs the full Algorithm 1: binary search over the bottleneck TPS
-// target with a fresh DP per probe, then assembles, schedules, and
-// validates the winning strategy.
+// target with a probe-spanning DP memo (entries carry monotone validity
+// intervals, so later probes re-solve only the states their target
+// invalidates), then assembles, schedules, and validates the winning
+// strategy.
 func (p *Planner) Plan(miniBatch int) (*Result, error) {
 	if miniBatch <= 0 {
 		return nil, fmt.Errorf("core: invalid mini-batch %d", miniBatch)
@@ -810,17 +1038,6 @@ func (p *Planner) Plan(miniBatch int) (*Result, error) {
 	if len(bCands) == 0 {
 		return nil, fmt.Errorf("core: no candidate micro-batch sizes divide mini-batch %d", miniBatch)
 	}
-	p.evalCaches = make(map[int]*evalTable) // TPS depends on miniBatch
-	for _, b := range bCands {
-		p.evalCaches[b] = newEvalTable()
-	}
-	root := p.zones.intern(p.dec.Root())
-	p.zones.resolveAll(root) // make the zone table read-only
-
-	maxTPS := p.model.MaxTPS(p.g, miniBatch)
-	eps := p.opts.Epsilon * maxTPS
-	degrees := dataParDegrees(p.topo.Len())
-
 	workers := p.opts.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -829,6 +1046,21 @@ func (p *Planner) Plan(miniBatch int) (*Result, error) {
 	if workers > 1 {
 		pool = newWorkerPool(workers)
 	}
+
+	p.evalCaches = make(map[int]*evalTable) // TPS depends on miniBatch
+	for _, b := range bCands {
+		p.evalCaches[b] = newEvalTable(pool != nil)
+	}
+	root := p.zones.intern(p.dec.Root())
+	p.zones.resolveAll(root) // make the zone table read-only
+
+	if err := p.validateKeyRanges(bCands); err != nil {
+		return nil, err
+	}
+
+	maxTPS := p.model.MaxTPS(p.g, miniBatch)
+	eps := p.opts.Epsilon * maxTPS
+	maxDegree := p.topo.Len()
 
 	// Each candidate micro-batch size runs its own binary search over the
 	// bottleneck-TPS target (Algorithm 1 lines 2-11) so the feasibility
@@ -843,7 +1075,7 @@ func (p *Planner) Plan(miniBatch int) (*Result, error) {
 	for i, b := range bCands {
 		i, b := i, b
 		tasks[i] = func() {
-			p.searchMicroBatch(&results[i], b, miniBatch, bCands, degrees, maxTPS, eps, root, pool)
+			p.searchMicroBatch(&results[i], b, miniBatch, bCands, maxDegree, maxTPS, eps, root, pool)
 		}
 	}
 	if pool == nil {

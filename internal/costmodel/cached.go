@@ -37,15 +37,21 @@ type cacheShard struct {
 	tps   map[tpsKey]float64
 }
 
-// stageKey identifies one Stage query. NodeSet.Key is a compact canonical
-// string of the operator set — but operator indices are only meaningful
-// within one graph, so the key also carries the graph's identity: one
-// Cached model may serve evaluations of different graphs over the same
-// topology (e.g. two artifacts replayed back to back), and op-index
-// collisions between graphs must not alias their costs.
+// stageKey identifies one Stage query. The operator set enters as its
+// 64-bit NodeSet fingerprint plus its cardinality rather than the canonical
+// hex string NodeSet.Key builds: the planner's DP evaluates millions of
+// stage candidates, and the string construction (an fmt call per bitset
+// word) used to dominate the lookup. The planner's zone table interns each
+// zone once and primes the set's cached fingerprint, so hot lookups are a
+// field read, not a hash. Operator indices are only meaningful within one
+// graph, so the key also carries the graph's identity: one Cached model may
+// serve evaluations of different graphs over the same topology (e.g. two
+// artifacts replayed back to back), and op-index collisions between graphs
+// must not alias their costs.
 type stageKey struct {
 	g                  *graph.Graph
-	ops                string
+	ops                uint64 // NodeSet.Fingerprint of the op set
+	nOps               int    // NodeSet.Len, a cheap extra collision guard
 	microBatch         int
 	dataPar            int
 	interNode          bool
@@ -71,7 +77,8 @@ func NewCached(inner Model) *Cached {
 func keyOf(g *graph.Graph, cfg StageConfig) stageKey {
 	return stageKey{
 		g:                  g,
-		ops:                cfg.Ops.Key(),
+		ops:                cfg.Ops.Fingerprint(),
+		nOps:               cfg.Ops.Len(),
 		microBatch:         cfg.MicroBatch,
 		dataPar:            cfg.DataPar,
 		interNode:          cfg.InterNode,
@@ -79,14 +86,10 @@ func keyOf(g *graph.Graph, cfg StageConfig) stageKey {
 	}
 }
 
-// shardFor hashes the operator-set key (FNV-1a over the canonical string)
-// to pick a shard; the other key fields vary far less than the op set.
-func (c *Cached) shardFor(ops string) *cacheShard {
-	h := uint32(2166136261)
-	for i := 0; i < len(ops); i++ {
-		h = (h ^ uint32(ops[i])) * 16777619
-	}
-	return &c.shards[h%cacheShards]
+// shardFor spreads the op-set fingerprint across the shards; the other key
+// fields vary far less than the op set.
+func (c *Cached) shardFor(ops uint64) *cacheShard {
+	return &c.shards[(ops*0x9E3779B97F4A7C15)>>58]
 }
 
 // Topology returns the underlying model's topology.

@@ -8,11 +8,16 @@ import (
 )
 
 // NodeSet is a bitset over NodeIDs. Planners use NodeSets as DP memoization
-// keys (via Key) and to represent pipeline-stage membership. The zero value
-// is an empty set usable without initialization for graphs of up to 64
-// nodes; Add grows the backing storage on demand.
+// keys (via Key or the cheaper Fingerprint) and to represent pipeline-stage
+// membership. The zero value is an empty set usable without initialization
+// for graphs of up to 64 nodes; Add grows the backing storage on demand.
 type NodeSet struct {
 	words []uint64
+	// fp caches Fingerprint (0 = not yet computed). Mutating methods reset
+	// it; copies of a set carry the cache with them, so interning layers
+	// (the planner's zone table, spgraph's split memo) hash each set once
+	// and every downstream cost-cache lookup reuses the value.
+	fp uint64
 }
 
 // NewNodeSet returns a set sized for n nodes.
@@ -40,12 +45,14 @@ func (s *NodeSet) grow(id NodeID) {
 func (s *NodeSet) Add(id NodeID) {
 	s.grow(id)
 	s.words[id/64] |= 1 << (uint(id) % 64)
+	s.fp = 0
 }
 
 // Remove deletes id from the set if present.
 func (s *NodeSet) Remove(id NodeID) {
 	if int(id)/64 < len(s.words) {
 		s.words[id/64] &^= 1 << (uint(id) % 64)
+		s.fp = 0
 	}
 }
 
@@ -74,14 +81,16 @@ func (s NodeSet) Empty() bool {
 	return true
 }
 
-// Clone returns an independent copy.
+// Clone returns an independent copy (the cached fingerprint carries over:
+// the content is identical).
 func (s NodeSet) Clone() NodeSet {
-	return NodeSet{words: append([]uint64(nil), s.words...)}
+	return NodeSet{words: append([]uint64(nil), s.words...), fp: s.fp}
 }
 
 // Union returns s ∪ t as a new set.
 func (s NodeSet) Union(t NodeSet) NodeSet {
 	out := s.Clone()
+	out.fp = 0
 	for i, w := range t.words {
 		if i < len(out.words) {
 			out.words[i] |= w
@@ -108,6 +117,7 @@ func (s NodeSet) Intersect(t NodeSet) NodeSet {
 // Minus returns s \ t as a new set.
 func (s NodeSet) Minus(t NodeSet) NodeSet {
 	out := s.Clone()
+	out.fp = 0
 	for i := range out.words {
 		if i < len(t.words) {
 			out.words[i] &^= t.words[i]
@@ -176,6 +186,41 @@ func (s NodeSet) Key() string {
 		fmt.Fprintf(&sb, "%016x", s.words[i])
 	}
 	return sb.String()
+}
+
+// Fingerprint returns a 64-bit content hash of the set, the allocation-free
+// replacement for Key on hot map paths (planner cost caches): equal sets
+// have equal fingerprints regardless of backing capacity, and distinct sets
+// collide with probability ~n²/2⁶⁴ for n distinct sets — negligible against
+// the few thousand zones of a model graph (callers that cannot tolerate any
+// collision, like zone interning, still use Key). The value is cached on
+// first call and invalidated by mutation, so sets interned once are hashed
+// once; value copies carry the cache.
+func (s *NodeSet) Fingerprint() uint64 {
+	if s.fp != 0 {
+		return s.fp
+	}
+	last := len(s.words)
+	for last > 0 && s.words[last-1] == 0 {
+		last--
+	}
+	// splitmix64-style mixing of each word with its index; trailing zero
+	// words are excluded so equal sets with different capacities agree.
+	h := uint64(last+1) * 0x9E3779B97F4A7C15
+	for i := 0; i < last; i++ {
+		x := s.words[i] + uint64(i)*0xBF58476D1CE4E5B9 + 0x9E3779B97F4A7C15
+		x ^= x >> 30
+		x *= 0xBF58476D1CE4E5B9
+		x ^= x >> 27
+		x *= 0x94D049BB133111EB
+		x ^= x >> 31
+		h = (h ^ x) * 0x9E3779B97F4A7C15
+	}
+	if h == 0 {
+		h = 0x9E3779B97F4A7C15 // keep 0 as the "not computed" sentinel
+	}
+	s.fp = h
+	return h
 }
 
 // String renders the set as {a,b,c}.

@@ -155,6 +155,74 @@ func TestNodeSetKeyInjective(t *testing.T) {
 	}
 }
 
+// Fingerprint must agree on equal sets regardless of capacity and visit
+// history, be invalidated by mutation, and travel with value copies.
+func TestNodeSetFingerprint(t *testing.T) {
+	a := NewNodeSet(200)
+	a.Add(5)
+	a.Add(70)
+	b := NodeSetOf(70, 5)
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("Fingerprint differs across capacities for equal sets")
+	}
+	var empty NodeSet
+	grown := NewNodeSet(300)
+	if empty.Fingerprint() != grown.Fingerprint() {
+		t.Fatal("empty-set Fingerprint depends on capacity")
+	}
+
+	// Mutation invalidates the cache.
+	fp := a.Fingerprint()
+	a.Add(9)
+	if a.Fingerprint() == fp {
+		t.Fatal("Add did not change Fingerprint")
+	}
+	a.Remove(9)
+	if a.Fingerprint() != fp {
+		t.Fatal("Fingerprint not restored after Remove of the added id")
+	}
+
+	// Copies carry the cached value (same content, same fingerprint).
+	c := a.Clone()
+	if c.Fingerprint() != fp {
+		t.Fatal("Clone changed Fingerprint")
+	}
+
+	// Derived sets must hash their own content, not the receiver's cache.
+	u := a.Union(NodeSetOf(33))
+	if u.Fingerprint() == fp {
+		t.Fatal("Union reused the receiver's fingerprint")
+	}
+	m := a.Minus(NodeSetOf(5))
+	if m.Fingerprint() == fp || !m.Equal(NodeSetOf(70)) {
+		t.Fatalf("Minus fingerprint/content wrong: %v", m)
+	}
+	only70 := NodeSetOf(70)
+	if m.Fingerprint() != only70.Fingerprint() {
+		t.Fatal("Minus result disagrees with directly built equal set")
+	}
+}
+
+// Property: Fingerprint is collision-free across the distinct small sets a
+// model graph actually produces (Key injectivity is the ground truth).
+func TestNodeSetFingerprintNoCollisionsOnSmallUniverse(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	byFP := map[uint64]string{}
+	for i := 0; i < 2000; i++ {
+		var s NodeSet
+		for j := 0; j < 12; j++ {
+			if rng.Intn(2) == 1 {
+				s.Add(NodeID(rng.Intn(200)))
+			}
+		}
+		k, fp := s.Key(), s.Fingerprint()
+		if prev, ok := byFP[fp]; ok && prev != k {
+			t.Fatalf("fingerprint collision: %x for %q and %q", fp, prev, k)
+		}
+		byFP[fp] = k
+	}
+}
+
 func TestInducedConvex(t *testing.T) {
 	g, a, l, r, d := diamond(t)
 	cases := []struct {

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# bench.sh — run the paper-evaluation benchmark suite once and record the
+# parsed metrics (search seconds, samples/s, depths, speedups) in a JSON
+# report the repository commits, so every PR leaves a perf trajectory.
+#
+# Usage:
+#   scripts/bench.sh [label] [output.json] [note]
+#
+#   label   run label inside the report (default: after)
+#   output  report file to merge into   (default: BENCH_PR3.json)
+#   note    free-form note stored with the run
+#
+# Typical workflow for a perf PR:
+#   git stash        # or checkout the base commit
+#   scripts/bench.sh before BENCH_PRn.json "base: <sha>"
+#   git stash pop
+#   scripts/bench.sh after  BENCH_PRn.json "with <change>"
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+label="${1:-after}"
+out="${2:-BENCH_PR3.json}"
+note="${3:-}"
+
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+# -benchtime=1x: each benchmark plans and simulates once — the harness
+# reports its own wall-clock metrics, so more iterations only cost time.
+go test -run '^$' -bench . -benchtime=1x . | tee "$tmp"
+go run ./cmd/benchreport -label "$label" -note "$note" -o "$out" -in "$tmp"
