@@ -27,8 +27,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -49,30 +51,84 @@ import (
 )
 
 func main() {
-	if len(os.Args) < 2 {
-		usage()
-		os.Exit(2)
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// usageError marks misuse of the command line — unknown subcommand or
+// flag, wrong positional arguments — as opposed to a failure while doing
+// the requested work. Misuse exits 2 with a usage message; runtime
+// failures exit 1. Every misuse path funnels through this one type, so
+// the two classes cannot drift apart again as subcommands are added.
+type usageError struct {
+	err error
+	// printed means the flag set already wrote the diagnostic and its
+	// flag listing to stderr; run then only sets the exit code, instead
+	// of repeating the error and stacking a second usage text on top.
+	printed bool
+}
+
+func (e usageError) Error() string { return e.err.Error() }
+
+func usageErrorf(format string, args ...any) error {
+	return usageError{err: fmt.Errorf(format, args...)}
+}
+
+// run dispatches a full command line and returns the process exit code.
+// It is main minus os.Exit, so the CLI smoke tests can drive every
+// misuse and success path in-process.
+func run(args []string, stdout, stderr io.Writer) int {
+	if len(args) < 1 {
+		fmt.Fprintln(stderr, "graphpipe: missing subcommand")
+		usage(stderr)
+		return 2
 	}
 	var err error
-	switch os.Args[1] {
+	switch args[0] {
 	case "plan":
-		err = cmdPlan(os.Args[2:])
+		err = cmdPlan(args[1:], stdout, stderr)
 	case "eval":
-		err = cmdEval(os.Args[2:])
+		err = cmdEval(args[1:], stdout, stderr)
 	case "compare":
-		err = cmdCompare(os.Args[2:])
+		err = cmdCompare(args[1:], stdout, stderr)
 	case "-h", "-help", "--help", "help":
-		usage()
-		return
+		usage(stdout)
+		return 0
 	default:
-		fmt.Fprintf(os.Stderr, "graphpipe: unknown subcommand %q\n\n", os.Args[1])
-		usage()
-		os.Exit(2)
+		fmt.Fprintf(stderr, "graphpipe: unknown subcommand %q\n\n", args[0])
+		usage(stderr)
+		return 2
 	}
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "graphpipe:", err)
-		os.Exit(1)
+	var ue usageError
+	switch {
+	case err == nil:
+		return 0
+	case errors.Is(err, flag.ErrHelp):
+		// The flag set already printed its defaults.
+		return 0
+	case errors.As(err, &ue):
+		if !ue.printed {
+			fmt.Fprintf(stderr, "graphpipe: %v\n\n", err)
+			usage(stderr)
+		}
+		return 2
+	default:
+		fmt.Fprintln(stderr, "graphpipe:", err)
+		return 1
 	}
+}
+
+// parseFlags parses a subcommand's flags, converting flag-package errors
+// (unknown flag, malformed value) into usageErrors while passing -h's
+// flag.ErrHelp through untouched.
+func parseFlags(fs *flag.FlagSet, stderr io.Writer, args []string) error {
+	fs.SetOutput(stderr)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return err
+		}
+		return usageError{err: err, printed: true}
+	}
+	return nil
 }
 
 // profileFlags registers -cpuprofile/-memprofile on a subcommand's flag
@@ -118,8 +174,8 @@ func profileFlags(fs *flag.FlagSet) (start func() (stop func() error, err error)
 	}
 }
 
-func usage() {
-	fmt.Fprintf(os.Stderr, `graphpipe plans, persists, and evaluates pipeline-parallel strategies.
+func usage(w io.Writer) {
+	fmt.Fprintf(w, `graphpipe plans, persists, and evaluates pipeline-parallel strategies.
 
 Subcommands:
   plan      discover a strategy and optionally write it as a JSON artifact
@@ -138,8 +194,8 @@ Run 'graphpipe <subcommand> -h' for flags.
 // cmdPlan plans a strategy, evaluates it once for the summary, and
 // optionally persists the artifact (with the evaluation recorded in its
 // metadata, so a later re-evaluation can be diffed against plan time).
-func cmdPlan(args []string) (retErr error) {
-	fs := flag.NewFlagSet("plan", flag.ExitOnError)
+func cmdPlan(args []string, stdout, stderr io.Writer) (retErr error) {
+	fs := flag.NewFlagSet("plan", flag.ContinueOnError)
 	startProf := profileFlags(fs)
 	var (
 		modelName   = fs.String("model", "mmt", "model: "+strings.Join(models.Names(), " | "))
@@ -155,7 +211,12 @@ func cmdPlan(args []string) (retErr error) {
 		gantt    = fs.Bool("gantt", false, "print the pipeline schedule as an ASCII gantt chart")
 		verbose  = fs.Bool("verbose", false, "print the full stage listing")
 	)
-	fs.Parse(args)
+	if err := parseFlags(fs, stderr, args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		return usageErrorf("plan: unexpected arguments: %v", fs.Args())
+	}
 	stopProf, err := startProf()
 	if err != nil {
 		return err
@@ -202,33 +263,40 @@ func cmdPlan(args []string) (retErr error) {
 		return err
 	}
 
-	fmt.Printf("model      %s (%d ops)\n", g.Name(), g.Len())
-	fmt.Printf("devices    %d   mini-batch %d\n", *devices, mb)
-	fmt.Printf("planner    %s   search %.3fs   dp-states %d\n",
+	// The artifact is built whether or not it is persisted: its
+	// fingerprint is the plan's cache identity, printed so CLI users and
+	// the graphpiped daemon (which hashes requests the same way, via
+	// strategy.Artifact.Fingerprint) can look each other's plans up.
+	art := &strategy.Artifact{
+		Model:     *modelName,
+		Branches:  *branches,
+		Devices:   *devices,
+		MiniBatch: mb,
+		Planner: strategy.PlannerMeta{
+			Name:          pl.Name(),
+			SearchSeconds: searchTime.Seconds(),
+			DPStates:      stats.DPStates,
+			BinaryIters:   stats.BinaryIters,
+		},
+		Options: strategy.PlanOptions{ForcedMicroBatch: *micro},
+		Evals: []strategy.EvalMeta{{
+			Backend:       rep.Backend,
+			IterationTime: rep.IterationTime,
+			Throughput:    rep.Throughput,
+		}},
+		Strategy: st,
+	}
+
+	fmt.Fprintf(stdout, "model      %s (%d ops)\n", g.Name(), g.Len())
+	fmt.Fprintf(stdout, "devices    %d   mini-batch %d\n", *devices, mb)
+	fmt.Fprintf(stdout, "planner    %s   search %.3fs   dp-states %d\n",
 		pl.Name(), searchTime.Seconds(), stats.DPStates)
-	fmt.Printf("backend    %s\n", rep.Backend)
-	fmt.Printf("result     %s\n", trace.Summary(st, rep))
-	printDetails(st, rep, *verbose, *gantt)
+	fmt.Fprintf(stdout, "backend    %s\n", rep.Backend)
+	fmt.Fprintf(stdout, "fingerprint %s\n", art.Fingerprint())
+	fmt.Fprintf(stdout, "result     %s\n", trace.Summary(st, rep))
+	printDetails(stdout, st, rep, *verbose, *gantt)
 
 	if *out != "" {
-		art := &strategy.Artifact{
-			Model:     *modelName,
-			Branches:  *branches,
-			Devices:   *devices,
-			MiniBatch: mb,
-			Planner: strategy.PlannerMeta{
-				Name:          pl.Name(),
-				SearchSeconds: searchTime.Seconds(),
-				DPStates:      stats.DPStates,
-				BinaryIters:   stats.BinaryIters,
-			},
-			Evals: []strategy.EvalMeta{{
-				Backend:       rep.Backend,
-				IterationTime: rep.IterationTime,
-				Throughput:    rep.Throughput,
-			}},
-			Strategy: st,
-		}
 		data, err := strategy.EncodeArtifact(art)
 		if err != nil {
 			return err
@@ -236,7 +304,7 @@ func cmdPlan(args []string) (retErr error) {
 		if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
 			return err
 		}
-		fmt.Printf("artifact   %s (version %d, %d bytes)\n", *out, art.Version, len(data)+1)
+		fmt.Fprintf(stdout, "artifact   %s (version %d, %d bytes)\n", *out, art.Version, len(data)+1)
 	}
 	return nil
 }
@@ -270,8 +338,8 @@ func loadArtifact(path string) (*strategy.Artifact, *graph.Graph, *cluster.Topol
 
 // cmdEval loads a persisted plan and evaluates it on the selected
 // backend, reporting drift against the evaluations recorded at plan time.
-func cmdEval(args []string) (retErr error) {
-	fs := flag.NewFlagSet("eval", flag.ExitOnError)
+func cmdEval(args []string, stdout, stderr io.Writer) (retErr error) {
+	fs := flag.NewFlagSet("eval", flag.ContinueOnError)
 	startProf := profileFlags(fs)
 	var (
 		backend = fs.String("backend", "sim", "evaluation backend: "+strings.Join(eval.Names(), " | "))
@@ -279,9 +347,11 @@ func cmdEval(args []string) (retErr error) {
 		gantt   = fs.Bool("gantt", false, "print the pipeline schedule as an ASCII gantt chart")
 		verbose = fs.Bool("verbose", false, "print the full stage listing")
 	)
-	fs.Parse(args)
+	if err := parseFlags(fs, stderr, args); err != nil {
+		return err
+	}
 	if fs.NArg() != 1 {
-		return fmt.Errorf("eval: want exactly one artifact file, got %d", fs.NArg())
+		return usageErrorf("eval: want exactly one artifact file, got %d", fs.NArg())
 	}
 	stopProf, err := startProf()
 	if err != nil {
@@ -306,32 +376,35 @@ func cmdEval(args []string) (retErr error) {
 		return err
 	}
 
-	fmt.Printf("artifact   %s (version %d)\n", fs.Arg(0), art.Version)
-	fmt.Printf("model      %s (%d ops)   devices %d   mini-batch %d\n",
+	fmt.Fprintf(stdout, "artifact   %s (version %d)\n", fs.Arg(0), art.Version)
+	fmt.Fprintf(stdout, "model      %s (%d ops)   devices %d   mini-batch %d\n",
 		g.Name(), g.Len(), art.Devices, art.Strategy.MiniBatch)
-	fmt.Printf("planner    %s   search %.3fs\n", art.Planner.Name, art.Planner.SearchSeconds)
-	fmt.Printf("backend    %s\n", rep.Backend)
-	fmt.Printf("result     %s\n", trace.Summary(art.Strategy, rep))
+	fmt.Fprintf(stdout, "planner    %s   search %.3fs\n", art.Planner.Name, art.Planner.SearchSeconds)
+	fmt.Fprintf(stdout, "backend    %s\n", rep.Backend)
+	fmt.Fprintf(stdout, "fingerprint %s\n", art.Fingerprint())
+	fmt.Fprintf(stdout, "result     %s\n", trace.Summary(art.Strategy, rep))
 	for _, em := range art.Evals {
 		drift := 0.0
 		if em.Throughput > 0 {
 			drift = (rep.Throughput - em.Throughput) / em.Throughput * 100
 		}
-		fmt.Printf("recorded   %s: %.4g samples/s at plan time (drift %+.2f%%)\n",
+		fmt.Fprintf(stdout, "recorded   %s: %.4g samples/s at plan time (drift %+.2f%%)\n",
 			em.Backend, em.Throughput, drift)
 	}
-	printDetails(art.Strategy, rep, *verbose, *gantt)
+	printDetails(stdout, art.Strategy, rep, *verbose, *gantt)
 	return nil
 }
 
 // cmdCompare evaluates several artifacts on one backend and prints them
 // side by side — the "which plan do we ship" table.
-func cmdCompare(args []string) error {
-	fs := flag.NewFlagSet("compare", flag.ExitOnError)
+func cmdCompare(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("compare", flag.ContinueOnError)
 	backend := fs.String("backend", "sim", "evaluation backend: "+strings.Join(eval.Names(), " | "))
-	fs.Parse(args)
+	if err := parseFlags(fs, stderr, args); err != nil {
+		return err
+	}
 	if fs.NArg() < 1 {
-		return fmt.Errorf("compare: want at least one artifact file")
+		return usageErrorf("compare: want at least one artifact file")
 	}
 	ev, err := eval.Get(*backend)
 	if err != nil {
@@ -356,29 +429,29 @@ func cmdCompare(args []string) error {
 			art.Strategy.NumStages(), art.Strategy.Depth(),
 			rep.IterationTime, rep.Throughput, rep.PeakMemory()/1e9)
 	}
-	fmt.Printf("backend %s\n\n%s", *backend, table.Markdown())
+	fmt.Fprintf(stdout, "backend %s\n\n%s", *backend, table.Markdown())
 	if baseline := throughputs[0]; fs.NArg() > 1 && baseline > 0 {
-		fmt.Printf("\n(throughputs relative to %s: ", fs.Arg(0))
+		fmt.Fprintf(stdout, "\n(throughputs relative to %s: ", fs.Arg(0))
 		for i := range throughputs {
 			if i > 0 {
-				fmt.Print(", ")
+				fmt.Fprint(stdout, ", ")
 			}
-			fmt.Printf("%s %.2fx", fs.Arg(i), throughputs[i]/baseline)
+			fmt.Fprintf(stdout, "%s %.2fx", fs.Arg(i), throughputs[i]/baseline)
 		}
-		fmt.Println(")")
+		fmt.Fprintln(stdout, ")")
 	}
 	return nil
 }
 
 // printDetails renders the optional stage listing and gantt chart shared
 // by plan and eval.
-func printDetails(st *strategy.Strategy, rep *eval.Report, verbose, gantt bool) {
+func printDetails(w io.Writer, st *strategy.Strategy, rep *eval.Report, verbose, gantt bool) {
 	if verbose {
-		fmt.Println()
-		fmt.Print(st.String())
+		fmt.Fprintln(w)
+		fmt.Fprint(w, st.String())
 	}
 	if gantt {
-		fmt.Println()
-		fmt.Print(trace.Gantt(st, rep, 110))
+		fmt.Fprintln(w)
+		fmt.Fprint(w, trace.Gantt(st, rep, 110))
 	}
 }

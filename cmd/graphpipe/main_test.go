@@ -1,0 +1,123 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// runCLI drives the dispatcher exactly like main does, capturing both
+// streams and the exit code.
+func runCLI(args ...string) (code int, stdout, stderr string) {
+	var out, errw bytes.Buffer
+	code = run(args, &out, &errw)
+	return code, out.String(), errw.String()
+}
+
+// TestCLIMisuse pins the contract the misuse paths share: non-zero exit
+// (2, distinguishing misuse from runtime failure), a diagnostic on
+// stderr, and the usage text so the caller learns the valid spellings.
+func TestCLIMisuse(t *testing.T) {
+	for name, tc := range map[string]struct {
+		args []string
+		diag string // must appear on stderr
+		// usage selects which help text accompanies the diagnostic: the
+		// top-level subcommand listing, or (for flag-parse errors, where
+		// the flag set prints its own flag listing exactly once) the
+		// subcommand's flags.
+		usage string
+	}{
+		"no subcommand":        {nil, "missing subcommand", "Subcommands:"},
+		"unknown subcommand":   {[]string{"bogus"}, `unknown subcommand "bogus"`, "Subcommands:"},
+		"unknown plan flag":    {[]string{"plan", "-nosuch"}, "-nosuch", "-model"},
+		"stray plan arg":       {[]string{"plan", "stray"}, "unexpected arguments", "Subcommands:"},
+		"eval without file":    {[]string{"eval"}, "want exactly one artifact file", "Subcommands:"},
+		"eval two files":       {[]string{"eval", "a.json", "b.json"}, "want exactly one artifact file", "Subcommands:"},
+		"unknown eval flag":    {[]string{"eval", "-nosuch", "a.json"}, "-nosuch", "-backend"},
+		"compare without file": {[]string{"compare"}, "at least one artifact file", "Subcommands:"},
+		"unknown compare flag": {[]string{"compare", "-nosuch"}, "-nosuch", "-backend"},
+	} {
+		code, stdout, stderr := runCLI(tc.args...)
+		if code != 2 {
+			t.Errorf("%s: exit %d, want 2", name, code)
+		}
+		if !strings.Contains(stderr, tc.diag) {
+			t.Errorf("%s: stderr %q does not explain the misuse (%q)", name, stderr, tc.diag)
+		}
+		if !strings.Contains(stderr, tc.usage) {
+			t.Errorf("%s: stderr does not include usage (%q):\n%s", name, tc.usage, stderr)
+		}
+		if n := strings.Count(stderr, tc.diag); n != 1 {
+			t.Errorf("%s: diagnostic printed %d times, want once:\n%s", name, n, stderr)
+		}
+		if stdout != "" {
+			t.Errorf("%s: misuse wrote to stdout: %q", name, stdout)
+		}
+	}
+}
+
+func TestCLIHelp(t *testing.T) {
+	code, stdout, _ := runCLI("help")
+	if code != 0 || !strings.Contains(stdout, "Subcommands:") {
+		t.Errorf("help: exit %d, stdout %q", code, stdout)
+	}
+	// -h on a subcommand prints the flag listing and exits 0.
+	code, _, stderr := runCLI("plan", "-h")
+	if code != 0 || !strings.Contains(stderr, "-model") {
+		t.Errorf("plan -h: exit %d, stderr %q", code, stderr)
+	}
+}
+
+func TestCLIRuntimeFailureExitsOne(t *testing.T) {
+	code, _, stderr := runCLI("eval", filepath.Join(t.TempDir(), "missing.json"))
+	if code != 1 {
+		t.Errorf("eval of a missing file: exit %d, want 1", code)
+	}
+	if strings.Contains(stderr, "Subcommands:") {
+		t.Error("runtime failure printed usage (reserved for misuse)")
+	}
+	if code, _, _ := runCLI("plan", "-model", "nope", "-devices", "4"); code != 1 {
+		t.Errorf("unknown model: exit %d, want 1", code)
+	}
+}
+
+var fingerprintLine = regexp.MustCompile(`(?m)^fingerprint ([0-9a-f]{64})$`)
+
+// TestCLIPlanEvalRoundTrip smoke-tests the happy path in-process: plan a
+// small model to a file, re-evaluate the artifact, and check that both
+// subcommands print the same fingerprint — the identity the planning
+// daemon keys its cache on.
+func TestCLIPlanEvalRoundTrip(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "plan.json")
+	code, planOut, stderr := runCLI("plan", "-model", "case-study", "-devices", "4", "-o", out)
+	if code != 0 {
+		t.Fatalf("plan: exit %d, stderr %s", code, stderr)
+	}
+	m := fingerprintLine.FindStringSubmatch(planOut)
+	if m == nil {
+		t.Fatalf("plan output has no fingerprint line:\n%s", planOut)
+	}
+	if _, err := os.Stat(out); err != nil {
+		t.Fatalf("artifact not written: %v", err)
+	}
+
+	code, evalOut, stderr := runCLI("eval", out)
+	if code != 0 {
+		t.Fatalf("eval: exit %d, stderr %s", code, stderr)
+	}
+	m2 := fingerprintLine.FindStringSubmatch(evalOut)
+	if m2 == nil {
+		t.Fatalf("eval output has no fingerprint line:\n%s", evalOut)
+	}
+	if m[1] != m2[1] {
+		t.Errorf("plan fingerprint %s != eval fingerprint %s", m[1], m2[1])
+	}
+
+	code, compareOut, stderr := runCLI("compare", out)
+	if code != 0 || !strings.Contains(compareOut, "case-study") {
+		t.Errorf("compare: exit %d, stderr %s\n%s", code, stderr, compareOut)
+	}
+}

@@ -1,0 +1,126 @@
+// Command graphpiped is the long-running planning daemon: the HTTP face
+// of internal/service. Where `graphpipe plan` answers one planning
+// question per process, graphpiped keeps a two-tier plan cache (memory
+// LRU + on-disk artifact store), deduplicates concurrent identical
+// requests, and bounds how many planner searches run at once — the shape
+// a planning layer needs to sit in front of real traffic.
+//
+//	graphpiped -addr :8787 -cache-dir /var/cache/graphpipe
+//
+//	curl -s localhost:8787/v1/plan -d '{"model":"mmt","devices":8}'
+//	curl -s localhost:8787/v1/eval -d '{"model":"mmt","devices":8,"backend":"runtime"}'
+//	curl -s localhost:8787/v1/artifacts/<fingerprint>
+//	curl -s localhost:8787/v1/stats
+//
+// Plan responses carry X-Graphpipe-Fingerprint and X-Graphpipe-Cache
+// headers ("miss", "shared", "hit-memory", "hit-disk"). The on-disk store
+// holds one CLI-compatible artifact per fingerprint: `graphpipe eval
+// <cache-dir>/<fingerprint>.json` replays any plan the daemon ever made.
+//
+// SIGINT/SIGTERM shut down gracefully: the listener stops accepting,
+// in-flight requests (including running planner searches) drain, then the
+// process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"graphpipe/internal/service"
+
+	_ "graphpipe/internal/eval/all"    // register the built-in backends
+	_ "graphpipe/internal/planner/all" // register the built-in planners
+)
+
+func main() {
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
+	if err := run(os.Args[1:], os.Stderr, nil, sigs); err != nil {
+		fmt.Fprintln(os.Stderr, "graphpiped:", err)
+		os.Exit(1)
+	}
+}
+
+// run is the daemon body, factored so the end-to-end test can drive it:
+// it serves on the resolved listen address (reported through ready, for
+// ephemeral ports), blocks until a signal arrives on sigs, then drains —
+// http.Server.Shutdown waits out in-flight requests and service.Close
+// waits out admitted planner jobs — before returning.
+func run(args []string, logw io.Writer, ready chan<- string, sigs <-chan os.Signal) error {
+	fs := flag.NewFlagSet("graphpiped", flag.ContinueOnError)
+	fs.SetOutput(logw)
+	var (
+		addr           = fs.String("addr", ":8787", "listen address (host:port; port 0 picks one)")
+		dir            = fs.String("cache-dir", "", "on-disk artifact store; empty disables the disk tier")
+		mem            = fs.Int("mem-entries", 0, "in-memory plan cache capacity in entries (0: default 256)")
+		workers        = fs.Int("workers", 0, "concurrent planner searches (0: one per CPU)")
+		queue          = fs.Int("queue", 0, "planning queue depth before 429s (0: default 64)")
+		plannerWorkers = fs.Int("planner-workers", 0,
+			"worker pool inside each planner search (0: default 1; see internal/service.Config)")
+		drainTimeout = fs.Duration("drain-timeout", 30*time.Second,
+			"how long shutdown waits for in-flight requests before aborting them")
+	)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			// -h printed the flag listing; that is success, not failure.
+			return nil
+		}
+		return err
+	}
+	if fs.NArg() != 0 {
+		return fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+
+	svc, err := service.New(service.Config{
+		CacheDir:       *dir,
+		MemoryEntries:  *mem,
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		PlannerWorkers: *plannerWorkers,
+	})
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		svc.Close()
+		return err
+	}
+	srv := &http.Server{Handler: svc.Handler()}
+	fmt.Fprintf(logw, "graphpiped: listening on %s (cache-dir %q)\n", ln.Addr(), *dir)
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	select {
+	case sig := <-sigs:
+		fmt.Fprintf(logw, "graphpiped: %v, draining\n", sig)
+	case err := <-serveErr:
+		return err // listener died without a signal
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	svc.Close()
+	fmt.Fprintln(logw, "graphpiped: drained, bye")
+	return nil
+}

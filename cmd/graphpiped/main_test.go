@@ -1,0 +1,198 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"graphpipe/internal/cluster"
+	"graphpipe/internal/graph"
+	"graphpipe/internal/planner"
+	"graphpipe/internal/service"
+	"graphpipe/internal/strategy"
+)
+
+// slowPlanner wraps the real graphpipe planner, announcing when a search
+// has started and holding it until released — the drain test's handle on
+// "a request is in flight right now".
+type slowPlanner struct {
+	mu      sync.Mutex
+	started chan struct{}
+	release chan struct{}
+}
+
+var slow = &slowPlanner{}
+
+func init() { planner.Register(slow) }
+
+func (p *slowPlanner) Name() string { return "e2e-slow" }
+
+func (p *slowPlanner) arm() (started, release chan struct{}) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.started = make(chan struct{})
+	p.release = make(chan struct{})
+	return p.started, p.release
+}
+
+func (p *slowPlanner) Plan(g *graph.Graph, topo *cluster.Topology, miniBatch int, opts planner.Options) (*strategy.Strategy, planner.Stats, error) {
+	p.mu.Lock()
+	started, release := p.started, p.release
+	p.mu.Unlock()
+	if started != nil {
+		close(started)
+		<-release
+	}
+	real, err := planner.Get("graphpipe")
+	if err != nil {
+		return nil, planner.Stats{}, err
+	}
+	return real.Plan(g, topo, miniBatch, opts)
+}
+
+// daemon starts run() on an ephemeral port and returns the base URL, the
+// signal channel that stands in for process signals, and a channel
+// carrying run's eventual return.
+func daemon(t *testing.T, args ...string) (url string, sigs chan os.Signal, exited chan error) {
+	t.Helper()
+	sigs = make(chan os.Signal, 1)
+	ready := make(chan string, 1)
+	exited = make(chan error, 1)
+	go func() {
+		exited <- run(append([]string{"-addr", "127.0.0.1:0"}, args...), io.Discard, ready, sigs)
+	}()
+	select {
+	case addr := <-ready:
+		return "http://" + addr, sigs, exited
+	case err := <-exited:
+		t.Fatalf("daemon exited before listening: %v", err)
+		return "", nil, nil
+	}
+}
+
+func postJSON(t *testing.T, url, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+// TestDaemonEndToEnd walks the daemon through its whole life: cold plan,
+// warm re-plan (byte-identical, cache header), eval, stats, then a
+// SIGTERM arriving while a planner search is in flight — the daemon must
+// finish that request before exiting, and its disk cache must warm a
+// successor daemon.
+func TestDaemonEndToEnd(t *testing.T) {
+	cacheDir := t.TempDir()
+	url, sigs, exited := daemon(t, "-cache-dir", cacheDir, "-workers", "2")
+
+	body := `{"model":"case-study","devices":4}`
+	cold, coldData := postJSON(t, url+"/v1/plan", body)
+	if cold.StatusCode != http.StatusOK || cold.Header.Get(service.HeaderCache) != "miss" {
+		t.Fatalf("cold plan: %d cache=%q %s", cold.StatusCode, cold.Header.Get(service.HeaderCache), coldData)
+	}
+	fp := cold.Header.Get(service.HeaderFingerprint)
+
+	warm, warmData := postJSON(t, url+"/v1/plan", body)
+	if warm.Header.Get(service.HeaderCache) != "hit-memory" {
+		t.Errorf("warm plan cache = %q", warm.Header.Get(service.HeaderCache))
+	}
+	if !bytes.Equal(warmData, coldData) {
+		t.Error("warm response not byte-identical to cold response")
+	}
+
+	evalResp, evalData := postJSON(t, url+"/v1/eval", `{"fingerprint":"`+fp+`","backend":"sim"}`)
+	if evalResp.StatusCode != http.StatusOK {
+		t.Fatalf("eval: %d %s", evalResp.StatusCode, evalData)
+	}
+	var eval service.EvalResult
+	if err := json.Unmarshal(evalData, &eval); err != nil || eval.Throughput <= 0 {
+		t.Errorf("eval result %s: %v", evalData, err)
+	}
+
+	// The disk tier must hold a CLI-compatible artifact under the
+	// fingerprint the header reported.
+	if data, err := os.ReadFile(filepath.Join(cacheDir, fp+".json")); err != nil || !bytes.Equal(data, coldData) {
+		t.Errorf("disk artifact missing or differs: %v", err)
+	}
+
+	// Drain: park a search inside the planner, deliver SIGTERM, then
+	// release. The in-flight request must complete with 200 and the
+	// daemon must not exit before it does.
+	started, release := slow.arm()
+	slowDone := make(chan int, 1)
+	go func() {
+		resp, err := http.Post(url+"/v1/plan", "application/json",
+			strings.NewReader(`{"model":"case-study","devices":4,"planner":"e2e-slow"}`))
+		if err != nil {
+			slowDone <- -1
+			return
+		}
+		resp.Body.Close()
+		slowDone <- resp.StatusCode
+	}()
+	<-started
+	sigs <- syscall.SIGTERM
+	select {
+	case err := <-exited:
+		t.Fatalf("daemon exited while a request was in flight (err %v)", err)
+	case <-time.After(100 * time.Millisecond):
+	}
+	close(release)
+	if code := <-slowDone; code != http.StatusOK {
+		t.Fatalf("in-flight request during drain: status %d", code)
+	}
+	select {
+	case err := <-exited:
+		if err != nil {
+			t.Fatalf("daemon exit: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not exit after draining")
+	}
+
+	// A successor daemon over the same cache dir answers warm from disk —
+	// the plan outlived the process that computed it.
+	url2, sigs2, exited2 := daemon(t, "-cache-dir", cacheDir)
+	resp2, data2 := postJSON(t, url2+"/v1/plan", body)
+	if resp2.Header.Get(service.HeaderCache) != "hit-disk" {
+		t.Errorf("restarted daemon cache = %q, want hit-disk", resp2.Header.Get(service.HeaderCache))
+	}
+	if !bytes.Equal(data2, coldData) {
+		t.Error("restarted daemon served different bytes")
+	}
+	sigs2 <- syscall.SIGTERM
+	if err := <-exited2; err != nil {
+		t.Fatalf("second daemon exit: %v", err)
+	}
+}
+
+func TestDaemonRejectsBadFlags(t *testing.T) {
+	if err := run([]string{"-nosuch"}, io.Discard, nil, nil); err == nil {
+		t.Error("unknown flag accepted")
+	}
+	if err := run([]string{"-h"}, io.Discard, nil, nil); err != nil {
+		t.Errorf("-h is not a failure: %v", err)
+	}
+	if err := run([]string{"stray"}, io.Discard, nil, nil); err == nil || !strings.Contains(err.Error(), "unexpected arguments") {
+		t.Errorf("stray argument: err = %v", err)
+	}
+	if err := run([]string{"-addr", "999.999.999.999:1"}, io.Discard, nil, nil); err == nil {
+		t.Error("unlistenable address accepted")
+	}
+}

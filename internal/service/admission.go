@@ -1,0 +1,110 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrOverloaded marks a request rejected at admission because the planning
+// queue was full. The HTTP layer maps it to 429; clients should back off
+// and retry. Test with errors.Is.
+var ErrOverloaded = errors.New("service: overloaded")
+
+// admission is the bounded execution stage in front of the planners: a
+// fixed worker pool fed by a fixed-depth queue. Its size is deliberately
+// independent of each planner's internal Options.Workers — the pool bounds
+// how many planner searches run at once, the planner option bounds how
+// many CPUs one search uses, and the product of the two is the service's
+// CPU envelope. Submissions beyond queue capacity fail fast with
+// ErrOverloaded instead of piling up goroutines: under overload the
+// service sheds load at the door, where the caller still has the context
+// to retry elsewhere, rather than time out in a queue it cannot see.
+type admission struct {
+	jobs     chan func()
+	workers  sync.WaitGroup // running worker goroutines
+	pending  sync.WaitGroup // accepted-but-unfinished jobs
+	queued   atomic.Int64
+	inflight atomic.Int64
+
+	mu     sync.Mutex
+	closed bool
+}
+
+func newAdmission(workers, queueDepth int) *admission {
+	a := &admission{jobs: make(chan func(), queueDepth)}
+	for i := 0; i < workers; i++ {
+		a.workers.Add(1)
+		go func() {
+			defer a.workers.Done()
+			for job := range a.jobs {
+				job()
+			}
+		}()
+	}
+	return a
+}
+
+// run admits fn, waits for a worker to execute it, and returns when it
+// finishes or ctx expires. Admission is non-blocking: a full queue is an
+// immediate ErrOverloaded carrying the observed depths. A caller that
+// gives up on ctx abandons the wait but not the job — the job is a
+// singleflight leader other waiters may be parked on, so it runs to
+// completion and lands in the cache regardless.
+func (a *admission) run(ctx context.Context, fn func()) error {
+	done := make(chan struct{})
+	job := func() {
+		defer close(done)
+		a.queued.Add(-1)
+		a.inflight.Add(1)
+		defer a.inflight.Add(-1)
+		fn()
+	}
+
+	a.mu.Lock()
+	if a.closed {
+		a.mu.Unlock()
+		return fmt.Errorf("%w: service shutting down", ErrOverloaded)
+	}
+	// The gauge rises before the send: a worker may dequeue the job (and
+	// decrement) the instant it lands in the channel, and an increment
+	// sequenced after that would let a stats reader observe queued == -1.
+	a.queued.Add(1)
+	select {
+	case a.jobs <- job:
+		a.pending.Add(1)
+		a.mu.Unlock()
+	default:
+		queued, inflight := a.queued.Add(-1), a.inflight.Load()
+		a.mu.Unlock()
+		return fmt.Errorf("%w: planning queue full (%d queued, %d in flight)",
+			ErrOverloaded, queued, inflight)
+	}
+
+	defer a.pending.Done()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// close stops admitting, drains every accepted job, and joins the
+// workers. It is the drain half of graceful shutdown: in-flight and
+// queued planner runs complete (and publish to the cache), new arrivals
+// are turned away with ErrOverloaded.
+func (a *admission) close() {
+	a.mu.Lock()
+	if a.closed {
+		a.mu.Unlock()
+		return
+	}
+	a.closed = true
+	a.mu.Unlock()
+	a.pending.Wait()
+	close(a.jobs)
+	a.workers.Wait()
+}

@@ -1,0 +1,133 @@
+package service
+
+import (
+	"container/list"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+
+	"graphpipe/internal/strategy"
+)
+
+// A cacheEntry is one cached plan: the decoded artifact plus the exact
+// serialized bytes it was encoded to. The bytes are the unit the service
+// serves — a warm hit returns them verbatim, so two requests for the same
+// fingerprint get byte-identical responses whether the plan came from the
+// planner, the memory tier, or the disk tier.
+type cacheEntry struct {
+	fp   string
+	art  *strategy.Artifact
+	data []byte
+}
+
+// memoryLRU is the first cache tier: a mutex-guarded LRU over decoded
+// entries, bounded by entry count. Plans are kilobytes and requests
+// resolve in microseconds here, so a simple global lock suffices — the
+// planner behind a miss costs six orders of magnitude more than the
+// contention in front of it.
+type memoryLRU struct {
+	mu        sync.Mutex
+	max       int
+	order     *list.List // front = most recently used; values are *cacheEntry
+	items     map[string]*list.Element
+	evictions atomic.Uint64
+}
+
+func newMemoryLRU(max int) *memoryLRU {
+	return &memoryLRU{max: max, order: list.New(), items: make(map[string]*list.Element)}
+}
+
+func (c *memoryLRU) get(fp string) *cacheEntry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[fp]
+	if !ok {
+		return nil
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry)
+}
+
+func (c *memoryLRU) put(e *cacheEntry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[e.fp]; ok {
+		c.order.MoveToFront(el)
+		el.Value = e
+		return
+	}
+	c.items[e.fp] = c.order.PushFront(e)
+	for c.order.Len() > c.max {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry).fp)
+		c.evictions.Add(1)
+	}
+}
+
+func (c *memoryLRU) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// diskStore is the second cache tier: one `<fingerprint>.json` artifact
+// per plan, in the strategy package's wire format, so the store doubles
+// as a directory of CLI-compatible artifacts (`graphpipe eval` replays
+// them directly). It survives daemon restarts and memory evictions, and
+// is unbounded — an artifact is a few KB and the operator owns the
+// directory. An empty dir disables the tier.
+type diskStore struct{ dir string }
+
+func (d *diskStore) enabled() bool { return d.dir != "" }
+
+func (d *diskStore) path(fp string) string { return filepath.Join(d.dir, fp+".json") }
+
+// get loads and re-verifies a stored artifact. A file that fails to
+// decode, or whose content hashes to a different fingerprint than its
+// name (a hand-edited or misfiled artifact), is reported as an error and
+// treated by the caller as a miss — the planner is the recovery path.
+func (d *diskStore) get(fp string) (*cacheEntry, error) {
+	if !d.enabled() {
+		return nil, nil
+	}
+	data, err := os.ReadFile(d.path(fp))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	art, err := strategy.DecodeArtifact(data)
+	if err != nil {
+		return nil, fmt.Errorf("cached artifact %s: %w", fp, err)
+	}
+	if got := art.Fingerprint(); got != fp {
+		return nil, fmt.Errorf("cached artifact %s hashes to %s (misfiled or edited)", fp, got)
+	}
+	return &cacheEntry{fp: fp, art: art, data: data}, nil
+}
+
+// put writes the entry atomically (temp file + rename), so a crashed or
+// concurrent writer can never leave a torn artifact for get to read.
+func (d *diskStore) put(e *cacheEntry) error {
+	if !d.enabled() {
+		return nil
+	}
+	tmp, err := os.CreateTemp(d.dir, "."+e.fp+".tmp-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(e.data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), d.path(e.fp))
+}

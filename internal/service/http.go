@@ -1,0 +1,130 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+)
+
+// HTTP headers the service stamps on plan responses, so clients and smoke
+// tests can tell a warm hit from a cold plan without parsing stats.
+const (
+	// HeaderFingerprint carries the plan's content fingerprint.
+	HeaderFingerprint = "X-Graphpipe-Fingerprint"
+	// HeaderCache carries the PlanResult source: "miss", "shared",
+	// "hit-memory", or "hit-disk".
+	HeaderCache = "X-Graphpipe-Cache"
+)
+
+// Handler returns the service's HTTP API:
+//
+//	POST /v1/plan              plan (or fetch) a strategy artifact
+//	POST /v1/eval              evaluate a plan on a registered backend
+//	GET  /v1/artifacts/{fp}    fetch a cached artifact by fingerprint
+//	GET  /v1/stats             counters, gauges, latency histograms
+//
+// Responses are JSON. Errors are structured —
+// {"error": <machine code>, "detail": <human text>} — with ErrBadRequest
+// as 400, ErrUnknownArtifact as 404, ErrOverloaded as 429 (clients should
+// back off and retry), and anything else as 500.
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/plan", s.handlePlan)
+	mux.HandleFunc("POST /v1/eval", s.handleEval)
+	mux.HandleFunc("GET /v1/artifacts/{fp}", s.handleArtifact)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	return mux
+}
+
+func (s *Service) handlePlan(w http.ResponseWriter, r *http.Request) {
+	var req Request
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	res, err := s.Plan(r.Context(), req)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set(HeaderFingerprint, res.Fingerprint)
+	w.Header().Set(HeaderCache, res.Source)
+	w.Write(res.Data)
+}
+
+func (s *Service) handleEval(w http.ResponseWriter, r *http.Request) {
+	var req EvalRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	res, err := s.Eval(r.Context(), req)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	w.Header().Set(HeaderFingerprint, res.Fingerprint)
+	w.Header().Set(HeaderCache, res.PlanSource)
+	writeJSON(w, res)
+}
+
+func (s *Service) handleArtifact(w http.ResponseWriter, r *http.Request) {
+	res, err := s.Artifact(r.PathValue("fp"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set(HeaderFingerprint, res.Fingerprint)
+	w.Header().Set(HeaderCache, res.Source)
+	w.Write(res.Data)
+}
+
+func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.Stats())
+}
+
+// decodeBody parses a JSON request body strictly — unknown fields are
+// 400s, because a typoed option name silently planning with defaults (and
+// caching the wrong answer under the caller's intent) is the worst
+// failure mode a cache can have.
+func decodeBody(w http.ResponseWriter, r *http.Request, dst any) bool {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		writeError(w, fmt.Errorf("%w: body: %v", ErrBadRequest, err))
+		return false
+	}
+	return true
+}
+
+// apiError is the wire form of a failed request.
+type apiError struct {
+	// Error is the machine-readable code: "bad_request", "not_found",
+	// "overloaded", or "internal".
+	Error string `json:"error"`
+	// Detail is the human-readable cause.
+	Detail string `json:"detail"`
+}
+
+func writeError(w http.ResponseWriter, err error) {
+	code, status := "internal", http.StatusInternalServerError
+	switch {
+	case errors.Is(err, ErrBadRequest):
+		code, status = "bad_request", http.StatusBadRequest
+	case errors.Is(err, ErrUnknownArtifact):
+		code, status = "not_found", http.StatusNotFound
+	case errors.Is(err, ErrOverloaded):
+		code, status = "overloaded", http.StatusTooManyRequests
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(apiError{Error: code, Detail: err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}

@@ -1,0 +1,334 @@
+// Package service is the long-running planning layer over the planner and
+// eval registries: cmd/graphpiped embeds it in an HTTP daemon, and the
+// package-level API (New, Plan, Eval) is the same surface for tests and
+// embedders. Where cmd/graphpipe answers one planning question per process
+// invocation, the service amortizes them across traffic:
+//
+//   - Requests are canonicalized and hashed into a content fingerprint
+//     (strategy.Artifact.Fingerprint — the CLI prints the same value).
+//   - A two-tier cache — in-memory LRU over decoded artifacts in front of
+//     an on-disk artifact store — serves repeated questions without
+//     planning, returning byte-identical serialized artifacts.
+//   - A singleflight group collapses N concurrent identical cold requests
+//     into one planner run.
+//   - A bounded admission pool caps concurrent planner searches and sheds
+//     load with ErrOverloaded (HTTP 429) when its queue fills, instead of
+//     letting goroutines pile up behind the planners.
+//
+// The request path is: canonicalize → fingerprint → cache → singleflight →
+// admission → planner → cache fill. Every stage feeds the stats snapshot
+// served at /v1/stats, so the cold/warm/shed behavior of a deployment is
+// observable from the outside.
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"graphpipe/internal/cluster"
+	"graphpipe/internal/costmodel"
+	"graphpipe/internal/eval"
+	"graphpipe/internal/graph"
+	"graphpipe/internal/models"
+	"graphpipe/internal/planner"
+	"graphpipe/internal/strategy"
+)
+
+// Sentinel errors the transport layer maps to status codes. Test with
+// errors.Is.
+var (
+	// ErrBadRequest marks a request the service refuses to canonicalize
+	// (unknown model or planner, non-positive devices, ...) — HTTP 400.
+	ErrBadRequest = errors.New("service: bad request")
+	// ErrUnknownArtifact marks a fingerprint lookup that found nothing in
+	// either cache tier — HTTP 404.
+	ErrUnknownArtifact = errors.New("service: unknown artifact")
+)
+
+// Config sizes a Service. The zero value is usable: memory-only cache,
+// one planning worker per CPU, a small queue.
+type Config struct {
+	// CacheDir is the on-disk artifact store; empty disables the disk
+	// tier (plans survive only in memory).
+	CacheDir string
+	// MemoryEntries bounds the in-memory LRU tier (default 256 plans).
+	MemoryEntries int
+	// Workers bounds concurrently running planner searches
+	// (default: one per CPU).
+	Workers int
+	// QueueDepth bounds planning jobs waiting for a worker; admissions
+	// beyond it fail with ErrOverloaded (default 64).
+	QueueDepth int
+	// PlannerWorkers is the internal worker-pool size handed to each
+	// planner run (planner.Options.Workers). The default 1 keeps one
+	// search on one CPU so Workers alone defines the service's CPU
+	// envelope; raise it (and lower Workers) to favor the latency of
+	// individual large plans over throughput.
+	PlannerWorkers int
+}
+
+// Service answers planning and evaluation requests. Create with New,
+// release with Close. Safe for concurrent use.
+type Service struct {
+	cfg    Config
+	memory *memoryLRU
+	disk   *diskStore
+	flight flightGroup
+	pool   *admission
+	stats  stats
+}
+
+// New builds a Service, creating the cache directory if configured.
+func New(cfg Config) (*Service, error) {
+	if cfg.MemoryEntries <= 0 {
+		cfg.MemoryEntries = 256
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.NumCPU()
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 64
+	}
+	if cfg.PlannerWorkers <= 0 {
+		cfg.PlannerWorkers = 1
+	}
+	if cfg.CacheDir != "" {
+		if err := os.MkdirAll(cfg.CacheDir, 0o755); err != nil {
+			return nil, fmt.Errorf("service: cache dir: %w", err)
+		}
+	}
+	return &Service{
+		cfg:    cfg,
+		memory: newMemoryLRU(cfg.MemoryEntries),
+		disk:   &diskStore{dir: cfg.CacheDir},
+		pool:   newAdmission(cfg.Workers, cfg.QueueDepth),
+	}, nil
+}
+
+// Close drains the admission pool: accepted planning jobs finish and
+// publish to the cache, new ones are rejected. Called after the HTTP
+// listener stops accepting, it completes the daemon's graceful shutdown.
+func (s *Service) Close() { s.pool.close() }
+
+// PlanResult is a Plan answer: the artifact, its serialized bytes (served
+// verbatim, so identical requests get byte-identical responses), and
+// where it came from.
+type PlanResult struct {
+	Fingerprint string
+	// Source is "miss" (this request ran the planner), "shared" (joined
+	// another request's planner run), "hit-memory", or "hit-disk".
+	Source   string
+	Artifact *strategy.Artifact
+	Data     []byte
+}
+
+// Plan answers a planning request, consulting the cache tiers before
+// running the planner behind singleflight and admission.
+func (s *Service) Plan(ctx context.Context, req Request) (*PlanResult, error) {
+	creq, g, err := req.canonicalize()
+	if err != nil {
+		return nil, err
+	}
+	fp := creq.Fingerprint()
+
+	if e, src := s.lookup(fp); e != nil {
+		return &PlanResult{Fingerprint: fp, Source: src, Artifact: e.art, Data: e.data}, nil
+	}
+	s.stats.misses.Add(1)
+
+	e, shared, err := s.flight.Do(fp, func() (*cacheEntry, error) {
+		// Joiners may have raced past the cache lookup while the leader
+		// was filling it; the flight map resolves that race, not this
+		// re-check — the leader is the only cache writer for fp.
+		//
+		// The flight runs under a context detached from the leader's
+		// request: N-1 joiners (and the cache) depend on this one run, so
+		// one client hanging up must not poison everyone else's answer
+		// with its cancellation. Admission rejection (ErrOverloaded) still
+		// propagates — a shed flight is shed for every waiter.
+		var (
+			entry   *cacheEntry
+			planErr error
+		)
+		if err := s.pool.run(context.WithoutCancel(ctx), func() { entry, planErr = s.runPlanner(creq, g, fp) }); err != nil {
+			if errors.Is(err, ErrOverloaded) {
+				s.stats.rejected.Add(1)
+			}
+			return nil, err
+		}
+		return entry, planErr
+	})
+	if err != nil {
+		return nil, err
+	}
+	source := "miss"
+	if shared {
+		s.stats.sharedWaits.Add(1)
+		source = "shared"
+	}
+	return &PlanResult{Fingerprint: fp, Source: source, Artifact: e.art, Data: e.data}, nil
+}
+
+// lookup consults memory then disk, promoting disk hits to memory. Disk
+// failures (IO errors, corrupt or misfiled artifacts) degrade to a miss:
+// the planner re-derives the plan and overwrites the bad file.
+func (s *Service) lookup(fp string) (*cacheEntry, string) {
+	if e := s.memory.get(fp); e != nil {
+		s.stats.hitsMemory.Add(1)
+		return e, "hit-memory"
+	}
+	e, err := s.disk.get(fp)
+	if err != nil {
+		s.stats.diskFailures.Add(1)
+		return nil, ""
+	}
+	if e != nil {
+		s.memory.put(e)
+		s.stats.hitsDisk.Add(1)
+		return e, "hit-disk"
+	}
+	return nil, ""
+}
+
+// runPlanner executes one cold plan on an admission worker: resolve the
+// planner, search, wrap the strategy into an artifact, serialize, and
+// publish to both cache tiers.
+func (s *Service) runPlanner(req Request, g *graph.Graph, fp string) (*cacheEntry, error) {
+	pl, err := planner.Get(req.Planner)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	topo := cluster.NewSummitTopology(req.Devices)
+	start := time.Now()
+	st, pstats, err := pl.Plan(g, topo, req.MiniBatch, planner.Options{
+		ForcedMicroBatch:          req.Options.ForcedMicroBatch,
+		MaxMicroBatch:             req.Options.MaxMicroBatch,
+		PerStageMicroBatch:        req.Options.PerStageMicroBatch,
+		DisableSinkAnchoredSplits: req.Options.DisableSinkAnchoredSplits,
+		Workers:                   s.cfg.PlannerWorkers,
+		CostModel:                 costmodel.NewDefault(topo),
+	})
+	searchSeconds := time.Since(start).Seconds()
+	if err != nil {
+		return nil, fmt.Errorf("planner %s: %w", req.Planner, err)
+	}
+	s.stats.planned.Add(1)
+	s.stats.observePlanner(req.Planner, searchSeconds)
+
+	art := req.skeleton()
+	art.Planner.SearchSeconds = searchSeconds
+	art.Planner.DPStates = pstats.DPStates
+	art.Planner.BinaryIters = pstats.BinaryIters
+	art.Strategy = st
+	data, err := strategy.EncodeArtifact(art)
+	if err != nil {
+		return nil, err
+	}
+	e := &cacheEntry{fp: fp, art: art, data: append(data, '\n')}
+	if err := s.disk.put(e); err != nil {
+		// A plan that cannot be persisted is still a plan; serve it, keep
+		// it in memory, and surface the failure through stats.
+		s.stats.diskFailures.Add(1)
+	}
+	s.memory.put(e)
+	return e, nil
+}
+
+// Artifact returns the cached plan for a fingerprint without planning
+// (GET /v1/artifacts/{fp}): ErrUnknownArtifact if neither tier holds it.
+func (s *Service) Artifact(fp string) (*PlanResult, error) {
+	e, src := s.lookup(fp)
+	if e == nil {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownArtifact, fp)
+	}
+	return &PlanResult{Fingerprint: fp, Source: src, Artifact: e.art, Data: e.data}, nil
+}
+
+// EvalRequest asks for an evaluation of a plan on a registered backend:
+// either of an already-cached artifact (Fingerprint set) or of whatever
+// the embedded planning request resolves to — planning it first, through
+// the same cache/singleflight/admission path, if it is cold.
+type EvalRequest struct {
+	Request
+	// Fingerprint short-circuits planning: the artifact must already be
+	// cached (ErrUnknownArtifact otherwise). When set, the embedded
+	// Request is ignored.
+	Fingerprint string `json:"fingerprint,omitempty"`
+	// Backend is an eval-registry name; empty selects "sim".
+	Backend string `json:"backend,omitempty"`
+}
+
+// EvalResult is an Eval answer: where the plan came from plus the
+// headline numbers of the evaluation report.
+type EvalResult struct {
+	Fingerprint string `json:"fingerprint"`
+	// PlanSource reports how the plan was obtained ("hit-memory", ...,
+	// "miss"); the evaluation itself always runs fresh.
+	PlanSource       string  `json:"plan_source"`
+	Backend          string  `json:"backend"`
+	IterationSeconds float64 `json:"iteration_seconds"`
+	Throughput       float64 `json:"throughput"`
+	PeakMemoryBytes  float64 `json:"peak_memory_bytes"`
+	Stages           int     `json:"stages"`
+}
+
+// Eval resolves the plan (cache or fresh search), rebuilds its evaluation
+// context from the artifact metadata, and runs one training iteration on
+// the requested backend.
+func (s *Service) Eval(ctx context.Context, req EvalRequest) (*EvalResult, error) {
+	if req.Backend == "" {
+		req.Backend = "sim"
+	}
+	ev, err := eval.Get(req.Backend)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+
+	var plan *PlanResult
+	if req.Fingerprint != "" {
+		plan, err = s.Artifact(req.Fingerprint)
+	} else {
+		plan, err = s.Plan(ctx, req.Request)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	art := plan.Artifact
+	g, _, err := models.Build(art.Model, art.Branches, art.Devices)
+	if err != nil {
+		return nil, fmt.Errorf("rebuilding %s: %w", plan.Fingerprint, err)
+	}
+	topo := cluster.NewSummitTopology(art.Devices)
+	if err := art.Validate(g, topo); err != nil {
+		return nil, fmt.Errorf("cached artifact %s: %w", plan.Fingerprint, err)
+	}
+	rep, err := ev.Evaluate(g, topo, art.Strategy, eval.Options{})
+	if err != nil {
+		return nil, err
+	}
+	s.stats.evals.Add(1)
+	return &EvalResult{
+		Fingerprint:      plan.Fingerprint,
+		PlanSource:       plan.Source,
+		Backend:          rep.Backend,
+		IterationSeconds: rep.IterationTime,
+		Throughput:       rep.Throughput,
+		PeakMemoryBytes:  rep.PeakMemory(),
+		Stages:           len(rep.Stages),
+	}, nil
+}
+
+// Stats snapshots the service's counters, gauges, and latency histograms.
+func (s *Service) Stats() Snapshot {
+	snap := s.stats.snapshot()
+	snap.InFlight = s.pool.inflight.Load()
+	snap.Queued = s.pool.queued.Load()
+	snap.MemoryEntries = s.memory.len()
+	snap.MemoryEvictions = s.memory.evictions.Load()
+	return snap
+}

@@ -1,0 +1,48 @@
+package service
+
+import "sync"
+
+// flightGroup is a minimal singleflight: concurrent Do calls with the same
+// key share one execution of fn. The repository vendors nothing, so this
+// is hand-rolled; it differs from x/sync/singleflight in returning the
+// shared flag to every caller (the stats layer counts deduplicated waits)
+// and in not supporting Forget — plan fingerprints are stable, so a
+// completed flight's result is immediately re-obtainable from the cache
+// and flights never need invalidation.
+type flightGroup struct {
+	mu      sync.Mutex
+	flights map[string]*flight
+}
+
+type flight struct {
+	done chan struct{}
+	val  *cacheEntry
+	err  error
+}
+
+// Do executes fn once per key among concurrent callers. The leader (the
+// call that actually ran fn) gets shared=false; every caller that joined
+// an in-progress flight gets shared=true and the leader's result. The
+// result is not retained after the last waiter returns: a later Do with
+// the same key runs fn again (by then the cache answers first).
+func (g *flightGroup) Do(key string, fn func() (*cacheEntry, error)) (val *cacheEntry, shared bool, err error) {
+	g.mu.Lock()
+	if g.flights == nil {
+		g.flights = make(map[string]*flight)
+	}
+	if f, ok := g.flights[key]; ok {
+		g.mu.Unlock()
+		<-f.done
+		return f.val, true, f.err
+	}
+	f := &flight{done: make(chan struct{})}
+	g.flights[key] = f
+	g.mu.Unlock()
+
+	f.val, f.err = fn()
+	g.mu.Lock()
+	delete(g.flights, key)
+	g.mu.Unlock()
+	close(f.done)
+	return f.val, false, f.err
+}

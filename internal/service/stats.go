@@ -1,0 +1,149 @@
+package service
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// histBounds are the upper bounds (seconds) of the planner-latency
+// histogram buckets, spanning sub-millisecond case-study plans to Piper's
+// minutes-long searches; the implicit final bucket is +Inf.
+var histBounds = []float64{
+	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+	1, 2.5, 5, 10, 30, 60, 300,
+}
+
+// histogram accumulates latency observations into fixed exponential
+// buckets (Prometheus-style: cumulative on export, counts internally).
+type histogram struct {
+	mu      sync.Mutex
+	buckets []uint64 // len(histBounds)+1; last is +Inf
+	count   uint64
+	sum     float64
+}
+
+func newHistogram() *histogram {
+	return &histogram{buckets: make([]uint64, len(histBounds)+1)}
+}
+
+func (h *histogram) observe(seconds float64) {
+	i := sort.SearchFloat64s(histBounds, seconds)
+	h.mu.Lock()
+	h.buckets[i]++
+	h.count++
+	h.sum += seconds
+	h.mu.Unlock()
+}
+
+// HistogramSnapshot is the exported form of one latency histogram.
+type HistogramSnapshot struct {
+	// Count and SumSeconds give the observation count and total latency
+	// (their ratio is the mean).
+	Count      uint64  `json:"count"`
+	SumSeconds float64 `json:"sum_seconds"`
+	// Buckets are cumulative: each entry counts observations at or below
+	// its bound. The implicit +Inf bucket always equals Count and is
+	// omitted.
+	Buckets []HistogramBucket `json:"buckets"`
+}
+
+// HistogramBucket is one cumulative bucket: observations ≤ LE seconds.
+type HistogramBucket struct {
+	LE    float64 `json:"le"`
+	Count uint64  `json:"count"`
+}
+
+func (h *histogram) snapshot() HistogramSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := HistogramSnapshot{Count: h.count, SumSeconds: h.sum}
+	var cum uint64
+	for i, b := range histBounds {
+		cum += h.buckets[i]
+		s.Buckets = append(s.Buckets, HistogramBucket{LE: b, Count: cum})
+	}
+	return s
+}
+
+// stats is the service's observability state. Counters are atomics
+// (hot-path increments); the per-planner histogram map is guarded by a
+// mutex but accessed once per cold plan, after a planner run that dwarfs
+// it.
+type stats struct {
+	hitsMemory   atomic.Uint64
+	hitsDisk     atomic.Uint64
+	misses       atomic.Uint64
+	planned      atomic.Uint64
+	sharedWaits  atomic.Uint64
+	rejected     atomic.Uint64
+	evals        atomic.Uint64
+	diskFailures atomic.Uint64
+
+	mu        sync.Mutex
+	latencies map[string]*histogram // planner name → search latency
+}
+
+func (s *stats) observePlanner(name string, seconds float64) {
+	s.mu.Lock()
+	if s.latencies == nil {
+		s.latencies = make(map[string]*histogram)
+	}
+	h, ok := s.latencies[name]
+	if !ok {
+		h = newHistogram()
+		s.latencies[name] = h
+	}
+	s.mu.Unlock()
+	h.observe(seconds)
+}
+
+// Snapshot is the exported form of the service's counters and gauges —
+// the body of GET /v1/stats.
+type Snapshot struct {
+	// Cache tier outcomes for Plan requests.
+	HitsMemory uint64 `json:"hits_memory"`
+	HitsDisk   uint64 `json:"hits_disk"`
+	Misses     uint64 `json:"misses"`
+	// Planned counts actual planner runs; SharedWaits counts requests
+	// that piggybacked on another request's run (singleflight).
+	Planned     uint64 `json:"planned"`
+	SharedWaits uint64 `json:"shared_waits"`
+	// Rejected counts admissions refused with ErrOverloaded.
+	Rejected uint64 `json:"rejected"`
+	// Evals counts evaluation runs.
+	Evals uint64 `json:"evals"`
+	// DiskFailures counts disk-tier reads/writes that errored (corrupt or
+	// misfiled artifacts, IO errors); each one degraded to a miss.
+	DiskFailures uint64 `json:"disk_failures"`
+	// InFlight and Queued are the admission pool's instantaneous gauges;
+	// MemoryEntries and MemoryEvictions describe the memory cache tier.
+	InFlight        int64  `json:"in_flight"`
+	Queued          int64  `json:"queued"`
+	MemoryEntries   int    `json:"memory_entries"`
+	MemoryEvictions uint64 `json:"memory_evictions"`
+	// PlannerLatency maps planner name to its search-latency histogram.
+	PlannerLatency map[string]HistogramSnapshot `json:"planner_latency,omitempty"`
+}
+
+func (s *stats) snapshot() Snapshot {
+	snap := Snapshot{
+		HitsMemory:   s.hitsMemory.Load(),
+		HitsDisk:     s.hitsDisk.Load(),
+		Misses:       s.misses.Load(),
+		Planned:      s.planned.Load(),
+		SharedWaits:  s.sharedWaits.Load(),
+		Rejected:     s.rejected.Load(),
+		Evals:        s.evals.Load(),
+		DiskFailures: s.diskFailures.Load(),
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.latencies) > 0 {
+		snap.PlannerLatency = make(map[string]HistogramSnapshot, len(s.latencies))
+		for name, h := range s.latencies {
+			snap.PlannerLatency[name] = h.snapshot()
+		}
+	}
+	return snap
+}

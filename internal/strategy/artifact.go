@@ -1,6 +1,8 @@
 package strategy
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -34,6 +36,28 @@ var (
 	// registered in this process.
 	ErrUnknownPlanner = errors.New("strategy: unknown planner")
 )
+
+// PlanOptions records the result-relevant planning knobs a strategy was
+// searched under. It mirrors the subset of planner.Options that changes
+// which strategy comes out — worker counts, timeouts, and profiling flags
+// deliberately have no field here, because the planners are deterministic
+// across them (pinned by the determinism tests) and two runs differing
+// only in those knobs produce the same plan.
+//
+// The zero value means "every planner default". Values are recorded
+// literally: a request that spells out a planner's default (e.g.
+// MaxMicroBatch 4096) fingerprints differently from one that leaves the
+// field zero, because this package cannot know other packages' defaults.
+type PlanOptions struct {
+	// ForcedMicroBatch restricts the search to one micro-batch size.
+	ForcedMicroBatch int `json:"forced_micro_batch,omitempty"`
+	// MaxMicroBatch caps the candidate micro-batch sizes.
+	MaxMicroBatch int `json:"max_micro_batch,omitempty"`
+	// PerStageMicroBatch enables the fine-grained per-stage search.
+	PerStageMicroBatch bool `json:"per_stage_micro_batch,omitempty"`
+	// DisableSinkAnchoredSplits removes the merge-anchored partitions.
+	DisableSinkAnchoredSplits bool `json:"disable_sink_anchored_splits,omitempty"`
+}
 
 // PlannerMeta records how the strategy was produced.
 type PlannerMeta struct {
@@ -76,6 +100,10 @@ type Artifact struct {
 	MiniBatch int `json:"mini_batch"`
 	// Planner records the producing search.
 	Planner PlannerMeta `json:"planner"`
+	// Options records the result-relevant planning knobs (zero value:
+	// every planner default). Always serialized — encoding/json cannot
+	// elide struct values — as "options": {} when defaulted.
+	Options PlanOptions `json:"options"`
 	// Evals records evaluations of the strategy, in the order they ran.
 	Evals []EvalMeta `json:"evals,omitempty"`
 	// Strategy is the plan itself.
@@ -130,6 +158,43 @@ func DecodeArtifact(data []byte) (*Artifact, error) {
 		return nil, fmt.Errorf("%w: missing strategy", ErrCorruptArtifact)
 	}
 	return &a, nil
+}
+
+// Fingerprint returns the artifact's content-addressed identity: a hex
+// SHA-256 over the canonical planning request — model, branches, devices,
+// mini-batch, planner name, and the result-relevant PlanOptions. Two
+// artifacts share a fingerprint exactly when they answer the same planning
+// question, so the fingerprint is the cache key a planning service stores
+// and serves plans under, and `graphpipe plan` prints it so the CLI and
+// the daemon agree on identity.
+//
+// Recorded evaluations, search statistics (wall-clock, DP states), and the
+// strategy bytes themselves are deliberately excluded: they are outputs,
+// not identity, and including them would make a warm cache lookup
+// impossible before planning. Zero MiniBatch or an empty planner name fall
+// back to the embedded strategy's values, matching EncodeArtifact.
+//
+// The preimage layout is versioned independently of ArtifactVersion
+// ("fp1\n" prefix): hashing is stable across artifact-format bumps unless
+// the identity fields themselves change meaning.
+func (a *Artifact) Fingerprint() string {
+	mb := a.MiniBatch
+	plannerName := a.Planner.Name
+	if a.Strategy != nil {
+		if mb == 0 {
+			mb = a.Strategy.MiniBatch
+		}
+		if plannerName == "" {
+			plannerName = a.Strategy.Planner
+		}
+	}
+	h := sha256.New()
+	fmt.Fprintf(h, "fp1\nmodel=%s\nbranches=%d\ndevices=%d\nmini_batch=%d\nplanner=%s\n",
+		a.Model, a.Branches, a.Devices, mb, plannerName)
+	fmt.Fprintf(h, "forced_micro_batch=%d\nmax_micro_batch=%d\nper_stage_micro_batch=%t\ndisable_sink_anchored_splits=%t\n",
+		a.Options.ForcedMicroBatch, a.Options.MaxMicroBatch,
+		a.Options.PerStageMicroBatch, a.Options.DisableSinkAnchoredSplits)
+	return hex.EncodeToString(h.Sum(nil))
 }
 
 // CheckPlanner verifies the artifact's planner name against the caller's

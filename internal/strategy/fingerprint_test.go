@@ -1,0 +1,84 @@
+package strategy
+
+import "testing"
+
+// pinnedFingerprint is the fingerprint of pinnedArtifact below, computed
+// once and frozen. If this test breaks, every cache keyed by fingerprints
+// (the planning service's memory LRU and its on-disk artifact store)
+// silently orphans its entries on upgrade — change the preimage version
+// tag ("fp1") and this constant together, deliberately, or not at all.
+const pinnedFingerprint = "4dc209c869384d034d6bab73723ea26035d2de28abe1c575927277b755f461cb"
+
+func pinnedArtifact() *Artifact {
+	return &Artifact{
+		Model:     "mmt",
+		Branches:  4,
+		Devices:   8,
+		MiniBatch: 128,
+		Planner:   PlannerMeta{Name: "graphpipe", SearchSeconds: 1.5, DPStates: 1000},
+		Options: PlanOptions{
+			ForcedMicroBatch:          2,
+			MaxMicroBatch:             4096,
+			PerStageMicroBatch:        true,
+			DisableSinkAnchoredSplits: false,
+		},
+		Evals: []EvalMeta{{Backend: "sim", IterationTime: 0.5, Throughput: 256}},
+	}
+}
+
+func TestFingerprintStability(t *testing.T) {
+	if got := pinnedArtifact().Fingerprint(); got != pinnedFingerprint {
+		t.Fatalf("fingerprint drifted:\n got  %s\n want %s\n"+
+			"(this invalidates every persisted plan cache; see the comment on pinnedFingerprint)",
+			got, pinnedFingerprint)
+	}
+}
+
+func TestFingerprintCoversIdentityFields(t *testing.T) {
+	base := pinnedArtifact().Fingerprint()
+	for name, mutate := range map[string]func(*Artifact){
+		"model":        func(a *Artifact) { a.Model = "dlrm" },
+		"branches":     func(a *Artifact) { a.Branches = 2 },
+		"devices":      func(a *Artifact) { a.Devices = 16 },
+		"mini_batch":   func(a *Artifact) { a.MiniBatch = 256 },
+		"planner":      func(a *Artifact) { a.Planner.Name = "piper" },
+		"forced_micro": func(a *Artifact) { a.Options.ForcedMicroBatch = 4 },
+		"max_micro":    func(a *Artifact) { a.Options.MaxMicroBatch = 1024 },
+		"per_stage":    func(a *Artifact) { a.Options.PerStageMicroBatch = false },
+		"sink_splits":  func(a *Artifact) { a.Options.DisableSinkAnchoredSplits = true },
+	} {
+		a := pinnedArtifact()
+		mutate(a)
+		if a.Fingerprint() == base {
+			t.Errorf("changing %s did not change the fingerprint", name)
+		}
+	}
+}
+
+func TestFingerprintIgnoresOutputs(t *testing.T) {
+	base := pinnedArtifact().Fingerprint()
+	a := pinnedArtifact()
+	a.Evals = append(a.Evals, EvalMeta{Backend: "runtime", IterationTime: 0.4, Throughput: 300})
+	a.Planner.SearchSeconds = 99
+	a.Planner.DPStates = 5
+	a.Planner.BinaryIters = 77
+	a.Version = ArtifactVersion
+	if a.Fingerprint() != base {
+		t.Error("recorded evals / search stats leaked into the fingerprint")
+	}
+}
+
+// The fingerprint must be computable both before planning (a service
+// hashing an incoming request) and after decoding (an artifact loaded from
+// disk) — the strategy itself is an output, not identity, and zero
+// metadata falls back to the embedded strategy exactly like EncodeArtifact.
+func TestFingerprintStrategyFallback(t *testing.T) {
+	g := twoBranch(t)
+	s := gppStrategy(t, g)
+	full := &Artifact{Model: "two-branch", Devices: 4,
+		MiniBatch: s.MiniBatch, Planner: PlannerMeta{Name: s.Planner}}
+	withStrategy := &Artifact{Model: "two-branch", Devices: 4, Strategy: s}
+	if full.Fingerprint() != withStrategy.Fingerprint() {
+		t.Error("zero mini-batch/planner did not fall back to the embedded strategy")
+	}
+}

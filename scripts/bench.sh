@@ -28,4 +28,8 @@ trap 'rm -f "$tmp"' EXIT
 # -benchtime=1x: each benchmark plans and simulates once — the harness
 # reports its own wall-clock metrics, so more iterations only cost time.
 go test -run '^$' -bench . -benchtime=1x . | tee "$tmp"
+# The serving-layer pair (service_plan_cold_s vs service_plan_warm_s)
+# runs more iterations: a warm hit is microseconds, so one iteration
+# would mostly measure timer noise.
+go test -run '^$' -bench ServicePlan -benchtime=20x ./internal/service | tee -a "$tmp"
 go run ./cmd/benchreport -label "$label" -note "$note" -o "$out" -in "$tmp"

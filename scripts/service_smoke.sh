@@ -1,0 +1,75 @@
+#!/usr/bin/env bash
+# service_smoke.sh — boot cmd/graphpiped against a scratch cache dir and
+# drive its HTTP API the way CI (and a curious operator) would: plan cold,
+# re-plan warm, check the two responses are byte-identical and the warm
+# one was a cache hit, evaluate by fingerprint, read stats, and shut the
+# daemon down with SIGTERM. Exits non-zero on the first broken invariant.
+#
+# Usage: scripts/service_smoke.sh [port]   (default: 8791)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+port="${1:-8791}"
+base="http://127.0.0.1:$port"
+work="$(mktemp -d)"
+daemon_pid=""
+cleanup() {
+  if [[ -n "$daemon_pid" ]] && kill -0 "$daemon_pid" 2>/dev/null; then
+    kill -TERM "$daemon_pid" 2>/dev/null || true
+    wait "$daemon_pid" 2>/dev/null || true
+  fi
+  rm -rf "$work"
+}
+trap cleanup EXIT
+
+echo "== build"
+go build -o "$work/graphpiped" ./cmd/graphpiped
+
+echo "== boot on :$port (cache dir $work/cache)"
+"$work/graphpiped" -addr "127.0.0.1:$port" -cache-dir "$work/cache" &
+daemon_pid=$!
+for _ in $(seq 1 50); do
+  curl -fsS "$base/v1/stats" >/dev/null 2>&1 && break
+  sleep 0.2
+done
+curl -fsS "$base/v1/stats" >/dev/null || { echo "daemon never came up"; exit 1; }
+
+req='{"model":"case-study","devices":4}'
+
+echo "== cold plan"
+curl -fsS -D "$work/cold.h" -o "$work/cold.json" -X POST "$base/v1/plan" -d "$req"
+grep -i '^x-graphpipe-cache: miss' "$work/cold.h" \
+  || { echo "cold request was not a miss:"; cat "$work/cold.h"; exit 1; }
+fp="$(sed -n 's/^[Xx]-[Gg]raphpipe-[Ff]ingerprint: *//p' "$work/cold.h" | tr -d '\r')"
+[[ ${#fp} -eq 64 ]] || { echo "bad fingerprint header: '$fp'"; exit 1; }
+echo "   fingerprint $fp"
+
+echo "== warm re-plan (must be a cache hit, byte-identical)"
+curl -fsS -D "$work/warm.h" -o "$work/warm.json" -X POST "$base/v1/plan" -d "$req"
+grep -i '^x-graphpipe-cache: hit-memory' "$work/warm.h" \
+  || { echo "warm request was not a memory hit:"; cat "$work/warm.h"; exit 1; }
+cmp "$work/cold.json" "$work/warm.json" \
+  || { echo "warm response differs from cold response"; exit 1; }
+
+echo "== artifact fetch + eval by fingerprint"
+curl -fsS -o "$work/art.json" "$base/v1/artifacts/$fp"
+cmp "$work/cold.json" "$work/art.json" || { echo "artifact endpoint differs"; exit 1; }
+curl -fsS -X POST "$base/v1/eval" -d "{\"fingerprint\":\"$fp\"}" | tee "$work/eval.json"
+grep -q '"throughput"' "$work/eval.json" || { echo "eval returned no throughput"; exit 1; }
+
+echo "== stats must show the hit/miss split"
+curl -fsS "$base/v1/stats" | tee "$work/stats.json"
+# ≥ 1: the warm re-plan, plus the artifact fetch and fingerprint eval,
+# each count as a memory hit.
+grep -q '"hits_memory": *[1-9]' "$work/stats.json" || { echo "stats missing the warm hit"; exit 1; }
+grep -q '"planned": *1' "$work/stats.json" || { echo "stats planned != 1"; exit 1; }
+
+echo "== on-disk artifact is CLI-compatible"
+go run ./cmd/graphpipe eval "$work/cache/$fp.json" \
+  | grep -q "fingerprint $fp" || { echo "CLI disagrees about the fingerprint"; exit 1; }
+
+echo "== graceful shutdown"
+kill -TERM "$daemon_pid"
+wait "$daemon_pid"
+daemon_pid=""
+echo "service smoke OK"
