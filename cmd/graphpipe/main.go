@@ -11,6 +11,14 @@
 //	graphpipe eval -backend runtime plan.json # concurrent runtime backend
 //	graphpipe compare plan.json other.json    # side-by-side table
 //
+// Synthetic models (internal/synth) are first-class: any -model flag
+// accepts a "synth:" spec, and the synth subcommand generates,
+// describes, and replays seeded models:
+//
+//	graphpipe synth -family fanout -seed 42        # generate + summary
+//	graphpipe synth -spec synth:fanout/seed=42 -describe
+//	graphpipe plan -model synth:fanout/seed=42 -devices 4
+//
 // Usage:
 //
 //	graphpipe plan [-model M] [-devices N] [-batch B] [-planner P]
@@ -20,6 +28,9 @@
 //	graphpipe eval [-backend E] [-timeout D] [-gantt] [-verbose]
 //	               [-cpuprofile F] [-memprofile F] plan.json
 //	graphpipe compare [-backend E] plan.json [plan2.json ...]
+//	graphpipe synth [-family F -seed N | -spec S] [-depth N]
+//	                [-branches N] [-skew F] [-nesting N] [-devices N]
+//	                [-describe] [-dump] [-o spec.json]
 //
 // The -cpuprofile/-memprofile flags write pprof profiles covering the
 // subcommand's work (planning plus evaluation), so planner hot spots are
@@ -44,6 +55,7 @@ import (
 	"graphpipe/internal/models"
 	"graphpipe/internal/planner"
 	"graphpipe/internal/strategy"
+	"graphpipe/internal/synth"
 	"graphpipe/internal/trace"
 
 	_ "graphpipe/internal/eval/all"    // register the built-in backends
@@ -90,6 +102,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		err = cmdEval(args[1:], stdout, stderr)
 	case "compare":
 		err = cmdCompare(args[1:], stdout, stderr)
+	case "synth":
+		err = cmdSynth(args[1:], stdout, stderr)
 	case "-h", "-help", "--help", "help":
 		usage(stdout)
 		return 0
@@ -181,14 +195,16 @@ Subcommands:
   plan      discover a strategy and optionally write it as a JSON artifact
   eval      load an artifact and evaluate it on a registered backend
   compare   evaluate several artifacts side by side
+  synth     generate, describe, or replay a seeded synthetic model
 
 Planners:  %s
 Backends:  %s
 Models:    %s
+Synth:     synth:<family>/seed=N with families %s
 
 Run 'graphpipe <subcommand> -h' for flags.
 `, strings.Join(planner.Names(), " | "), strings.Join(eval.Names(), " | "),
-		strings.Join(models.Names(), " | "))
+		strings.Join(models.Names(), " | "), strings.Join(synth.Families(), " | "))
 }
 
 // cmdPlan plans a strategy, evaluates it once for the summary, and
@@ -231,6 +247,13 @@ func cmdPlan(args []string, stdout, stderr io.Writer) (retErr error) {
 	if err != nil {
 		return err
 	}
+	modelID := *modelName
+	if synth.IsSpec(modelID) {
+		// Persist the *resolved* spec (the graph's name): it pins every
+		// derived knob, so the artifact rebuilds this exact graph even if
+		// a family's seed-derivation ranges change in a later version.
+		modelID = g.Name()
+	}
 	mb := *batch
 	if mb == 0 {
 		mb = defBatch
@@ -268,7 +291,7 @@ func cmdPlan(args []string, stdout, stderr io.Writer) (retErr error) {
 	// the graphpiped daemon (which hashes requests the same way, via
 	// strategy.Artifact.Fingerprint) can look each other's plans up.
 	art := &strategy.Artifact{
-		Model:     *modelName,
+		Model:     modelID,
 		Branches:  *branches,
 		Devices:   *devices,
 		MiniBatch: mb,
@@ -439,6 +462,84 @@ func cmdCompare(args []string, stdout, stderr io.Writer) error {
 			fmt.Fprintf(stdout, "%s %.2fx", fs.Arg(i), throughputs[i]/baseline)
 		}
 		fmt.Fprintln(stdout, ")")
+	}
+	return nil
+}
+
+// cmdSynth generates a synthetic model from a family/seed (or replays a
+// full spec string) and prints a deterministic description: the
+// resolved canonical spec, the knobs, and the content hash of the
+// generated graph. The output is a pure function of the spec, so
+// re-running with the same seed reproduces it byte for byte — that is
+// the replay contract conformance failures and bug reports rely on.
+func cmdSynth(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("synth", flag.ContinueOnError)
+	var (
+		famFlag  = fs.String("family", "", "model family: "+strings.Join(synth.Families(), " | "))
+		seed     = fs.Int64("seed", 0, "generator seed (derives every unset knob)")
+		spec     = fs.String("spec", "", "replay a full spec string (synth:family/seed=N/...); overrides the knob flags")
+		depth    = fs.Int("depth", 0, "pin the depth knob (0: derive from seed)")
+		branches = fs.Int("branches", 0, "pin the branch count (0: derive from seed)")
+		skew     = fs.Float64("skew", 0, "pin the branch-cost skew (0: derive from seed)")
+		nesting  = fs.Int("nesting", 0, "pin the nesting depth (0: derive from seed)")
+		devices  = fs.Int("devices", 4, "device count used for the default mini-batch line")
+		describe = fs.Bool("describe", false, "print the full operator listing")
+		dump     = fs.Bool("dump", false, "print the canonical graph JSON (the bytes behind the hash)")
+		out      = fs.String("o", "", "write the resolved spec as JSON to this file")
+	)
+	if err := parseFlags(fs, stderr, args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		return usageErrorf("synth: unexpected arguments: %v", fs.Args())
+	}
+
+	var s synth.Spec
+	switch {
+	case *spec != "":
+		parsed, err := synth.Parse(*spec)
+		if err != nil {
+			return usageError{err: err}
+		}
+		s = parsed
+	case *famFlag != "":
+		s = synth.Spec{Family: *famFlag, Seed: *seed, Depth: *depth,
+			Branches: *branches, Skew: *skew, Nesting: *nesting}
+	default:
+		return usageErrorf("synth: need -family (with -seed) or -spec")
+	}
+
+	g, rs, err := synth.Generate(s)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "spec       %s\n", rs)
+	fmt.Fprintf(stdout, "family     %s   seed %d\n", rs.Family, rs.Seed)
+	fmt.Fprintf(stdout, "knobs      depth %d   branches %d   skew %g   nesting %d\n",
+		rs.Depth, rs.Branches, rs.Skew, rs.Nesting)
+	fmt.Fprintf(stdout, "graph      %d ops, %d edges, %d sources\n",
+		g.Len(), len(g.Edges()), len(g.Sources()))
+	fmt.Fprintf(stdout, "hash       %s\n", g.CanonicalHash())
+	fmt.Fprintf(stdout, "mini-batch %d (default at %d devices)\n",
+		synth.DefaultMiniBatch(*devices), *devices)
+	fmt.Fprintf(stdout, "plan with  graphpipe plan -model %s -devices %d\n", rs, *devices)
+	if *describe {
+		fmt.Fprintln(stdout)
+		fmt.Fprint(stdout, g.String())
+	}
+	if *dump {
+		fmt.Fprintln(stdout)
+		stdout.Write(g.Canonical())
+	}
+	if *out != "" {
+		data, err := synth.EncodeJSON(rs)
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "spec file  %s\n", *out)
 	}
 	return nil
 }

@@ -7,6 +7,8 @@ import (
 	"regexp"
 	"strings"
 	"testing"
+
+	"graphpipe/internal/synth"
 )
 
 // runCLI drives the dispatcher exactly like main does, capturing both
@@ -119,5 +121,108 @@ func TestCLIPlanEvalRoundTrip(t *testing.T) {
 	code, compareOut, stderr := runCLI("compare", out)
 	if code != 0 || !strings.Contains(compareOut, "case-study") {
 		t.Errorf("compare: exit %d, stderr %s\n%s", code, stderr, compareOut)
+	}
+}
+
+// TestCLISynthMisuse extends the misuse contract to the synth
+// subcommand.
+func TestCLISynthMisuse(t *testing.T) {
+	for name, tc := range map[string]struct {
+		args []string
+		diag string
+	}{
+		"no family or spec":  {[]string{"synth"}, "need -family"},
+		"stray synth arg":    {[]string{"synth", "-family", "chain", "stray"}, "unexpected arguments"},
+		"bad spec string":    {[]string{"synth", "-spec", "synth:nope/seed=1"}, "unknown family"},
+		"unknown synth flag": {[]string{"synth", "-nosuch"}, "-nosuch"},
+	} {
+		code, stdout, stderr := runCLI(tc.args...)
+		if code != 2 {
+			t.Errorf("%s: exit %d, want 2", name, code)
+		}
+		if !strings.Contains(stderr, tc.diag) {
+			t.Errorf("%s: stderr %q does not explain the misuse (%q)", name, stderr, tc.diag)
+		}
+		if stdout != "" {
+			t.Errorf("%s: misuse wrote to stdout: %q", name, stdout)
+		}
+	}
+	// Unknown family through -family (not -spec) is also caught, but at
+	// generation time: exit 1, like plan -model nope.
+	if code, _, _ := runCLI("synth", "-family", "nope", "-seed", "1"); code != 1 {
+		t.Errorf("unknown family: exit %d, want 1", code)
+	}
+}
+
+// TestCLISynthReplayByteIdentical pins the subcommand's replay
+// contract: the same seed reproduces the model byte for byte, whether
+// spelled as -family/-seed knobs or as the resolved -spec string, and
+// the printed spec is the resolved canonical form.
+func TestCLISynthReplayByteIdentical(t *testing.T) {
+	code, first, stderr := runCLI("synth", "-family", "skew", "-seed", "7", "-describe", "-dump")
+	if code != 0 {
+		t.Fatalf("synth: exit %d, stderr %s", code, stderr)
+	}
+	code, again, _ := runCLI("synth", "-family", "skew", "-seed", "7", "-describe", "-dump")
+	if code != 0 || first != again {
+		t.Fatalf("synth output not reproducible by seed:\n%s\nvs\n%s", first, again)
+	}
+
+	specLine := regexp.MustCompile(`(?m)^spec       (synth:\S+)$`).FindStringSubmatch(first)
+	if specLine == nil {
+		t.Fatalf("no spec line in output:\n%s", first)
+	}
+	code, replay, _ := runCLI("synth", "-spec", specLine[1], "-describe", "-dump")
+	if code != 0 || replay != first {
+		t.Fatalf("replaying the printed spec diverged:\n%s\nvs\n%s", replay, first)
+	}
+	if !strings.Contains(first, "hash       ") {
+		t.Errorf("output has no graph content hash:\n%s", first)
+	}
+}
+
+// TestCLISynthSpecFile pins -o: the written JSON spec decodes to the
+// resolved spec.
+func TestCLISynthSpecFile(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "spec.json")
+	code, stdout, stderr := runCLI("synth", "-family", "nested", "-seed", "3", "-o", out)
+	if code != 0 {
+		t.Fatalf("synth -o: exit %d, stderr %s", code, stderr)
+	}
+	if !strings.Contains(stdout, out) {
+		t.Errorf("output does not confirm the spec file: %q", stdout)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := synth.DecodeJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Family != "nested" || spec.Seed != 3 || spec.Nesting == 0 {
+		t.Errorf("spec file not resolved: %+v", spec)
+	}
+}
+
+// TestCLIPlanSynthModel plans a synthetic model end to end — the
+// "synth: specs are first-class model names" contract — and replays
+// the persisted artifact, which rebuilds the graph from the spec
+// string in its metadata.
+func TestCLIPlanSynthModel(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "plan.json")
+	code, planOut, stderr := runCLI("plan", "-model", "synth:fanout/seed=5", "-devices", "4", "-o", out)
+	if code != 0 {
+		t.Fatalf("plan synth: exit %d, stderr %s", code, stderr)
+	}
+	if fingerprintLine.FindStringSubmatch(planOut) == nil {
+		t.Fatalf("no fingerprint line:\n%s", planOut)
+	}
+	code, evalOut, stderr := runCLI("eval", out)
+	if code != 0 {
+		t.Fatalf("eval synth artifact: exit %d, stderr %s", code, stderr)
+	}
+	if !strings.Contains(evalOut, "synth:fanout/seed=5") {
+		t.Errorf("eval does not name the synth model:\n%s", evalOut)
 	}
 }

@@ -1,0 +1,134 @@
+package conformance_test
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"graphpipe/internal/conformance"
+	"graphpipe/internal/eval"
+	"graphpipe/internal/planner"
+	"graphpipe/internal/synth"
+
+	_ "graphpipe/internal/eval/all"    // register the built-in backends
+	_ "graphpipe/internal/planner/all" // register the built-in planners
+)
+
+var (
+	corpusSize = flag.Int("conformance.seeds", 10,
+		"corpus size: specs distributed round-robin across the synth families (CI runs 64)")
+	baseSeed = flag.Int64("conformance.base-seed", 1,
+		"first seed of the corpus (each family counts up from it)")
+	replaySpec = flag.String("conformance.replay", "",
+		"replay one synth spec string (e.g. synth:fanout/seed=42) through the full invariant suite and skip the corpus")
+)
+
+// TestCorpus is the conformance gate: the full five-invariant suite
+// over the seeded corpus, for every registered planner and evaluation
+// backend. On red it writes each minimized failing spec as JSON into
+// $CONFORMANCE_ARTIFACT_DIR (when set) so CI can hand the minimal
+// repro to whoever picks up the failure; docs/TESTING.md describes the
+// replay loop.
+func TestCorpus(t *testing.T) {
+	var specs []synth.Spec
+	if *replaySpec != "" {
+		spec, err := synth.Parse(*replaySpec)
+		if err != nil {
+			t.Fatalf("-conformance.replay: %v", err)
+		}
+		specs = []synth.Spec{spec}
+	} else {
+		specs = conformance.Corpus(*corpusSize, *baseSeed)
+	}
+
+	rep := conformance.CheckCorpus(specs, conformance.Config{})
+
+	if *replaySpec == "" {
+		// The acceptance envelope of the suite itself: at least three
+		// families, every registered planner, both eval backends.
+		if len(rep.Families) < 3 {
+			t.Errorf("corpus covers %d families (%v), want >= 3", len(rep.Families), rep.Families)
+		}
+		if got, want := fmt.Sprint(rep.Planners), fmt.Sprint(planner.Names()); got != want {
+			t.Errorf("planner scope %s, want every registered planner %s", got, want)
+		}
+		if len(rep.Backends) < 2 {
+			t.Errorf("backend scope %v, want both eval backends %v", rep.Backends, eval.Names())
+		}
+	}
+	for _, s := range rep.Skips {
+		t.Logf("skip: %s", s)
+	}
+	if len(rep.Violations) == 0 {
+		t.Logf("conformance: %d specs x %d planners x %d backends clean (families %v, %d skips)",
+			rep.Specs, len(rep.Planners), len(rep.Backends), rep.Families, len(rep.Skips))
+		return
+	}
+	dir := os.Getenv("CONFORMANCE_ARTIFACT_DIR")
+	for i, v := range rep.Violations {
+		t.Errorf("violation: %s", v)
+		t.Logf("replay: go test ./internal/conformance -run TestCorpus -conformance.replay=%q", v.Minimal)
+		if dir != "" {
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				t.Fatalf("artifact dir: %v", err)
+			}
+			data, err := synth.EncodeJSON(v.Minimal)
+			if err != nil {
+				t.Fatalf("encoding minimal spec: %v", err)
+			}
+			name := fmt.Sprintf("minimal-%02d-%s-%s.json", i, v.Invariant, v.Planner)
+			if err := os.WriteFile(filepath.Join(dir, name), append(data, '\n'), 0o644); err != nil {
+				t.Fatalf("writing %s: %v", name, err)
+			}
+			t.Logf("minimized spec written to %s", filepath.Join(dir, name))
+		}
+	}
+}
+
+// TestShrinkConverges pins the minimizer on a synthetic predicate: a
+// "bug" that needs depth >= 4 and branches >= 3 must shrink to exactly
+// that boundary, not below it and not far above.
+func TestShrinkConverges(t *testing.T) {
+	start, err := synth.Resolve(synth.Spec{Family: "fanout", Seed: 9, Depth: 12, Branches: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	calls := 0
+	min := conformance.Shrink(start, func(s synth.Spec) bool {
+		calls++
+		return s.Depth >= 4 && s.Branches >= 3
+	})
+	if min.Depth != 4 || min.Branches != 3 {
+		t.Errorf("shrunk to depth=%d branches=%d, want 4/3", min.Depth, min.Branches)
+	}
+	if calls > 64 {
+		t.Errorf("shrinking took %d predicate runs, want few", calls)
+	}
+	// A predicate that stops failing immediately keeps the spec as-is.
+	same := conformance.Shrink(start, func(synth.Spec) bool { return false })
+	if same != start {
+		t.Errorf("shrink changed a spec whose predicate never fails: %+v", same)
+	}
+}
+
+// TestCorpusDeterministic pins that the corpus is a pure function of
+// (n, baseSeed) — the property that makes "the CI corpus" replayable.
+func TestCorpusDeterministic(t *testing.T) {
+	a := conformance.Corpus(16, 7)
+	b := conformance.Corpus(16, 7)
+	if len(a) != 16 {
+		t.Fatalf("corpus size %d", len(a))
+	}
+	fams := map[string]bool{}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("corpus not deterministic at %d: %+v vs %+v", i, a[i], b[i])
+		}
+		fams[a[i].Family] = true
+	}
+	if len(fams) != len(synth.Families()) {
+		t.Errorf("16-spec corpus covers %d families, want all %d", len(fams), len(synth.Families()))
+	}
+}

@@ -1,0 +1,20 @@
+package conformance
+
+import "graphpipe/internal/synth"
+
+// Corpus returns n specs distributed round-robin across every synth
+// family, with seeds baseSeed, baseSeed+1, ... per family. The mapping
+// from (n, baseSeed) to specs is a pure function: the CI job and a
+// developer replaying "the 64-seed corpus" on a laptop check exactly
+// the same models.
+func Corpus(n int, baseSeed int64) []synth.Spec {
+	fams := synth.Families()
+	out := make([]synth.Spec, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, synth.Spec{
+			Family: fams[i%len(fams)],
+			Seed:   baseSeed + int64(i/len(fams)),
+		})
+	}
+	return out
+}

@@ -1,0 +1,75 @@
+package conformance
+
+import "graphpipe/internal/synth"
+
+// Shrink greedily minimizes a resolved spec while the fails predicate
+// keeps failing, trying the structural knobs in size order — halve then
+// decrement depth, branches, and nesting; halve skew — until no smaller
+// candidate fails. The result is the spec a human debugs: typically a
+// 2-branch, depth-1 model instead of the random corpus graph that
+// tripped the invariant first.
+//
+// The predicate must be deterministic (checkPlanner is); candidates
+// that no longer generate a valid graph simply don't fail and are
+// skipped. The loop is bounded: every accepted candidate strictly
+// shrinks an integer knob or halves skew, so it terminates.
+func Shrink(spec synth.Spec, fails func(synth.Spec) bool) synth.Spec {
+	cur, err := synth.Resolve(spec)
+	if err != nil {
+		return spec
+	}
+	for {
+		shrunk := false
+		for _, cand := range candidates(cur) {
+			rc, err := synth.Resolve(cand)
+			if err != nil || rc == cur {
+				// Families force unused knobs back to fixed values, so a
+				// candidate can resolve to the current spec; accepting it
+				// would loop forever.
+				continue
+			}
+			if fails(rc) {
+				cur = rc
+				shrunk = true
+				break
+			}
+		}
+		if !shrunk {
+			return cur
+		}
+	}
+}
+
+// candidates proposes strictly smaller variants of a resolved spec,
+// biggest reductions first so shrinking converges in few predicate
+// runs.
+func candidates(s synth.Spec) []synth.Spec {
+	var out []synth.Spec
+	add := func(mut func(*synth.Spec)) {
+		c := s
+		mut(&c)
+		if c != s {
+			out = append(out, c)
+		}
+	}
+	if s.Depth > 1 {
+		add(func(c *synth.Spec) { c.Depth = c.Depth / 2 })
+		add(func(c *synth.Spec) { c.Depth-- })
+	}
+	if s.Branches > 1 {
+		add(func(c *synth.Spec) {
+			if c.Branches/2 >= 1 {
+				c.Branches = c.Branches / 2
+			}
+		})
+		add(func(c *synth.Spec) { c.Branches-- })
+	}
+	if s.Nesting > 1 {
+		add(func(c *synth.Spec) { c.Nesting-- })
+	}
+	if s.Skew > 0.25 {
+		// Skew 0 means "re-derive from seed", so halving stops above it.
+		add(func(c *synth.Spec) { c.Skew = float64(int(c.Skew*50+0.5)) / 100 })
+	}
+	return out
+}

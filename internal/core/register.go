@@ -20,6 +20,7 @@ func (registered) Plan(g *graph.Graph, topo *cluster.Topology, miniBatch int, op
 		Workers:                   opts.Workers,
 		PerStageMicroBatch:        opts.PerStageMicroBatch,
 		DisableSinkAnchoredSplits: opts.DisableSinkAnchoredSplits,
+		FreshProbeMemo:            opts.FreshProbeMemo,
 	})
 	if err != nil {
 		return nil, planner.Stats{}, err

@@ -6,6 +6,7 @@ import (
 
 	"graphpipe/internal/graph"
 	"graphpipe/internal/models"
+	"graphpipe/internal/synth"
 	"graphpipe/internal/trace"
 )
 
@@ -37,19 +38,42 @@ func buildModel(model string) (*graph.Graph, error) {
 	}
 }
 
+// fig6Graph resolves the sub-figure's model: a paper model by name, or
+// a generated one for synth: specs — which lets the throughput-sweep
+// plumbing run on a tiny synthetic model in the smoke tests instead of
+// only on the full paper workloads. The graph is device-independent,
+// so Fig6 builds it once for the whole sweep.
+func fig6Graph(model string) (*graph.Graph, error) {
+	if synth.IsSpec(model) {
+		g, _, err := models.Build(model, 0, 1)
+		return g, err
+	}
+	return buildModel(model)
+}
+
+// fig6MiniBatch resolves one device count's mini-batch: the paper's
+// Appendix A.2 pairing for the paper models, the proportional default
+// for synth specs.
+func fig6MiniBatch(model string, devs int) (int, error) {
+	if synth.IsSpec(model) {
+		return synth.DefaultMiniBatch(devs), nil
+	}
+	return models.PaperMiniBatch(model, devs)
+}
+
 // Fig6 regenerates one sub-figure of Figure 6: end-to-end training
 // throughput versus device count, with the paper's per-device-count
 // mini-batch sizes (Appendix A.2). Piper's ✗ entries surface as Failed
 // outcomes, matching the paper's missing data points.
 func Fig6(model string, systems []System) (*Fig6Result, error) {
-	g, err := buildModel(model)
+	g, err := fig6Graph(model)
 	if err != nil {
 		return nil, err
 	}
 	res := &Fig6Result{Model: model}
 	var jobs []Job
 	for _, devs := range DeviceCounts() {
-		mb, err := models.PaperMiniBatch(model, devs)
+		mb, err := fig6MiniBatch(model, devs)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update-golden", false,
+	"rewrite the testdata golden files from this run's output")
+
+// withDeviceCounts shrinks the device sweep for a driver smoke test and
+// restores the paper's sweep afterwards.
+func withDeviceCounts(t *testing.T, counts []int) {
+	t.Helper()
+	old := deviceCounts
+	deviceCounts = counts
+	t.Cleanup(func() { deviceCounts = old })
+}
+
+// checkGolden compares rendered driver output against a committed
+// golden file; -update-golden rewrites it.
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", path)
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (regenerate with -update-golden): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("output drifted from %s:\n--- got ---\n%s--- want ---\n%s", path, got, want)
+	}
+}
+
+// TestFig6GoldenSynth regression-pins the Figure 6 driver's plumbing on
+// a tiny synthetic model: the full CSV — planner choices, simulated
+// throughputs, speedup ratios — is deterministic (seeded model, virtual
+// time) and must match the committed golden byte for byte.
+func TestFig6GoldenSynth(t *testing.T) {
+	withDeviceCounts(t, []int{2, 4})
+	res, err := Fig6("synth:mixed/seed=1", Systems)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "fig6_synth.golden", res.CSV(Systems).String())
+}
+
+// TestTable1GoldenSynth regression-pins the Table 1 driver's plumbing
+// the same way. Search seconds are wall-clock and can never be golden,
+// so every cell that parses as a number is replaced by "ok" before the
+// comparison — what stays pinned is the table shape, the model/devices
+// columns, and which cells failed (✗) versus produced a measurement.
+func TestTable1GoldenSynth(t *testing.T) {
+	withDeviceCounts(t, []int{2, 4})
+	res, err := Table1For([]string{"synth:skew/seed=2"}, Systems)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "table1_synth.golden", sanitizeNumbers(res.CSV(Systems).String()))
+}
+
+// sanitizeNumbers replaces numeric CSV cells beyond the first two
+// columns with "ok", keeping header, identity columns, ✗, and "-".
+func sanitizeNumbers(csv string) string {
+	lines := strings.Split(strings.TrimRight(csv, "\n"), "\n")
+	for i, line := range lines {
+		cells := strings.Split(line, ",")
+		for j := 2; j < len(cells); j++ {
+			if _, err := strconv.ParseFloat(cells[j], 64); err == nil {
+				cells[j] = "ok"
+			}
+		}
+		lines[i] = strings.Join(cells, ",")
+	}
+	return strings.Join(lines, "\n") + "\n"
+}

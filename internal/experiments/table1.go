@@ -5,6 +5,7 @@ import (
 
 	"graphpipe/internal/graph"
 	"graphpipe/internal/models"
+	"graphpipe/internal/synth"
 	"graphpipe/internal/trace"
 )
 
@@ -25,6 +26,11 @@ type Table1Result struct {
 // branches; DLRM and CANDLE-Uno keep their eight-plus-branch structure,
 // which is what defeats Piper.
 func table1Graph(model string, devs int) (*graph.Graph, int, error) {
+	if synth.IsSpec(model) {
+		// Synthetic models run the same search-time plumbing with the
+		// proportional mini-batch pairing (smoke tests pin this path).
+		return models.Build(model, 0, devs)
+	}
 	switch model {
 	case "mmt-2b":
 		cfg := models.DefaultMMTConfig()
@@ -48,9 +54,15 @@ var Table1Models = []string{"mmt-2b", "dlrm", "candle-uno"}
 // Table1 regenerates the search-time comparison. SearchTime and Failed (✗)
 // are the payload; throughput is incidental.
 func Table1(systems []System) (*Table1Result, error) {
+	return Table1For(Table1Models, systems)
+}
+
+// Table1For runs the search-time comparison over an explicit model
+// list — the paper columns, or synth: specs for the smoke tests.
+func Table1For(modelNames []string, systems []System) (*Table1Result, error) {
 	res := &Table1Result{}
 	var jobs []Job
-	for _, m := range Table1Models {
+	for _, m := range modelNames {
 		for _, devs := range DeviceCounts() {
 			g, mb, err := table1Graph(m, devs)
 			if err != nil {

@@ -1,0 +1,61 @@
+package graph
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+)
+
+// Canonical renders the graph as deterministic JSON: name, every
+// operator with its full cost annotations in id order, and every edge
+// in insertion order. Two graphs are byte-identical under Canonical iff
+// they describe the same computation with the same costs, which is the
+// replay contract of the synthetic-model generator: `graphpipe synth`
+// prints the hash of these bytes, and the conformance harness compares
+// them to prove a regenerated model matches the one that failed.
+//
+// Float costs are encoded by encoding/json's shortest round-trip form,
+// so the bytes are stable across runs and platforms for bit-identical
+// cost values.
+func (g *Graph) Canonical() []byte {
+	type opJSON struct {
+		ID       int     `json:"id"`
+		Name     string  `json:"name"`
+		Kind     string  `json:"kind"`
+		FwdFLOPs float64 `json:"fwd_flops,omitempty"`
+		BwdFLOPs float64 `json:"bwd_flops,omitempty"`
+		Params   float64 `json:"param_bytes,omitempty"`
+		Act      float64 `json:"activation_bytes,omitempty"`
+		Out      float64 `json:"output_bytes,omitempty"`
+	}
+	doc := struct {
+		Name  string   `json:"name"`
+		Ops   []opJSON `json:"ops"`
+		Edges [][2]int `json:"edges"`
+	}{Name: g.name}
+	for _, op := range g.ops {
+		doc.Ops = append(doc.Ops, opJSON{
+			ID: int(op.ID), Name: op.Name, Kind: op.Kind.String(),
+			FwdFLOPs: op.FwdFLOPs, BwdFLOPs: op.BwdFLOPs,
+			Params: op.ParamBytes, Act: op.ActivationBytes, Out: op.OutputBytes,
+		})
+	}
+	for _, e := range g.edges {
+		doc.Edges = append(doc.Edges, [2]int{int(e.From), int(e.To)})
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		// Only plain structs and floats are marshalled; a failure is a
+		// programming bug, not an input condition.
+		panic(fmt.Sprintf("graph: canonical encoding failed: %v", err))
+	}
+	return append(data, '\n')
+}
+
+// CanonicalHash returns the hex SHA-256 of Canonical — the compact
+// content identity of a computation graph.
+func (g *Graph) CanonicalHash() string {
+	sum := sha256.Sum256(g.Canonical())
+	return hex.EncodeToString(sum[:])
+}

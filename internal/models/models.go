@@ -15,6 +15,7 @@ import (
 	"strings"
 
 	"graphpipe/internal/graph"
+	"graphpipe/internal/synth"
 )
 
 // TransformerConfig describes one Transformer branch per Appendix A.2:
@@ -379,10 +380,28 @@ func Names() []string {
 // mini-batch size for the device count (the paper's pairing where one
 // exists, a proportional fallback otherwise). branches > 0 overrides the
 // model's branch count where the model has one. It is the single
-// name→graph mapping shared by the CLI, the examples, and artifact
-// re-evaluation, so a persisted strategy.Artifact can be rebuilt into its
-// evaluation context from its metadata alone.
+// name→graph mapping shared by the CLI, the examples, the planning
+// service, and artifact re-evaluation, so a persisted strategy.Artifact
+// can be rebuilt into its evaluation context from its metadata alone.
+//
+// Names with the "synth:" prefix are synthetic-model specs
+// (synth.Parse): seed-driven generated graphs that flow through every
+// consumer of this function exactly like the paper models.
 func Build(name string, branches, devices int) (*graph.Graph, int, error) {
+	if synth.IsSpec(name) {
+		spec, err := synth.Parse(name)
+		if err != nil {
+			return nil, 0, fmt.Errorf("models: %v", err)
+		}
+		if branches > 0 {
+			spec.Branches = branches
+		}
+		g, _, err := synth.Generate(spec)
+		if err != nil {
+			return nil, 0, fmt.Errorf("models: %v", err)
+		}
+		return g, synth.DefaultMiniBatch(devices), nil
+	}
 	switch name {
 	case "mmt":
 		cfg := DefaultMMTConfig()
@@ -417,8 +436,8 @@ func Build(name string, branches, devices int) (*graph.Graph, int, error) {
 	case "sequential":
 		return SequentialTransformer(32), 16 * devices, nil
 	default:
-		return nil, 0, fmt.Errorf("models: unknown model %q (known: %s)",
-			name, strings.Join(Names(), ", "))
+		return nil, 0, fmt.Errorf("models: unknown model %q (known: %s, or a %sfamily/seed=N spec)",
+			name, strings.Join(Names(), ", "), synth.Prefix)
 	}
 }
 

@@ -255,3 +255,44 @@ func TestGeneralistStructure(t *testing.T) {
 		t.Error("generalist should decompose")
 	}
 }
+
+// TestBuildSynthSpecs pins the synth: routing in Build: a spec string
+// builds a graph whose name is the resolved canonical spec, the same
+// string rebuilds a byte-identical graph (the artifact-replay
+// contract), and the branches override reaches the generator.
+func TestBuildSynthSpecs(t *testing.T) {
+	g, mb, err := Build("synth:fanout/seed=3", 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mb != 32 {
+		t.Errorf("synth default mini-batch = %d, want 32", mb)
+	}
+	if err := spgraph.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	// The graph names itself with the *resolved* spec; rebuilding from
+	// that name must reproduce it exactly.
+	g2, _, err := Build(g.Name(), 0, 4)
+	if err != nil {
+		t.Fatalf("rebuilding from %q: %v", g.Name(), err)
+	}
+	if g.CanonicalHash() != g2.CanonicalHash() {
+		t.Errorf("rebuild from resolved name changed the graph")
+	}
+
+	wide, _, err := Build("synth:fanout/seed=3", 6, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(wide.Sources()); got != 6 {
+		t.Errorf("branches override: sources = %d, want 6", got)
+	}
+
+	if _, _, err := Build("synth:bogus/seed=1", 0, 4); err == nil {
+		t.Error("unknown synth family accepted")
+	}
+	if _, _, err := Build("synth:chain/seed=", 0, 4); err == nil {
+		t.Error("malformed synth spec accepted")
+	}
+}

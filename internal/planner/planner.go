@@ -41,6 +41,11 @@ type Options struct {
 	// DisableSinkAnchoredSplits removes the merge-anchored partitions
 	// (§7.5) for the ablation benchmarks. graphpipe only.
 	DisableSinkAnchoredSplits bool
+	// FreshProbeMemo restores the reference search path: a fresh DP memo
+	// per binary-search probe instead of the probe-spanning memo. The
+	// chosen strategy is identical either way — the conformance harness
+	// exists to keep proving that. graphpipe only.
+	FreshProbeMemo bool
 	// StateBudget bounds Piper's DP states plus enumeration steps
 	// (default 5e7), reproducing Table 1's ✗ entries. piper only.
 	StateBudget int

@@ -7,6 +7,7 @@ import (
 	"graphpipe/internal/models"
 	"graphpipe/internal/planner"
 	"graphpipe/internal/strategy"
+	"graphpipe/internal/synth"
 )
 
 // A Request is one planning question posed to the service: which model,
@@ -70,6 +71,14 @@ func (r Request) canonicalize() (Request, *graph.Graph, error) {
 	g, defBatch, err := models.Build(r.Model, r.Branches, r.Devices)
 	if err != nil {
 		return r, nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	if synth.IsSpec(r.Model) {
+		// Normalize to the resolved spec (the graph's name) before
+		// hashing, like the zero mini-batch below: the shorthand and the
+		// fully spelled spec are the same planning question, and the
+		// artifact's metadata must pin every derived knob so it rebuilds
+		// this exact graph even if seed-derivation ranges change later.
+		r.Model = g.Name()
 	}
 	if r.MiniBatch == 0 {
 		r.MiniBatch = defBatch

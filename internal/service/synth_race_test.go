@@ -1,0 +1,171 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentSynthSpecRequests drives the service's hot paths —
+// fingerprinting, cache lookup, singleflight, admission, stats — with
+// concurrent traffic over synthetic-model specs, under -race in CI.
+// The workload mixes repeated identical specs (singleflight and warm
+// hits), distinct specs (cold planner runs), eval piggybacks, and
+// continuous Stats() polling, then checks the accounting invariants:
+// every request is classified exactly once, and the planner ran at
+// most once per distinct fingerprint.
+//
+// It also pins the tentpole's end-to-end claim: a synth: spec is a
+// first-class model name all the way through the planning service.
+func TestConcurrentSynthSpecRequests(t *testing.T) {
+	s := newService(t, Config{})
+	const (
+		workers  = 8
+		rounds   = 6
+		distinct = 4 // distinct synth specs, each hit by every worker
+	)
+	spec := func(i int) string { return fmt.Sprintf("synth:fanout/seed=%d", i%distinct) }
+
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		byFP     = map[string][]byte{}
+		firstErr error
+	)
+	record := func(fp string, data []byte, err error) {
+		mu.Lock()
+		defer mu.Unlock()
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			return
+		}
+		if prev, ok := byFP[fp]; ok {
+			if !bytes.Equal(prev, data) {
+				firstErr = fmt.Errorf("fingerprint %s served different bytes", fp)
+			}
+			return
+		}
+		byFP[fp] = data
+	}
+
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				req := Request{Model: spec(w + r), Devices: 4}
+				switch r % 3 {
+				case 0, 1:
+					res, err := s.Plan(context.Background(), req)
+					if err != nil {
+						record("", nil, err)
+						continue
+					}
+					record(res.Fingerprint, res.Data, nil)
+				case 2:
+					res, err := s.Eval(context.Background(), EvalRequest{Request: req})
+					if err != nil {
+						record("", nil, err)
+						continue
+					}
+					if res.Throughput <= 0 {
+						record("", nil, fmt.Errorf("eval of %s: degenerate throughput %g",
+							req.Model, res.Throughput))
+					}
+				}
+				// Stats polling races the counters' hot-path increments.
+				_ = s.Stats()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		t.Fatal(firstErr)
+	}
+	if len(byFP) != distinct {
+		t.Errorf("saw %d distinct fingerprints, want %d", len(byFP), distinct)
+	}
+
+	snap := s.Stats()
+	totalPlanPath := snap.HitsMemory + snap.HitsDisk + snap.Misses
+	if totalPlanPath == 0 {
+		t.Fatal("no plan-path requests recorded")
+	}
+	// Every miss resolved either to an owned planner run or a shared
+	// wait, and nothing planned twice per fingerprint.
+	if snap.Planned+snap.SharedWaits != snap.Misses {
+		t.Errorf("misses %d != planned %d + shared %d",
+			snap.Misses, snap.Planned, snap.SharedWaits)
+	}
+	if snap.Planned != uint64(distinct) {
+		t.Errorf("planner ran %d times for %d distinct specs", snap.Planned, distinct)
+	}
+	if snap.Rejected != 0 {
+		t.Errorf("default config shed %d requests", snap.Rejected)
+	}
+	if snap.InFlight != 0 || snap.Queued != 0 {
+		t.Errorf("gauges not drained: in-flight %d queued %d", snap.InFlight, snap.Queued)
+	}
+}
+
+// TestSynthSpecBadRequests pins the 400 class for malformed synth
+// specs: canonicalization rejects them before any planner work.
+func TestSynthSpecBadRequests(t *testing.T) {
+	s := newService(t, Config{})
+	for _, model := range []string{
+		"synth:",                  // no family
+		"synth:bogus/seed=1",      // unknown family
+		"synth:chain",             // missing seed
+		"synth:chain/seed=1/d=up", // unknown knob
+	} {
+		_, err := s.Plan(context.Background(), Request{Model: model, Devices: 4})
+		if !errors.Is(err, ErrBadRequest) {
+			t.Errorf("Plan(%q) = %v, want ErrBadRequest", model, err)
+		}
+	}
+}
+
+// TestSynthSpecFingerprintResolution pins that synth requests are
+// canonicalized to the *resolved* spec before hashing, exactly like
+// the zero mini-batch default: the seed-only shorthand and the fully
+// knob-spelled resolved form are the same planning question and share
+// one fingerprint, cache entry, and artifact — whose Model metadata
+// pins every derived knob.
+func TestSynthSpecFingerprintResolution(t *testing.T) {
+	s := newService(t, Config{})
+	a, err := s.Plan(context.Background(), Request{Model: "synth:chain/seed=2", Devices: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Artifact.Model == "synth:chain/seed=2" || !strings.Contains(a.Artifact.Model, "synth:chain/seed=2/") {
+		t.Errorf("artifact stores %q, want the resolved spec", a.Artifact.Model)
+	}
+	// Both the shorthand and the resolved spelling hit the same entry.
+	for _, spelling := range []string{"synth:chain/seed=2", a.Artifact.Model} {
+		b, err := s.Plan(context.Background(), Request{Model: spelling, Devices: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b.Fingerprint != a.Fingerprint || !bytes.Equal(b.Data, a.Data) {
+			t.Errorf("spelling %q did not share the cached plan", spelling)
+		}
+		if b.Source == "miss" {
+			t.Errorf("spelling %q source %q, want a cache hit", spelling, b.Source)
+		}
+	}
+	// The artifact's metadata rebuilds the same graph: eval by
+	// fingerprint alone succeeds.
+	res, err := s.Eval(context.Background(), EvalRequest{Fingerprint: a.Fingerprint})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PlanSource != "hit-memory" || res.Throughput <= 0 {
+		t.Errorf("eval by fingerprint: %+v", res)
+	}
+}

@@ -1,0 +1,70 @@
+package spgraph_test
+
+import (
+	"testing"
+
+	"graphpipe/internal/graph"
+	"graphpipe/internal/spgraph"
+	"graphpipe/internal/synth"
+)
+
+// TestSynthFamiliesDecompose sweeps the decomposer across every
+// synthetic family: the hand-built shapes above pin individual split
+// rules, and this pins the same structural contracts — splits partition
+// the zone into convex halves, series edges only run forward, parallel
+// halves share no edges — on the generated corpus shapes the planners
+// are conformance-tested against.
+func TestSynthFamiliesDecompose(t *testing.T) {
+	for _, fam := range synth.Families() {
+		for seed := int64(0); seed < 3; seed++ {
+			g, rs, err := synth.Generate(synth.Spec{Family: fam, Seed: seed})
+			if err != nil {
+				t.Fatalf("%s seed %d: %v", fam, seed, err)
+			}
+			if err := spgraph.Validate(g); err != nil {
+				t.Fatalf("%s: %v", rs, err)
+			}
+			d := spgraph.New(g)
+			seen := map[string]bool{}
+			var walk func(z graph.NodeSet)
+			walk = func(z graph.NodeSet) {
+				if seen[z.Key()] {
+					return
+				}
+				seen[z.Key()] = true
+				splits := append(append([]spgraph.Split(nil), d.SeriesSplits(z)...), d.ParallelSplits(z)...)
+				if len(splits) == 0 && z.Len() > 1 && d.LinearizedSplits(z) != nil {
+					t.Errorf("%s: zone %v needed the non-SP linearization fallback", rs, z)
+				}
+				for _, sp := range splits {
+					if !sp.Left.Disjoint(sp.Right) || sp.Left.Union(sp.Right).Len() != z.Len() {
+						t.Fatalf("%s: split does not partition zone %v", rs, z)
+					}
+					if !g.InducedConvex(sp.Left) || !g.InducedConvex(sp.Right) {
+						t.Fatalf("%s: non-convex split of %v", rs, z)
+					}
+					if sp.Series && g.HasEdgeBetween(sp.Right, sp.Left) {
+						t.Fatalf("%s: series split with a backward edge in %v", rs, z)
+					}
+					switch {
+					case sp.Series:
+					case sp.SinkAnchored:
+						// The merge tail inside Right consumes Left's branch
+						// outputs, so Left→Right edges are the point; the
+						// reverse direction must stay empty.
+						if g.HasEdgeBetween(sp.Right, sp.Left) {
+							t.Fatalf("%s: sink-anchored split with a backward edge in %v", rs, z)
+						}
+					default:
+						if g.HasEdgeBetween(sp.Left, sp.Right) || g.HasEdgeBetween(sp.Right, sp.Left) {
+							t.Fatalf("%s: parallel split with crossing edges in %v", rs, z)
+						}
+					}
+					walk(sp.Left)
+					walk(sp.Right)
+				}
+			}
+			walk(d.Root())
+		}
+	}
+}

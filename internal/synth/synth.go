@@ -1,0 +1,220 @@
+// Package synth generates valid series-parallel computation graphs from
+// compact, seed-driven specifications. The hand-built paper models in
+// internal/models exercise the planner/eval/service stack only on the
+// shapes the paper happened to publish; synth turns scenario diversity
+// itself into an executable artifact: named structural families (deep
+// chains, wide fan-outs, skewed branches, nested series-parallel blocks,
+// multimodal-like mixed-cost graphs) whose size, branching, and cost
+// balance are derived deterministically from a 64-bit seed.
+//
+// A Spec round-trips through a canonical string form with a "synth:"
+// prefix ("synth:fanout/seed=42/depth=2/branches=5") that models.Build
+// accepts anywhere a model name is accepted — the CLI, the experiment
+// drivers, the planning service, and persisted strategy artifacts — so a
+// strategy planned for a generated model can be replayed from its
+// metadata alone, exactly like the paper models. Generation is pure:
+// the same resolved spec produces byte-identical graphs (pinned by
+// graph.Canonical in the tests and the `graphpipe synth` subcommand),
+// which is what makes failing conformance seeds replayable.
+package synth
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Prefix marks a model name as a synth spec wherever model names are
+// resolved (models.Build, CLI flags, service requests).
+const Prefix = "synth:"
+
+// Spec describes one synthetic model. The zero value of a knob means
+// "derive from the seed": Resolve fills it deterministically from the
+// seed within the family's range, so `synth:chain/seed=7` alone fully
+// determines a graph, while any knob can be pinned explicitly. Knobs a
+// family does not use are forced to the family's fixed value.
+type Spec struct {
+	// Family is a registered family name (Families lists them).
+	Family string `json:"family"`
+	// Seed drives every derived quantity: unset knobs and per-operator
+	// cost variation.
+	Seed int64 `json:"seed"`
+	// Depth is the family's length knob: chain length, layers per
+	// branch, or segment length inside nested blocks.
+	Depth int `json:"depth,omitempty"`
+	// Branches is the family's width knob (parallel branches or towers).
+	Branches int `json:"branches,omitempty"`
+	// Skew scales the cost imbalance across branches: branch i costs
+	// ~(1 + Skew·i/(branches-1)) times branch 0. Only the skew family
+	// uses it.
+	Skew float64 `json:"skew,omitempty"`
+	// Nesting is the recursion depth of the nested family's
+	// series-parallel blocks.
+	Nesting int `json:"nesting,omitempty"`
+}
+
+// IsSpec reports whether a model name selects the synth generator.
+func IsSpec(name string) bool { return strings.HasPrefix(name, Prefix) }
+
+// String renders the canonical spec form. Resolved specs render every
+// knob their family uses, so the string alone rebuilds the exact graph
+// even if knob-derivation ranges change later; unresolved specs render
+// only the knobs that are set. The field order is fixed and "/" is the
+// separator (never ","), so spec strings survive CSV cells intact.
+func (s Spec) String() string {
+	var sb strings.Builder
+	sb.WriteString(Prefix)
+	sb.WriteString(s.Family)
+	fmt.Fprintf(&sb, "/seed=%d", s.Seed)
+	if s.Depth != 0 {
+		fmt.Fprintf(&sb, "/depth=%d", s.Depth)
+	}
+	if s.Branches != 0 {
+		fmt.Fprintf(&sb, "/branches=%d", s.Branches)
+	}
+	if s.Skew != 0 {
+		fmt.Fprintf(&sb, "/skew=%s", strconv.FormatFloat(s.Skew, 'g', -1, 64))
+	}
+	if s.Nesting != 0 {
+		fmt.Fprintf(&sb, "/nesting=%d", s.Nesting)
+	}
+	return sb.String()
+}
+
+// Parse decodes a canonical spec string. The "synth:" prefix is
+// required: Parse is the single entry point model-name dispatch goes
+// through, and the prefix is what routes a name here.
+func Parse(name string) (Spec, error) {
+	if !IsSpec(name) {
+		return Spec{}, fmt.Errorf("synth: spec %q does not start with %q", name, Prefix)
+	}
+	parts := strings.Split(strings.TrimPrefix(name, Prefix), "/")
+	if parts[0] == "" {
+		return Spec{}, fmt.Errorf("synth: spec %q is missing a family (known: %s)",
+			name, strings.Join(Families(), ", "))
+	}
+	spec := Spec{Family: parts[0]}
+	if _, ok := families[spec.Family]; !ok {
+		return Spec{}, fmt.Errorf("synth: unknown family %q (known: %s)",
+			spec.Family, strings.Join(Families(), ", "))
+	}
+	// Parse handles syntax only; knob *ranges* are Resolve's job — the
+	// one funnel every entry point (spec strings, CLI flags, Spec
+	// literals) reaches before a graph is generated — so the two can
+	// never drift apart.
+	seenSeed := false
+	for _, kv := range parts[1:] {
+		k, v, ok := strings.Cut(kv, "=")
+		if !ok {
+			return Spec{}, fmt.Errorf("synth: malformed knob %q in %q (want key=value)", kv, name)
+		}
+		var err error
+		switch k {
+		case "seed":
+			spec.Seed, err = strconv.ParseInt(v, 10, 64)
+			seenSeed = true
+		case "depth":
+			spec.Depth, err = strconv.Atoi(v)
+		case "branches":
+			spec.Branches, err = strconv.Atoi(v)
+		case "skew":
+			spec.Skew, err = strconv.ParseFloat(v, 64)
+		case "nesting":
+			spec.Nesting, err = strconv.Atoi(v)
+		default:
+			return Spec{}, fmt.Errorf("synth: unknown knob %q in %q", k, name)
+		}
+		if err != nil {
+			return Spec{}, fmt.Errorf("synth: knob %q in %q: %v", kv, name, err)
+		}
+	}
+	if !seenSeed {
+		return Spec{}, fmt.Errorf("synth: spec %q is missing seed=N", name)
+	}
+	return spec, nil
+}
+
+// EncodeJSON renders the resolved spec as indented JSON, the
+// reproducible artifact `graphpipe synth -o` writes and TESTING.md
+// tells people to attach to bug reports.
+func EncodeJSON(s Spec) ([]byte, error) {
+	return json.MarshalIndent(s, "", "  ")
+}
+
+// DecodeJSON parses a JSON spec (the inverse of EncodeJSON).
+func DecodeJSON(data []byte) (Spec, error) {
+	var s Spec
+	if err := json.Unmarshal(data, &s); err != nil {
+		return Spec{}, fmt.Errorf("synth: decode spec: %w", err)
+	}
+	if _, ok := families[s.Family]; !ok {
+		return Spec{}, fmt.Errorf("synth: unknown family %q (known: %s)",
+			s.Family, strings.Join(Families(), ", "))
+	}
+	return s, nil
+}
+
+// Families lists the registered family names, sorted.
+func Families() []string {
+	out := make([]string, 0, len(families))
+	for name := range families {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// DefaultMiniBatch pairs a generated model with a mini-batch size for a
+// device count, mirroring the paper models' proportional pairing in
+// models.Build. Eight samples per device keeps a power-of-two
+// micro-batch ladder available to every planner at the small device
+// counts the conformance corpus sweeps.
+func DefaultMiniBatch(devices int) int { return 8 * devices }
+
+// --- deterministic RNG ---
+
+// rng is a splitmix64 stream. The generator deliberately avoids
+// math/rand: every value a spec derives must stay identical across Go
+// releases, because conformance failures are replayed by seed alone.
+type rng struct{ state uint64 }
+
+// newRNG derives an independent stream from the seed and a salt string,
+// so resolving one knob never shifts the draws of another: pinning
+// depth explicitly leaves the branch count a given seed derives
+// unchanged.
+func newRNG(seed int64, salt string) *rng {
+	h := uint64(seed) ^ 0x9E3779B97F4A7C15
+	for _, b := range []byte(salt) {
+		h ^= uint64(b)
+		h *= 0x100000001B3
+	}
+	return &rng{state: h}
+}
+
+func (r *rng) next() uint64 {
+	r.state += 0x9E3779B97F4A7C15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// intBetween returns a uniform int in [lo, hi].
+func (r *rng) intBetween(lo, hi int) int {
+	if hi <= lo {
+		return lo
+	}
+	return lo + int(r.next()%uint64(hi-lo+1))
+}
+
+// float returns a uniform float64 in [0, 1).
+func (r *rng) float() float64 {
+	return float64(r.next()>>11) / float64(1<<53)
+}
+
+// floatBetween returns a uniform float64 in [lo, hi).
+func (r *rng) floatBetween(lo, hi float64) float64 {
+	return lo + (hi-lo)*r.float()
+}
