@@ -70,12 +70,47 @@ func parseBench(lines *bufio.Scanner) (map[string]map[string]float64, error) {
 	return out, lines.Err()
 }
 
+// checkWarm pairs every ReplanWarm* benchmark with its ReplanCold*
+// counterpart and fails unless each warm replan beat its cold twin — the
+// gate CI's bench-smoke runs so warm-starting cannot silently regress
+// into paying for itself. It is an error to ask for the check on input
+// that has no pairs: a renamed benchmark must break the gate, not
+// vacuously pass it.
+func checkWarm(benches map[string]map[string]float64) error {
+	pairs := 0
+	for name, m := range benches {
+		suffix, ok := strings.CutPrefix(name, "ReplanWarm")
+		if !ok {
+			continue
+		}
+		cold, ok := benches["ReplanCold"+suffix]
+		if !ok {
+			return fmt.Errorf("ReplanWarm%s has no ReplanCold%s counterpart", suffix, suffix)
+		}
+		w, wok := m["replan_warm_s"]
+		c, cok := cold["replan_cold_s"]
+		if !wok || !cok {
+			return fmt.Errorf("Replan pair %q is missing replan_warm_s/replan_cold_s metrics", suffix)
+		}
+		pairs++
+		if w >= c {
+			return fmt.Errorf("warm replan regressed on %s: %.3fs warm >= %.3fs cold", suffix, w, c)
+		}
+		fmt.Fprintf(os.Stderr, "benchreport: %s warm %.3fs vs cold %.3fs (%.2fx)\n", suffix, w, c, w/c)
+	}
+	if pairs == 0 {
+		return fmt.Errorf("-check-warm: no ReplanWarm/ReplanCold pairs in input")
+	}
+	return nil
+}
+
 func run() error {
 	var (
-		label = flag.String("label", "", "run label to store the results under (e.g. before, after); required")
-		note  = flag.String("note", "", "free-form note recorded with the run")
-		in    = flag.String("in", "", "read benchmark output from this file instead of stdin")
-		out   = flag.String("o", "BENCH_PR3.json", "JSON report to merge the run into")
+		label    = flag.String("label", "", "run label to store the results under (e.g. before, after); required")
+		note     = flag.String("note", "", "free-form note recorded with the run")
+		in       = flag.String("in", "", "read benchmark output from this file instead of stdin")
+		out      = flag.String("o", "BENCH_PR3.json", "JSON report to merge the run into")
+		checkWrm = flag.Bool("check-warm", false, "fail unless every ReplanWarm* benchmark beat its ReplanCold* counterpart")
 	)
 	flag.Parse()
 	if *label == "" {
@@ -125,6 +160,10 @@ func run() error {
 	}
 	fmt.Fprintf(os.Stderr, "benchreport: %d benchmarks recorded under %q in %s\n",
 		len(benches), *label, *out)
+	if *checkWrm {
+		// After the write, so a failing gate still leaves the evidence.
+		return checkWarm(benches)
+	}
 	return nil
 }
 

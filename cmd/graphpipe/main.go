@@ -23,7 +23,7 @@
 //
 //	graphpipe plan [-model M] [-devices N] [-batch B] [-planner P]
 //	               [-branches N] [-micro B] [-workers N] [-backend E]
-//	               [-cpuprofile F] [-memprofile F]
+//	               [-cpuprofile F] [-memprofile F] [-warm-memo F]
 //	               [-o plan.json] [-gantt] [-verbose]
 //	graphpipe eval [-backend E] [-timeout D] [-gantt] [-verbose]
 //	               [-cpuprofile F] [-memprofile F] plan.json
@@ -43,6 +43,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"strings"
@@ -52,6 +53,7 @@ import (
 	"graphpipe/internal/costmodel"
 	"graphpipe/internal/eval"
 	"graphpipe/internal/graph"
+	"graphpipe/internal/memosnap"
 	"graphpipe/internal/models"
 	"graphpipe/internal/planner"
 	"graphpipe/internal/strategy"
@@ -224,8 +226,10 @@ func cmdPlan(args []string, stdout, stderr io.Writer) (retErr error) {
 		workers  = fs.Int("workers", 0, "planning worker pool size (0: one per CPU, 1: sequential)")
 		backend  = fs.String("backend", "sim", "evaluation backend: "+strings.Join(eval.Names(), " | "))
 		out      = fs.String("o", "", "write the strategy artifact to this file")
-		gantt    = fs.Bool("gantt", false, "print the pipeline schedule as an ASCII gantt chart")
-		verbose  = fs.Bool("verbose", false, "print the full stage listing")
+		warmMemo = fs.String("warm-memo", "",
+			"DP memo snapshot file: warm-start from it when compatible, then rewrite it with this search's memo merged in (graphpipe only)")
+		gantt   = fs.Bool("gantt", false, "print the pipeline schedule as an ASCII gantt chart")
+		verbose = fs.Bool("verbose", false, "print the full stage listing")
 	)
 	if err := parseFlags(fs, stderr, args); err != nil {
 		return err
@@ -270,12 +274,29 @@ func cmdPlan(args []string, stdout, stderr io.Writer) (retErr error) {
 	topo := cluster.NewSummitTopology(*devices)
 	model := costmodel.NewDefault(topo)
 
-	start := time.Now()
-	st, stats, err := pl.Plan(g, topo, mb, planner.Options{
+	popts := planner.Options{
 		ForcedMicroBatch: *micro,
 		Workers:          *workers,
 		CostModel:        model,
-	})
+	}
+	// A warm-memo file is a cache, never a source of truth: a missing,
+	// corrupt, or incompatible snapshot degrades to a cold plan (with a
+	// warning), and the file is rewritten after the search either way.
+	var loadedMemo, exportedMemo *memosnap.Snapshot
+	if *warmMemo != "" {
+		if data, err := os.ReadFile(*warmMemo); err == nil {
+			if loadedMemo, err = memosnap.Decode(data); err != nil {
+				fmt.Fprintf(stderr, "graphpipe: ignoring %s: %v (planning cold)\n", *warmMemo, err)
+			}
+		} else if !os.IsNotExist(err) {
+			fmt.Fprintf(stderr, "graphpipe: ignoring %s: %v (planning cold)\n", *warmMemo, err)
+		}
+		popts.WarmMemo = func(memosnap.Key) *memosnap.Snapshot { return loadedMemo }
+		popts.MemoSink = func(s *memosnap.Snapshot) { exportedMemo = s }
+	}
+
+	start := time.Now()
+	st, stats, err := pl.Plan(g, topo, mb, popts)
 	if err != nil {
 		return err
 	}
@@ -296,10 +317,12 @@ func cmdPlan(args []string, stdout, stderr io.Writer) (retErr error) {
 		Devices:   *devices,
 		MiniBatch: mb,
 		Planner: strategy.PlannerMeta{
-			Name:          pl.Name(),
-			SearchSeconds: searchTime.Seconds(),
-			DPStates:      stats.DPStates,
-			BinaryIters:   stats.BinaryIters,
+			Name:              pl.Name(),
+			SearchSeconds:     searchTime.Seconds(),
+			DPStates:          stats.DPStates,
+			BinaryIters:       stats.BinaryIters,
+			WarmStarted:       stats.MemoWarmStarted,
+			MemoEntriesReused: stats.MemoEntriesReused,
 		},
 		Options: strategy.PlanOptions{ForcedMicroBatch: *micro},
 		Evals: []strategy.EvalMeta{{
@@ -314,6 +337,13 @@ func cmdPlan(args []string, stdout, stderr io.Writer) (retErr error) {
 	fmt.Fprintf(stdout, "devices    %d   mini-batch %d\n", *devices, mb)
 	fmt.Fprintf(stdout, "planner    %s   search %.3fs   dp-states %d\n",
 		pl.Name(), searchTime.Seconds(), stats.DPStates)
+	if *warmMemo != "" {
+		if stats.MemoWarmStarted {
+			fmt.Fprintf(stdout, "memo       warm (%d entries reused)\n", stats.MemoEntriesReused)
+		} else {
+			fmt.Fprintf(stdout, "memo       cold\n")
+		}
+	}
 	fmt.Fprintf(stdout, "backend    %s\n", rep.Backend)
 	fmt.Fprintf(stdout, "fingerprint %s\n", art.Fingerprint())
 	fmt.Fprintf(stdout, "result     %s\n", trace.Summary(st, rep))
@@ -329,7 +359,34 @@ func cmdPlan(args []string, stdout, stderr io.Writer) (retErr error) {
 		}
 		fmt.Fprintf(stdout, "artifact   %s (version %d, %d bytes)\n", *out, art.Version, len(data)+1)
 	}
+	if *warmMemo != "" && exportedMemo != nil {
+		merged := memosnap.Merge(loadedMemo, exportedMemo)
+		if err := writeFileAtomic(*warmMemo, memosnap.Encode(merged)); err != nil {
+			return fmt.Errorf("writing memo snapshot: %w", err)
+		}
+		fmt.Fprintf(stdout, "memo-file  %s (%d entries)\n", *warmMemo, merged.Entries())
+	}
 	return nil
+}
+
+// writeFileAtomic writes via temp file + rename, so an interrupted run
+// never leaves a torn snapshot for the next one to trip over.
+func writeFileAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
 }
 
 // loadArtifact reads, decodes, and fully checks an artifact: version,

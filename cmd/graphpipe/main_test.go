@@ -226,3 +226,79 @@ func TestCLIPlanSynthModel(t *testing.T) {
 		t.Errorf("eval does not name the synth model:\n%s", evalOut)
 	}
 }
+
+// TestCLIWarmMemo walks the -warm-memo loop: the first plan writes the
+// snapshot file cold, an elastic replan at fewer devices warm-starts
+// from it with the identical strategy a plain cold run produces, and a
+// corrupted file degrades to a cold plan with a warning, never an error.
+func TestCLIWarmMemo(t *testing.T) {
+	memo := filepath.Join(t.TempDir(), "mmt.memo")
+	outWarm := filepath.Join(t.TempDir(), "warm.json")
+	outCold := filepath.Join(t.TempDir(), "cold.json")
+
+	code, planOut, stderr := runCLI("plan", "-model", "mmt", "-devices", "4", "-batch", "64", "-warm-memo", memo)
+	if code != 0 {
+		t.Fatalf("first plan: exit %d, stderr %s", code, stderr)
+	}
+	if !strings.Contains(planOut, "memo       cold") {
+		t.Errorf("first plan should report a cold memo:\n%s", planOut)
+	}
+	if _, err := os.Stat(memo); err != nil {
+		t.Fatalf("memo file not written: %v", err)
+	}
+
+	// Elastic replan at half the devices, same graph and mini-batch.
+	code, planOut, stderr = runCLI("plan", "-model", "mmt", "-devices", "2", "-batch", "64",
+		"-warm-memo", memo, "-o", outWarm)
+	if code != 0 {
+		t.Fatalf("warm replan: exit %d, stderr %s", code, stderr)
+	}
+	if !regexp.MustCompile(`memo       warm \([1-9]\d* entries reused\)`).MatchString(planOut) {
+		t.Errorf("replan should report a warm start with reused entries:\n%s", planOut)
+	}
+
+	code, _, stderr = runCLI("plan", "-model", "mmt", "-devices", "2", "-batch", "64", "-o", outCold)
+	if code != 0 {
+		t.Fatalf("cold control plan: exit %d, stderr %s", code, stderr)
+	}
+	warmArt, err := os.ReadFile(outWarm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldArt, err := os.ReadFile(outCold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Provenance (search seconds, warm stats) differs; the strategies must
+	// not. Compare from the "strategy" key on.
+	cut := func(b []byte) string {
+		i := strings.Index(string(b), `"strategy"`)
+		if i < 0 {
+			t.Fatalf("artifact without strategy section: %s", b)
+		}
+		return string(b[i:])
+	}
+	if cut(warmArt) != cut(coldArt) {
+		t.Error("warm-started CLI plan produced a different strategy than a cold run")
+	}
+
+	// Corrupt the memo file: the plan must still succeed, cold, warn on
+	// stderr, and rewrite the file so the next run is warm again.
+	if err := os.WriteFile(memo, []byte("not a snapshot"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, planOut, stderr = runCLI("plan", "-model", "mmt", "-devices", "4", "-batch", "64", "-warm-memo", memo)
+	if code != 0 {
+		t.Fatalf("plan with corrupt memo: exit %d, stderr %s", code, stderr)
+	}
+	if !strings.Contains(planOut, "memo       cold") {
+		t.Errorf("corrupt memo should plan cold:\n%s", planOut)
+	}
+	if !strings.Contains(stderr, "ignoring") {
+		t.Errorf("corrupt memo should warn on stderr, got: %q", stderr)
+	}
+	code, planOut, _ = runCLI("plan", "-model", "mmt", "-devices", "4", "-batch", "64", "-warm-memo", memo)
+	if code != 0 || !strings.Contains(planOut, "memo       warm") {
+		t.Errorf("rewritten memo should warm the next run (exit %d):\n%s", code, planOut)
+	}
+}

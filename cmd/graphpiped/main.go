@@ -66,6 +66,8 @@ func run(args []string, logw io.Writer, ready chan<- string, sigs <-chan os.Sign
 		queue          = fs.Int("queue", 0, "planning queue depth before 429s (0: default 64)")
 		plannerWorkers = fs.Int("planner-workers", 0,
 			"worker pool inside each planner search (0: default 1; see internal/service.Config)")
+		memoSnapshots = fs.Int("memo-snapshots", 0,
+			"DP memo snapshots kept for warm-start planning (0: default 64; negative disables)")
 		drainTimeout = fs.Duration("drain-timeout", 30*time.Second,
 			"how long shutdown waits for in-flight requests before aborting them")
 	)
@@ -86,6 +88,7 @@ func run(args []string, logw io.Writer, ready chan<- string, sigs <-chan os.Sign
 		Workers:        *workers,
 		QueueDepth:     *queue,
 		PlannerWorkers: *plannerWorkers,
+		MemoSnapshots:  *memoSnapshots,
 	})
 	if err != nil {
 		return err

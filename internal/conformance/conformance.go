@@ -17,6 +17,10 @@
 //	device-monotonicity   on symmetric topologies with the proportional
 //	                      mini-batch pairing, more devices never lose
 //	                      throughput (within tolerance)
+//	warm-cold-equivalence replanning a perturbed request warm-started
+//	                      from a prior search's DP memo snapshot emits
+//	                      an artifact byte-identical to a cold plan of
+//	                      the same request
 //
 // On a violation the harness shrinks the failing spec to a minimal
 // model that still fails (Shrink), so a red corpus run hands the
@@ -39,6 +43,7 @@ import (
 	"graphpipe/internal/costmodel"
 	"graphpipe/internal/eval"
 	"graphpipe/internal/graph"
+	"graphpipe/internal/memosnap"
 	"graphpipe/internal/models"
 	"graphpipe/internal/planner"
 	"graphpipe/internal/strategy"
@@ -48,18 +53,19 @@ import (
 // Invariant names one checked property.
 type Invariant string
 
-// The five invariants, in the order they are checked per spec.
+// The six invariants, in the order they are checked per spec.
 const (
 	InvAdmissible   Invariant = "admissible"
 	InvDeterminism  Invariant = "determinism"
 	InvFingerprint  Invariant = "fingerprint-roundtrip"
 	InvParity       Invariant = "backend-parity"
 	InvMonotonicity Invariant = "device-monotonicity"
+	InvWarmCold     Invariant = "warm-cold-equivalence"
 )
 
 // Invariants lists every invariant in check order.
 func Invariants() []Invariant {
-	return []Invariant{InvAdmissible, InvDeterminism, InvFingerprint, InvParity, InvMonotonicity}
+	return []Invariant{InvAdmissible, InvDeterminism, InvFingerprint, InvParity, InvMonotonicity, InvWarmCold}
 }
 
 // Failure labels that are not one of the five invariants: the harness's
@@ -189,7 +195,7 @@ func CheckCorpus(specs []synth.Spec, cfg Config) *Report {
 	return rep
 }
 
-// CheckSpec runs all five invariants for one spec across the config's
+// CheckSpec runs all six invariants for one spec across the config's
 // planner × backend grid, shrinking each violation to a minimal spec.
 func CheckSpec(spec synth.Spec, cfg Config) ([]Violation, []string) {
 	cfg = cfg.withDefaults()
@@ -247,7 +253,12 @@ func checkPlanner(rs synth.Spec, plannerName string, cfg Config) []failure {
 	topo := cluster.NewSummitTopology(cfg.Devices)
 	model := costmodel.NewDefault(topo)
 
-	base, err := plan(g, topo, model, plannerName, mb, planner.Options{Workers: 1}, cfg)
+	// The base plan doubles as the warm-cold invariant's snapshot source:
+	// a sink only observes the search, so attaching it cannot change the
+	// base artifact (the determinism variants below re-prove that).
+	var snap *memosnap.Snapshot
+	baseOpts := planner.Options{Workers: 1, MemoSink: func(s *memosnap.Snapshot) { snap = s }}
+	base, err := plan(g, topo, model, plannerName, mb, baseOpts, cfg)
 	if err != nil {
 		if errors.Is(err, piper.ErrSearchExplosion) {
 			return []failure{{detail: fmt.Sprintf("search budget exhausted (%v)", err), skip: true}}
@@ -409,6 +420,61 @@ func checkPlanner(rs synth.Spec, plannerName string, cfg Config) []failure {
 					prevTP, prevDevs, rep.Throughput, pt.devs, cfg.MonotonicityTolerance*100)
 			}
 			prevDevs, prevTP = pt.devs, rep.Throughput
+		}
+	}
+
+	// (f) Warm≡cold equivalence: replanning a perturbed request (fewer
+	// devices — real memo reuse; a doubled mini-batch — no matching
+	// search, so the import must silently degrade) warm-started from the
+	// base plan's snapshot yields an artifact byte-identical to a cold
+	// plan of the same perturbed request. Planners without memoized
+	// searches ignore WarmMemo, which is itself the property worth
+	// pinning: the option must never perturb their answer.
+	perturbations := []struct {
+		label    string
+		devs, mb int
+	}{
+		{"devices/2", cfg.Devices / 2, mb},
+		{"mini-batch x2", cfg.Devices, 2 * mb},
+	}
+	for _, pt := range perturbations {
+		if pt.devs < 1 {
+			continue
+		}
+		ptopo, pmodel := topo, model
+		if pt.devs != cfg.Devices {
+			ptopo = cluster.NewSummitTopology(pt.devs)
+			pmodel = costmodel.NewDefault(ptopo)
+		}
+		coldSt, err := plan(g, ptopo, pmodel, plannerName, pt.mb, planner.Options{Workers: 1}, cfg)
+		if err != nil {
+			if errors.Is(err, piper.ErrSearchExplosion) {
+				fails = append(fails, failure{skip: true,
+					detail: fmt.Sprintf("search budget exhausted at %s (%v)", pt.label, err)})
+			} else {
+				record(InvWarmCold, "", "cold plan at %s failed: %v", pt.label, err)
+			}
+			continue
+		}
+		warmOpts := planner.Options{Workers: 1,
+			WarmMemo: func(memosnap.Key) *memosnap.Snapshot { return snap }}
+		warmSt, err := plan(g, ptopo, pmodel, plannerName, pt.mb, warmOpts, cfg)
+		if err != nil {
+			record(InvWarmCold, "", "warm plan at %s failed where cold succeeded: %v", pt.label, err)
+			continue
+		}
+		coldBytes, err := artifactBytes(name, pt.devs, pt.mb, plannerName, coldSt)
+		if err != nil {
+			record(InvWarmCold, "", "encoding cold artifact at %s: %v", pt.label, err)
+			continue
+		}
+		warmBytes, err := artifactBytes(name, pt.devs, pt.mb, plannerName, warmSt)
+		if err != nil {
+			record(InvWarmCold, "", "encoding warm artifact at %s: %v", pt.label, err)
+			continue
+		}
+		if !bytes.Equal(warmBytes, coldBytes) {
+			record(InvWarmCold, "", "warm-started plan at %s diverged from the cold plan", pt.label)
 		}
 	}
 	return fails

@@ -25,7 +25,7 @@ var (
 		"replay one synth spec string (e.g. synth:fanout/seed=42) through the full invariant suite and skip the corpus")
 )
 
-// TestCorpus is the conformance gate: the full five-invariant suite
+// TestCorpus is the conformance gate: the full six-invariant suite
 // over the seeded corpus, for every registered planner and evaluation
 // backend. On red it writes each minimized failing spec as JSON into
 // $CONFORMANCE_ARTIFACT_DIR (when set) so CI can hand the minimal

@@ -1,6 +1,9 @@
 package core
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // workerPool is a bounded pool with inline fallback: Do never blocks
 // waiting for a slot, it runs the task on the submitting goroutine instead.
@@ -44,10 +47,18 @@ const memoShardCount = 64
 // of binary-search targets on which it is valid (see the span type). An
 // entry is consulted by every probe of one micro-batch search; a probe
 // whose target falls outside the span recomputes the state and overwrites
-// the entry with the new value and its interval.
+// the entry with the new value and its interval. warm marks entries seeded
+// from an imported snapshot; the first covered hit clears it and counts
+// toward the table's warmHits, so reuse is counted per entry, not per get.
+// imported persists where warm does not: the exporter skips imported
+// entries (the accumulated snapshot already holds them — memosnap.Merge
+// unions the new export in), so export cost scales with the work this
+// search actually did.
 type memoEntry struct {
-	res *dpResult
-	sp  span
+	res      *dpResult
+	sp       span
+	warm     bool
+	imported bool
 }
 
 // memoTable is the DP memo, sharded by key hash so concurrent walkers of
@@ -60,6 +71,17 @@ type memoEntry struct {
 // exactly one walker, so it constructs the table unlocked and skips the
 // mutexes entirely.
 //
+// Each key keeps every span variant it has ever held, not just the last
+// write: a recompute at a new target moves the displaced (key, span,
+// value) into the shard's history instead of discarding it. A lookup
+// whose target misses the primary span consults the history before the
+// caller recomputes — that path was a full DP recomputation, so a map
+// probe there is nearly free, while the covered fast path is untouched.
+// The history is what makes a warm-started search (importMemo) cheap:
+// the exported snapshot carries every variant, so a replayed probe
+// sequence finds a covering interval for essentially every state the
+// original search visited instead of only the final probe's survivors.
+//
 // Each shard is a flat open-addressed table (Fibonacci hash, linear
 // probing) rather than a Go map: the memo lookup is the single hottest
 // operation of the whole search — one get per DP state visit, hundreds of
@@ -70,7 +92,17 @@ type memoEntry struct {
 // to zero).
 type memoTable struct {
 	locked bool
-	shards [memoShardCount]memoShard
+	// warmHits counts imported entries whose interval covered a probe
+	// target at least once (Result.MemoEntriesReused).
+	warmHits atomic.Int64
+	// fallback, when set by importMemo, resolves a (key, target) miss from
+	// the imported snapshot: it returns a covering entry to materialize
+	// into the table, or ok=false. It must be a pure read — get calls it
+	// under the key's shard lock — and each materialized entry counts as a
+	// warm reuse exactly once, because a variant already resident in the
+	// table is found by the primary/history paths before the fallback runs.
+	fallback func(k dpKey, tmax float64) (memoEntry, bool)
+	shards   [memoShardCount]memoShard
 }
 
 type memoShard struct {
@@ -79,6 +111,31 @@ type memoShard struct {
 	vals []memoEntry
 	mask uint64
 	n    int
+	// hist holds the displaced span variants of keys that were recomputed
+	// at a target outside their stored interval. A key has history only if
+	// it also has a primary entry, so lookups that miss the table entirely
+	// never touch the map. Allocated on first displacement.
+	hist map[dpKey][]memoEntry
+}
+
+// spanSubsumes reports whether outer covers every target inner does, which
+// makes inner redundant as a history variant.
+func spanSubsumes(outer, inner span) bool {
+	return outer.lo <= inner.lo && inner.hi <= outer.hi
+}
+
+// histAdd retains a displaced variant unless an existing variant (or the
+// displacing entry itself, checked by the caller) already subsumes it.
+func (sh *memoShard) histAdd(k dpKey, e memoEntry) {
+	for _, v := range sh.hist[k] {
+		if spanSubsumes(v.sp, e.sp) {
+			return
+		}
+	}
+	if sh.hist == nil {
+		sh.hist = make(map[dpKey][]memoEntry)
+	}
+	sh.hist[k] = append(sh.hist[k], e)
 }
 
 // memoShardInitSize is each shard's starting capacity (slots). Must be a
@@ -107,14 +164,16 @@ func slotHash(k dpKey) uint64 {
 	return h ^ h>>29
 }
 
-func (sh *memoShard) lookup(k dpKey) (memoEntry, bool) {
+// lookup returns the entry and its slot index (so get can clear the warm
+// flag in place under the same lock acquisition).
+func (sh *memoShard) lookup(k dpKey) (memoEntry, uint64, bool) {
 	i := slotHash(k) & sh.mask
 	for {
 		switch sh.keys[i] {
 		case k:
-			return sh.vals[i], true
+			return sh.vals[i], i, true
 		case 0:
-			return memoEntry{}, false
+			return memoEntry{}, 0, false
 		}
 		i = (i + 1) & sh.mask
 	}
@@ -128,6 +187,16 @@ func (sh *memoShard) store(k dpKey, e memoEntry) {
 	for {
 		switch sh.keys[i] {
 		case k:
+			old := sh.vals[i]
+			if spanSubsumes(old.sp, e.sp) {
+				// The incumbent already answers every target the new
+				// variant would; keep it (possible only when seeding —
+				// a recompute's target is by construction uncovered).
+				return
+			}
+			if !spanSubsumes(e.sp, old.sp) {
+				sh.histAdd(k, old)
+			}
 			sh.vals[i] = e
 			return
 		case 0:
@@ -161,13 +230,41 @@ func (sh *memoShard) grow() {
 
 // get returns the memoized value for k if its validity interval covers the
 // probe target tmax, plus the interval itself (callers intersect it into
-// their own).
+// their own). When the primary entry's interval misses, the key's history
+// is consulted before reporting a miss; a covering variant is swapped into
+// the primary slot, so repeated queries at the same probe target stay on
+// the fast path.
 func (t *memoTable) get(k dpKey, tmax float64) (*dpResult, span, bool) {
 	sh := t.shard(k)
 	if t.locked {
 		sh.mu.Lock()
 	}
-	e, ok := sh.lookup(k)
+	e, i, ok := sh.lookup(k)
+	if ok && !e.sp.covers(tmax) {
+		for j, v := range sh.hist[k] {
+			if v.sp.covers(tmax) {
+				sh.hist[k][j] = e
+				sh.vals[i] = v
+				e = v
+				break
+			}
+		}
+	}
+	if ok && e.warm && e.sp.covers(tmax) {
+		sh.vals[i].warm = false
+		t.warmHits.Add(1)
+	}
+	if t.fallback != nil && (!ok || !e.sp.covers(tmax)) {
+		// Lazy warm start: materialize the covering variant, if the
+		// imported snapshot has one, instead of recomputing. Still under
+		// the shard lock, so concurrent walkers materialize each variant
+		// (and count its reuse) exactly once.
+		if v, found := t.fallback(k, tmax); found {
+			sh.store(k, v)
+			t.warmHits.Add(1)
+			e, ok = v, true
+		}
+	}
 	if t.locked {
 		sh.mu.Unlock()
 	}
@@ -191,6 +288,25 @@ func (t *memoTable) put(k dpKey, r *dpResult, sp span) {
 	sh.store(k, memoEntry{res: r, sp: sp})
 	if t.locked {
 		sh.mu.Unlock()
+	}
+}
+
+// each visits every memo entry — primary and history variants alike (any
+// goroutine-safety is the caller's: the exporter runs after the search's
+// fan-out has joined).
+func (t *memoTable) each(f func(k dpKey, e memoEntry)) {
+	for i := range t.shards {
+		sh := &t.shards[i]
+		for j, k := range sh.keys {
+			if k != 0 {
+				f(k, sh.vals[j])
+			}
+		}
+		for k, vs := range sh.hist {
+			for _, v := range vs {
+				f(k, v)
+			}
+		}
 	}
 }
 

@@ -53,6 +53,7 @@ import (
 	"graphpipe/internal/cluster"
 	"graphpipe/internal/costmodel"
 	"graphpipe/internal/graph"
+	"graphpipe/internal/memosnap"
 	"graphpipe/internal/schedule"
 	"graphpipe/internal/spgraph"
 	"graphpipe/internal/strategy"
@@ -96,8 +97,21 @@ type Options struct {
 	// every binary-search probe instead of the probe-spanning memo with
 	// monotone validity intervals. The chosen strategy is identical either
 	// way (pinned by TestCrossProbeReuseEquivalence); the flag exists for
-	// that test and for benchmarking the reuse itself.
+	// that test and for benchmarking the reuse itself. It also disables
+	// warm-starting (WarmMemo/MemoSink): the reference path plans cold.
 	FreshProbeMemo bool
+	// WarmMemo, when set, is consulted once per Plan call with the
+	// snapshot key of this (graph, options, topology/cost-model)
+	// combination. A returned snapshot warm-starts the search: each
+	// per-micro-batch search whose SearchMemo passes the compatibility
+	// checks imports the prior entries, and the validity-interval
+	// machinery invalidates exactly the entries whose [lo, hi) the new
+	// probes miss. An incompatible, corrupt, or absent snapshot degrades
+	// to a cold plan — never an error.
+	WarmMemo func(memosnap.Key) *memosnap.Snapshot
+	// MemoSink, when set, receives the completed search's exported memo
+	// snapshot after a successful Plan, for persistence across requests.
+	MemoSink func(*memosnap.Snapshot)
 }
 
 func (o Options) withDefaults() Options {
@@ -122,6 +136,12 @@ type Result struct {
 	DPStates int
 	// BinaryIters counts binary-search iterations.
 	BinaryIters int
+	// MemoWarmStarted reports that at least one per-micro-batch search
+	// imported a compatible prior memo snapshot (Options.WarmMemo).
+	MemoWarmStarted bool
+	// MemoEntriesReused counts imported memo entries whose validity
+	// interval covered a probe target, each counted at most once.
+	MemoEntriesReused int
 }
 
 // ErrNoStrategy is returned when no valid strategy exists within the device
@@ -144,6 +164,9 @@ type Planner struct {
 	// target and are therefore reused across all probes of one Plan call;
 	// each table is internally sharded for the per-probe fan-out.
 	evalCaches map[int]*evalTable
+
+	// exportGen numbers exportSearch calls for dpResult.expGen tagging.
+	exportGen uint32
 }
 
 type stageEvalKey struct {
@@ -301,9 +324,12 @@ func allowedDegree(d, max int) bool {
 
 // --- DP machinery ---
 
-// dpStage is one stage of a partial solution.
+// dpStage is one stage of a partial solution. zone is the owning
+// series-parallel zone's table id — redundant with ops, but it lets the
+// memo exporter name the zone without a reverse set lookup.
 type dpStage struct {
 	ops      graph.NodeSet
+	zone     int
 	cfg      schedule.Config
 	devs     int
 	inFlight int
@@ -327,6 +353,14 @@ type dpResult struct {
 
 	leaf        *dpStage // non-nil for base-case results
 	left, right *dpResult
+
+	// expGen/expID tag the node with the id the memo exporter assigned it
+	// during export generation expGen (see exportSearch); zero means never
+	// exported. Compared against the planner's generation counter so a
+	// node shared by successive exports is deduplicated without a
+	// pointer-keyed map.
+	expGen uint32
+	expID  int32
 }
 
 // combineInto writes the series/parallel combination of a and b into out —
@@ -445,6 +479,7 @@ func (v span) covers(t float64) bool { return v.lo <= t && t < v.hi }
 type search struct {
 	p         *Planner
 	miniBatch int
+	rootB     int // this search's root micro-batch candidate
 	tmax      float64
 	bCands    []int // all candidate micro-batch sizes (per-stage mode)
 	maxDegree int   // cluster size: data-parallel degrees are powers of two ≤ this
@@ -668,7 +703,7 @@ func (w *dpWalker) stageAttempt(zoneID int, cf schedule.Config, cb *schedule.Suc
 	r.nStages = 1
 	r.leaf = w.newStage()
 	*r.leaf = dpStage{
-		ops: s.p.zones.sets[zoneID], cfg: cf, devs: d, inFlight: inFlight, memory: mem, tps: tps,
+		ops: s.p.zones.sets[zoneID], zone: zoneID, cfg: cf, devs: d, inFlight: inFlight, memory: mem, tps: tps,
 	}
 	return r, span{lo: tps, hi: math.Inf(1)}
 }
@@ -959,11 +994,32 @@ func (s *search) betterRoot(a, b *dpResult) *dpResult {
 	return b
 }
 
-// perB accumulates one candidate micro-batch size's search outcome.
+// perB accumulates one candidate micro-batch size's search outcome. The
+// search object itself is retained so Plan can export its memo and read
+// its warm-reuse counters after the fan-out joins.
 type perB struct {
 	best   *dpResult
 	states int
 	iters  int
+	search *search
+	warmed bool
+}
+
+// newSearch constructs one micro-batch size's search state with its config
+// index frozen. Plan's fan-out and the snapshot round-trip tests share it.
+func (p *Planner) newSearch(b, miniBatch int, bCands []int, pool *workerPool) *search {
+	s := &search{
+		p:         p,
+		miniBatch: miniBatch,
+		rootB:     b,
+		bCands:    bCands,
+		maxDegree: p.topo.Len(),
+		memo:      newMemoTable(pool != nil),
+		evalCache: p.evalCaches[b],
+		pool:      pool,
+	}
+	s.freezeConfigs(b)
+	return s
 }
 
 // searchMicroBatch runs one micro-batch size's binary search over the
@@ -976,17 +1032,15 @@ type perB struct {
 // interval on which they are valid, so a probe only re-solves states whose
 // interval does not cover its target (FreshProbeMemo restores the
 // reference one-memo-per-probe behavior).
-func (p *Planner) searchMicroBatch(out *perB, b, miniBatch int, bCands []int, maxDegree int, maxTPS, eps float64, root int, pool *workerPool) {
-	s := &search{
-		p:         p,
-		miniBatch: miniBatch,
-		bCands:    bCands,
-		maxDegree: maxDegree,
-		memo:      newMemoTable(pool != nil),
-		evalCache: p.evalCaches[b],
-		pool:      pool,
+// A warm snapshot's matching SearchMemo, if compatible, seeds the memo
+// before the first probe: entries whose validity interval covers a probe's
+// target short-circuit exactly as this search's own earlier probes would.
+func (p *Planner) searchMicroBatch(out *perB, b, miniBatch int, bCands []int, maxTPS, eps float64, root int, pool *workerPool, snap *memosnap.Snapshot) {
+	s := p.newSearch(b, miniBatch, bCands, pool)
+	out.search = s
+	if sm := snap.Search(miniBatch, b); sm != nil && !p.opts.FreshProbeMemo {
+		out.warmed = s.importMemo(sm)
 	}
-	s.freezeConfigs(b)
 	probe := func(tmax float64) *dpResult {
 		if p.opts.FreshProbeMemo {
 			s.memo = newMemoTable(pool != nil)
@@ -1060,7 +1114,23 @@ func (p *Planner) Plan(miniBatch int) (*Result, error) {
 
 	maxTPS := p.model.MaxTPS(p.g, miniBatch)
 	eps := p.opts.Epsilon * maxTPS
-	maxDegree := p.topo.Len()
+
+	// Warm start: resolve this planning question's snapshot key and ask
+	// the provider for a prior memo. The key binds graph, structural
+	// options, and cost observables, so a snapshot from a different
+	// question is rejected here; per-search compatibility (mini-batch,
+	// frozen configs, zone count) is verified at import time. The
+	// reference FreshProbeMemo path always plans cold.
+	var snap *memosnap.Snapshot
+	var snapKey memosnap.Key
+	if (p.opts.WarmMemo != nil || p.opts.MemoSink != nil) && !p.opts.FreshProbeMemo {
+		snapKey = p.snapshotKey()
+		if p.opts.WarmMemo != nil {
+			if s := p.opts.WarmMemo(snapKey); s != nil && s.Key == snapKey {
+				snap = s
+			}
+		}
+	}
 
 	// Each candidate micro-batch size runs its own binary search over the
 	// bottleneck-TPS target (Algorithm 1 lines 2-11) so the feasibility
@@ -1075,7 +1145,7 @@ func (p *Planner) Plan(miniBatch int) (*Result, error) {
 	for i, b := range bCands {
 		i, b := i, b
 		tasks[i] = func() {
-			p.searchMicroBatch(&results[i], b, miniBatch, bCands, maxDegree, maxTPS, eps, root, pool)
+			p.searchMicroBatch(&results[i], b, miniBatch, bCands, maxTPS, eps, root, pool, snap)
 		}
 	}
 	if pool == nil {
@@ -1109,12 +1179,24 @@ func (p *Planner) Plan(miniBatch int) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Result{
+	res := &Result{
 		Strategy:      st,
 		BottleneckTPS: best.maxTPS,
 		DPStates:      states,
 		BinaryIters:   iters,
-	}, nil
+	}
+	for i := range results {
+		if results[i].warmed {
+			res.MemoWarmStarted = true
+		}
+		if s := results[i].search; s != nil {
+			res.MemoEntriesReused += int(s.memo.warmHits.Load())
+		}
+	}
+	if p.opts.MemoSink != nil && !p.opts.FreshProbeMemo {
+		p.opts.MemoSink(p.exportSnapshot(snapKey, results))
+	}
+	return res, nil
 }
 
 // assemble turns a DP solution into a concrete, validated Strategy:

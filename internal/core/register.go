@@ -21,6 +21,8 @@ func (registered) Plan(g *graph.Graph, topo *cluster.Topology, miniBatch int, op
 		PerStageMicroBatch:        opts.PerStageMicroBatch,
 		DisableSinkAnchoredSplits: opts.DisableSinkAnchoredSplits,
 		FreshProbeMemo:            opts.FreshProbeMemo,
+		WarmMemo:                  opts.WarmMemo,
+		MemoSink:                  opts.MemoSink,
 	})
 	if err != nil {
 		return nil, planner.Stats{}, err
@@ -30,9 +32,11 @@ func (registered) Plan(g *graph.Graph, topo *cluster.Topology, miniBatch int, op
 		return nil, planner.Stats{}, err
 	}
 	return r.Strategy, planner.Stats{
-		BottleneckTPS: r.BottleneckTPS,
-		DPStates:      r.DPStates,
-		BinaryIters:   r.BinaryIters,
+		BottleneckTPS:     r.BottleneckTPS,
+		DPStates:          r.DPStates,
+		BinaryIters:       r.BinaryIters,
+		MemoWarmStarted:   r.MemoWarmStarted,
+		MemoEntriesReused: r.MemoEntriesReused,
 	}, nil
 }
 

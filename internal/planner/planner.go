@@ -19,6 +19,7 @@ import (
 	"graphpipe/internal/cluster"
 	"graphpipe/internal/costmodel"
 	"graphpipe/internal/graph"
+	"graphpipe/internal/memosnap"
 	"graphpipe/internal/strategy"
 )
 
@@ -56,6 +57,17 @@ type Options struct {
 	// built on the same topology that is passed to Plan; nil selects
 	// costmodel.NewDefault(topo).
 	CostModel costmodel.Model
+	// WarmMemo, when set, lets the planner warm-start from a prior DP
+	// memo snapshot: the planner computes its compatibility key and asks
+	// the provider for a matching snapshot. An absent or incompatible
+	// snapshot degrades to a cold plan — warm-started plans are
+	// byte-identical to cold ones (the warm≡cold conformance invariant).
+	// Read by planners with memoized searches (currently graphpipe).
+	WarmMemo func(memosnap.Key) *memosnap.Snapshot
+	// MemoSink, when set, receives the completed search's exported memo
+	// snapshot after a successful plan, for reuse by later requests.
+	// graphpipe only.
+	MemoSink func(*memosnap.Snapshot)
 }
 
 // Model resolves the cost model for a topology: the override if set, the
@@ -80,6 +92,12 @@ type Stats struct {
 	DPStates int
 	// BinaryIters counts binary-search iterations (graphpipe only).
 	BinaryIters int
+	// MemoWarmStarted reports that the search imported a compatible
+	// prior memo snapshot (Options.WarmMemo).
+	MemoWarmStarted bool
+	// MemoEntriesReused counts imported memo entries the search reused,
+	// each at most once.
+	MemoEntriesReused int
 }
 
 // Planner is the uniform planning entry point. Implementations must be

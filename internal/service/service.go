@@ -26,6 +26,7 @@ import (
 	"errors"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"time"
 
@@ -33,6 +34,7 @@ import (
 	"graphpipe/internal/costmodel"
 	"graphpipe/internal/eval"
 	"graphpipe/internal/graph"
+	"graphpipe/internal/memostore"
 	"graphpipe/internal/models"
 	"graphpipe/internal/planner"
 	"graphpipe/internal/strategy"
@@ -69,6 +71,12 @@ type Config struct {
 	// envelope; raise it (and lower Workers) to favor the latency of
 	// individual large plans over throughput.
 	PlannerWorkers int
+	// MemoSnapshots bounds the in-memory DP memo snapshot store that
+	// warm-starts graphpipe searches across requests for the same
+	// canonical graph (default 64 snapshots; negative disables
+	// warm-starting). When CacheDir is set, snapshots also persist as
+	// shards under CacheDir/memos and survive restarts.
+	MemoSnapshots int
 }
 
 // Service answers planning and evaluation requests. Create with New,
@@ -77,6 +85,7 @@ type Service struct {
 	cfg    Config
 	memory *memoryLRU
 	disk   *diskStore
+	memos  *memostore.Store // nil: warm-start disabled
 	flight flightGroup
 	pool   *admission
 	stats  stats
@@ -101,10 +110,22 @@ func New(cfg Config) (*Service, error) {
 			return nil, fmt.Errorf("service: cache dir: %w", err)
 		}
 	}
+	var memos *memostore.Store
+	if cfg.MemoSnapshots >= 0 {
+		memoDir := ""
+		if cfg.CacheDir != "" {
+			memoDir = filepath.Join(cfg.CacheDir, "memos")
+		}
+		var err error
+		if memos, err = memostore.New(cfg.MemoSnapshots, memoDir); err != nil {
+			return nil, fmt.Errorf("service: memo store: %w", err)
+		}
+	}
 	return &Service{
 		cfg:    cfg,
 		memory: newMemoryLRU(cfg.MemoryEntries),
 		disk:   &diskStore{dir: cfg.CacheDir},
+		memos:  memos,
 		pool:   newAdmission(cfg.Workers, cfg.QueueDepth),
 	}, nil
 }
@@ -203,26 +224,40 @@ func (s *Service) runPlanner(req Request, g *graph.Graph, fp string) (*cacheEntr
 		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
 	}
 	topo := cluster.NewSummitTopology(req.Devices)
-	start := time.Now()
-	st, pstats, err := pl.Plan(g, topo, req.MiniBatch, planner.Options{
+	popts := planner.Options{
 		ForcedMicroBatch:          req.Options.ForcedMicroBatch,
 		MaxMicroBatch:             req.Options.MaxMicroBatch,
 		PerStageMicroBatch:        req.Options.PerStageMicroBatch,
 		DisableSinkAnchoredSplits: req.Options.DisableSinkAnchoredSplits,
 		Workers:                   s.cfg.PlannerWorkers,
 		CostModel:                 costmodel.NewDefault(topo),
-	})
+	}
+	if s.memos != nil {
+		// Warm-start: hand the planner the snapshot store. A warm plan is
+		// byte-identical to a cold one (the warm≡cold conformance
+		// invariant), so this changes latency, never answers.
+		popts.WarmMemo = s.memos.Lookup
+		popts.MemoSink = s.memos.Install
+	}
+	start := time.Now()
+	st, pstats, err := pl.Plan(g, topo, req.MiniBatch, popts)
 	searchSeconds := time.Since(start).Seconds()
 	if err != nil {
 		return nil, fmt.Errorf("planner %s: %w", req.Planner, err)
 	}
 	s.stats.planned.Add(1)
 	s.stats.observePlanner(req.Planner, searchSeconds)
+	if pstats.MemoWarmStarted {
+		s.stats.memoWarmHits.Add(1)
+		s.stats.memoEntriesReused.Add(uint64(pstats.MemoEntriesReused))
+	}
 
 	art := req.skeleton()
 	art.Planner.SearchSeconds = searchSeconds
 	art.Planner.DPStates = pstats.DPStates
 	art.Planner.BinaryIters = pstats.BinaryIters
+	art.Planner.WarmStarted = pstats.MemoWarmStarted
+	art.Planner.MemoEntriesReused = pstats.MemoEntriesReused
 	art.Strategy = st
 	data, err := strategy.EncodeArtifact(art)
 	if err != nil {
@@ -330,5 +365,10 @@ func (s *Service) Stats() Snapshot {
 	snap.Queued = s.pool.queued.Load()
 	snap.MemoryEntries = s.memory.len()
 	snap.MemoryEvictions = s.memory.evictions.Load()
+	if s.memos != nil {
+		snap.MemoSnapshots = s.memos.Len()
+		snap.MemoInstalls = s.memos.Installs()
+		snap.MemoEvictions = s.memos.Evictions()
+	}
 	return snap
 }

@@ -71,14 +71,16 @@ func (h *histogram) snapshot() HistogramSnapshot {
 // mutex but accessed once per cold plan, after a planner run that dwarfs
 // it.
 type stats struct {
-	hitsMemory   atomic.Uint64
-	hitsDisk     atomic.Uint64
-	misses       atomic.Uint64
-	planned      atomic.Uint64
-	sharedWaits  atomic.Uint64
-	rejected     atomic.Uint64
-	evals        atomic.Uint64
-	diskFailures atomic.Uint64
+	hitsMemory        atomic.Uint64
+	hitsDisk          atomic.Uint64
+	misses            atomic.Uint64
+	planned           atomic.Uint64
+	sharedWaits       atomic.Uint64
+	rejected          atomic.Uint64
+	evals             atomic.Uint64
+	diskFailures      atomic.Uint64
+	memoWarmHits      atomic.Uint64
+	memoEntriesReused atomic.Uint64
 
 	mu        sync.Mutex
 	latencies map[string]*histogram // planner name → search latency
@@ -116,26 +118,38 @@ type Snapshot struct {
 	// DiskFailures counts disk-tier reads/writes that errored (corrupt or
 	// misfiled artifacts, IO errors); each one degraded to a miss.
 	DiskFailures uint64 `json:"disk_failures"`
+	// MemoWarmHits counts planner runs that imported a compatible DP memo
+	// snapshot; MemoEntriesReused totals the imported entries those runs
+	// actually consulted.
+	MemoWarmHits      uint64 `json:"memo_warm_hits"`
+	MemoEntriesReused uint64 `json:"memo_entries_reused"`
 	// InFlight and Queued are the admission pool's instantaneous gauges;
 	// MemoryEntries and MemoryEvictions describe the memory cache tier.
 	InFlight        int64  `json:"in_flight"`
 	Queued          int64  `json:"queued"`
 	MemoryEntries   int    `json:"memory_entries"`
 	MemoryEvictions uint64 `json:"memory_evictions"`
+	// MemoSnapshots, MemoInstalls, and MemoEvictions describe the DP memo
+	// snapshot store (all zero when warm-starting is disabled).
+	MemoSnapshots int    `json:"memo_snapshots"`
+	MemoInstalls  uint64 `json:"memo_installs"`
+	MemoEvictions uint64 `json:"memo_evictions"`
 	// PlannerLatency maps planner name to its search-latency histogram.
 	PlannerLatency map[string]HistogramSnapshot `json:"planner_latency,omitempty"`
 }
 
 func (s *stats) snapshot() Snapshot {
 	snap := Snapshot{
-		HitsMemory:   s.hitsMemory.Load(),
-		HitsDisk:     s.hitsDisk.Load(),
-		Misses:       s.misses.Load(),
-		Planned:      s.planned.Load(),
-		SharedWaits:  s.sharedWaits.Load(),
-		Rejected:     s.rejected.Load(),
-		Evals:        s.evals.Load(),
-		DiskFailures: s.diskFailures.Load(),
+		HitsMemory:        s.hitsMemory.Load(),
+		HitsDisk:          s.hitsDisk.Load(),
+		Misses:            s.misses.Load(),
+		Planned:           s.planned.Load(),
+		SharedWaits:       s.sharedWaits.Load(),
+		Rejected:          s.rejected.Load(),
+		Evals:             s.evals.Load(),
+		DiskFailures:      s.diskFailures.Load(),
+		MemoWarmHits:      s.memoWarmHits.Load(),
+		MemoEntriesReused: s.memoEntriesReused.Load(),
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()

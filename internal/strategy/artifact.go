@@ -69,6 +69,13 @@ type PlannerMeta struct {
 	DPStates int `json:"dp_states,omitempty"`
 	// BinaryIters counts binary-search iterations (graphpipe only).
 	BinaryIters int `json:"binary_iters,omitempty"`
+	// WarmStarted records that the search imported a prior DP memo
+	// snapshot. Provenance only: a warm-started plan is byte-identical
+	// to a cold one, so the field — like the other search statistics —
+	// is excluded from Fingerprint.
+	WarmStarted bool `json:"warm_started,omitempty"`
+	// MemoEntriesReused counts imported memo entries the search reused.
+	MemoEntriesReused int `json:"memo_entries_reused,omitempty"`
 }
 
 // EvalMeta records one evaluation of the strategy, so an artifact carries

@@ -1,0 +1,96 @@
+package graphpipe_test
+
+import (
+	"testing"
+	"time"
+
+	"graphpipe/internal/cluster"
+	"graphpipe/internal/costmodel"
+	"graphpipe/internal/memosnap"
+	"graphpipe/internal/models"
+	"graphpipe/internal/planner"
+)
+
+// --- Elastic replanning: warm-started vs cold searches -------------------
+//
+// The scenario behind Options.WarmMemo: a job planned at 32 devices (the
+// Table 1 sweep points) loses nodes and must replan at smaller cluster
+// sizes with the same mini-batch. Each benchmark runs the descending
+// sweep as the service would — every plan exports its memo snapshot into
+// the store (MemoSink on both arms, merged as the service's memo store
+// does) so the next elastic event can warm-start. The Cold variant never
+// consumes a snapshot; the Warm variant seeds each replan from the
+// accumulated one. Both report seconds per full sweep; the CI bench
+// report fails if warm does not beat cold — the snapshot machinery must
+// pay for itself, and warm≡cold byte-identity is pinned separately by the
+// conformance suite.
+//
+// The sweep stays above 4 devices so every point shares the base plan's
+// inter-node cost regime; crossing the boundary changes the snapshot's
+// cost signature and correctly plans cold.
+var replanSweep = []int{24, 16, 8}
+
+func benchReplan(b *testing.B, model string, warm bool) {
+	g, err := modelGraph(model)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mb, err := models.PaperMiniBatch(model, 32)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pl, err := planner.Get("graphpipe")
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	plan := func(devices int, opts planner.Options) {
+		topo := cluster.NewSummitTopology(devices)
+		opts.Workers = 1
+		opts.CostModel = costmodel.NewDefault(topo)
+		if _, _, err := pl.Plan(g, topo, mb, opts); err != nil {
+			b.Fatalf("planning %s at %d devices: %v", model, devices, err)
+		}
+	}
+
+	// The 32-device base plan is the starting point both arms share; it
+	// is not timed, only its exported snapshot matters.
+	var snap *memosnap.Snapshot
+	plan(32, planner.Options{MemoSink: func(s *memosnap.Snapshot) { snap = s }})
+	if snap == nil || snap.Entries() == 0 {
+		b.Fatal("base plan exported no memo snapshot")
+	}
+
+	var total time.Duration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cur := snap
+		start := time.Now()
+		for _, devices := range replanSweep {
+			opts := planner.Options{
+				MemoSink: func(s *memosnap.Snapshot) { cur = memosnap.Merge(cur, s) },
+			}
+			if warm {
+				opts.WarmMemo = func(memosnap.Key) *memosnap.Snapshot { return cur }
+			}
+			plan(devices, opts)
+		}
+		total += time.Since(start)
+	}
+	metric := "replan_cold_s"
+	if warm {
+		metric = "replan_warm_s"
+	}
+	b.ReportMetric(total.Seconds()/float64(b.N), metric)
+}
+
+func BenchmarkReplanColdMMT32(b *testing.B)  { benchReplan(b, "mmt", false) }
+func BenchmarkReplanWarmMMT32(b *testing.B)  { benchReplan(b, "mmt", true) }
+func BenchmarkReplanColdDLRM32(b *testing.B) { benchReplan(b, "dlrm", false) }
+func BenchmarkReplanWarmDLRM32(b *testing.B) { benchReplan(b, "dlrm", true) }
+func BenchmarkReplanColdCANDLE32(b *testing.B) {
+	benchReplan(b, "candle-uno", false)
+}
+func BenchmarkReplanWarmCANDLE32(b *testing.B) {
+	benchReplan(b, "candle-uno", true)
+}

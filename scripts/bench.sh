@@ -32,4 +32,10 @@ go test -run '^$' -bench . -benchtime=1x . | tee "$tmp"
 # runs more iterations: a warm hit is microseconds, so one iteration
 # would mostly measure timer noise.
 go test -run '^$' -bench ServicePlan -benchtime=20x ./internal/service | tee -a "$tmp"
-go run ./cmd/benchreport -label "$label" -note "$note" -o "$out" -in "$tmp"
+# The elastic-replan pairs are re-run averaged over three sweeps (later
+# lines supersede the 1x numbers above): one sweep's wall-clock is noisy
+# enough to blur the warm/cold ratio the report gates on.
+go test -run '^$' -bench Replan -benchtime=3x . | tee -a "$tmp"
+# -check-warm: the run fails outright if any warm replan did not beat its
+# cold counterpart — warm-start snapshots must pay for themselves.
+go run ./cmd/benchreport -label "$label" -note "$note" -o "$out" -in "$tmp" -check-warm
