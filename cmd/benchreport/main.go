@@ -104,6 +104,32 @@ func checkWarm(benches map[string]map[string]float64) error {
 	return nil
 }
 
+// checkFleet gates the fleet load-harness numbers: a warm answer from
+// the fleet (memory, disk, or peer cache) must beat a cold single-node
+// plan's median, or the whole sharding-and-peer-fill apparatus costs
+// more than it saves. Like -check-warm, input without the fleet metrics
+// is an error — a renamed metric must break the gate, not skip it.
+func checkFleet(benches map[string]map[string]float64) error {
+	m, ok := benches["FleetGen"]
+	if !ok {
+		return fmt.Errorf("-check-fleet: no FleetGen benchmark in input")
+	}
+	warm, wok := m["fleet_warm_p99_s"]
+	cold, cok := m["fleet_cold_p50_s"]
+	if !wok {
+		return fmt.Errorf("-check-fleet: FleetGen reported no fleet_warm_p99_s (no warm requests in the replay?)")
+	}
+	if !cok {
+		return fmt.Errorf("-check-fleet: FleetGen reported no fleet_cold_p50_s (no cold requests in the replay?)")
+	}
+	if warm >= cold {
+		return fmt.Errorf("fleet warm path regressed: warm p99 %.4fs >= cold p50 %.4fs", warm, cold)
+	}
+	fmt.Fprintf(os.Stderr, "benchreport: fleet warm p99 %.4fs vs cold p50 %.4fs (%.2fx)\n",
+		warm, cold, warm/cold)
+	return nil
+}
+
 func run() error {
 	var (
 		label    = flag.String("label", "", "run label to store the results under (e.g. before, after); required")
@@ -111,6 +137,7 @@ func run() error {
 		in       = flag.String("in", "", "read benchmark output from this file instead of stdin")
 		out      = flag.String("o", "BENCH_PR3.json", "JSON report to merge the run into")
 		checkWrm = flag.Bool("check-warm", false, "fail unless every ReplanWarm* benchmark beat its ReplanCold* counterpart")
+		checkFlt = flag.Bool("check-fleet", false, "fail unless FleetGen's warm p99 beat its cold plan p50")
 	)
 	flag.Parse()
 	if *label == "" {
@@ -162,7 +189,12 @@ func run() error {
 		len(benches), *label, *out)
 	if *checkWrm {
 		// After the write, so a failing gate still leaves the evidence.
-		return checkWarm(benches)
+		if err := checkWarm(benches); err != nil {
+			return err
+		}
+	}
+	if *checkFlt {
+		return checkFleet(benches)
 	}
 	return nil
 }

@@ -1,0 +1,138 @@
+// Command graphpipe-lb is the planning fleet's router: it consistent-
+// hashes each request's canonical fingerprint across a set of graphpiped
+// backends and forwards /v1/plan, /v1/eval, and /v1/artifacts/{fp} to
+// the owning shard, so every distinct planning question has one home and
+// the fleet's aggregate cache is (nearly) the sum of its shards.
+//
+//	graphpipe-lb -addr :7100 \
+//	    -backends http://10.0.0.1:8787,http://10.0.0.2:8787,http://10.0.0.3:8787
+//
+// Routing is bounded-load consistent hashing: an overloaded shard spills
+// its next requests to the following ring replica instead of queueing
+// behind the hot spot. Backends that stop answering are marked down and
+// skipped until a health probe sees them again; 429s are retried on the
+// same backend after honoring its Retry-After. GET /v1/stats returns
+// every shard's snapshot, their field-wise sum, and the router's own
+// forwarding counters.
+//
+// SIGINT/SIGTERM drain in-flight proxied requests before exiting, same
+// as graphpiped.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"graphpipe/internal/fleet"
+
+	// Route keys come from service.Request canonicalization, which
+	// validates planner names against the registry — the router must
+	// know the same planners the daemons do.
+	_ "graphpipe/internal/planner/all"
+)
+
+func main() {
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
+	if err := run(os.Args[1:], os.Stderr, nil, sigs); err != nil {
+		fmt.Fprintln(os.Stderr, "graphpipe-lb:", err)
+		os.Exit(1)
+	}
+}
+
+// run is the router body, factored like graphpiped's so a test can
+// drive it end to end: serve, report the resolved address through
+// ready, block for a signal, drain, exit.
+func run(args []string, logw io.Writer, ready chan<- string, sigs <-chan os.Signal) error {
+	fs := flag.NewFlagSet("graphpipe-lb", flag.ContinueOnError)
+	fs.SetOutput(logw)
+	var (
+		addr     = fs.String("addr", ":7100", "listen address (host:port; port 0 picks one)")
+		backends = fs.String("backends", "", "comma-separated graphpiped base URLs (required)")
+		replicas = fs.Int("ring-replicas", 0,
+			"virtual nodes per backend on the hash ring (0: default 64; must match the daemons' -ring-replicas)")
+		loadFactor = fs.Float64("load-factor", 1.25,
+			"bounded-load factor c: spill past a backend above c times the mean in-flight load (<= 0 disables)")
+		retryShed = fs.Int("retry-shed", 1,
+			"retries of a 429 on the same backend, honoring its Retry-After (negative disables)")
+		maxRetryAfter = fs.Duration("max-retry-after", 2*time.Second,
+			"cap on how long one shed retry waits, whatever the backend asks for")
+		healthInterval = fs.Duration("health-interval", 2*time.Second,
+			"active health-check period (negative disables the probe loop)")
+		drainTimeout = fs.Duration("drain-timeout", 30*time.Second,
+			"how long shutdown waits for in-flight requests before aborting them")
+	)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return err
+	}
+	if fs.NArg() != 0 {
+		return fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	var urls []string
+	for _, b := range strings.Split(*backends, ",") {
+		if b = strings.TrimSpace(b); b != "" {
+			urls = append(urls, strings.TrimRight(b, "/"))
+		}
+	}
+	if len(urls) == 0 {
+		return fmt.Errorf("-backends is required (comma-separated graphpiped URLs)")
+	}
+
+	router, err := fleet.NewRouter(fleet.RouterConfig{
+		Backends:       urls,
+		Replicas:       *replicas,
+		LoadFactor:     *loadFactor,
+		RetryShed:      *retryShed,
+		MaxRetryAfter:  *maxRetryAfter,
+		HealthInterval: *healthInterval,
+	})
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		router.Close()
+		return err
+	}
+	srv := &http.Server{Handler: router.Handler()}
+	fmt.Fprintf(logw, "graphpipe-lb: listening on %s, %d backends\n", ln.Addr(), len(urls))
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	select {
+	case sig := <-sigs:
+		fmt.Fprintf(logw, "graphpipe-lb: %v, draining\n", sig)
+	case err := <-serveErr:
+		return err
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	router.Close()
+	fmt.Fprintln(logw, "graphpipe-lb: drained, bye")
+	return nil
+}

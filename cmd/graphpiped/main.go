@@ -13,7 +13,11 @@
 //	curl -s localhost:8787/v1/stats
 //
 // Plan responses carry X-Graphpipe-Fingerprint and X-Graphpipe-Cache
-// headers ("miss", "shared", "hit-memory", "hit-disk"). The on-disk store
+// headers ("miss", "shared", "hit-memory", "hit-disk", "hit-peer"). With
+// -self and -peers the daemon joins a fleet ring (see internal/fleet and
+// cmd/graphpipe-lb): local cache misses consult the owning peers before
+// paying for a cold search, and memo snapshots are offered to the peers
+// owning neighboring device counts. The on-disk store
 // holds one CLI-compatible artifact per fingerprint: `graphpipe eval
 // <cache-dir>/<fingerprint>.json` replays any plan the daemon ever made.
 //
@@ -32,9 +36,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"graphpipe/internal/fleet"
 	"graphpipe/internal/service"
 
 	_ "graphpipe/internal/eval/all"    // register the built-in backends
@@ -68,6 +74,14 @@ func run(args []string, logw io.Writer, ready chan<- string, sigs <-chan os.Sign
 			"worker pool inside each planner search (0: default 1; see internal/service.Config)")
 		memoSnapshots = fs.Int("memo-snapshots", 0,
 			"DP memo snapshots kept for warm-start planning (0: default 64; negative disables)")
+		self = fs.String("self", "",
+			"this daemon's base URL as the fleet ring knows it (enables peer cache-fill with -peers)")
+		peers = fs.String("peers", "",
+			"comma-separated base URLs of every fleet member, this one included (the shared ring)")
+		ringReplicas = fs.Int("ring-replicas", 0,
+			"virtual nodes per backend on the hash ring (0: default 64; must match graphpipe-lb's)")
+		offerMemos = fs.Bool("offer-memos", true,
+			"offer DP memo snapshots to ring peers owning neighboring device counts (needs -self/-peers)")
 		drainTimeout = fs.Duration("drain-timeout", 30*time.Second,
 			"how long shutdown waits for in-flight requests before aborting them")
 	)
@@ -82,14 +96,36 @@ func run(args []string, logw io.Writer, ready chan<- string, sigs <-chan os.Sign
 		return fmt.Errorf("unexpected arguments: %v", fs.Args())
 	}
 
-	svc, err := service.New(service.Config{
+	cfg := service.Config{
 		CacheDir:       *dir,
 		MemoryEntries:  *mem,
 		Workers:        *workers,
 		QueueDepth:     *queue,
 		PlannerWorkers: *plannerWorkers,
 		MemoSnapshots:  *memoSnapshots,
-	})
+	}
+	if *peers != "" {
+		var urls []string
+		for _, p := range strings.Split(*peers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				urls = append(urls, strings.TrimRight(p, "/"))
+			}
+		}
+		if *self == "" {
+			return fmt.Errorf("-peers requires -self (this daemon's URL on the ring)")
+		}
+		ring, err := fleet.NewRing(urls, *ringReplicas)
+		if err != nil {
+			return err
+		}
+		cfg.Peers = &service.PeerConfig{
+			Self:       strings.TrimRight(*self, "/"),
+			Backends:   urls,
+			Ranker:     ring,
+			OfferMemos: *offerMemos,
+		}
+	}
+	svc, err := service.New(cfg)
 	if err != nil {
 		return err
 	}

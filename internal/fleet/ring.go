@@ -1,0 +1,127 @@
+// Package fleet scales the planning service horizontally: a consistent-
+// hash ring shards canonicalized request fingerprints across N graphpiped
+// backends, and a Router forwards /v1/plan, /v1/eval, and /v1/artifacts
+// traffic to the owning shard with bounded-load spill, health checks,
+// retry-on-connection-failure, 429 backoff, and fleet-aggregated stats.
+//
+// The ring is the single source of placement truth for the whole fleet:
+// the router routes by it, and each daemon holds the same ring (via
+// service.PeerConfig) to decide which peers to consult on a cache miss
+// and which peers to offer memo snapshots to. Hashing is therefore
+// deliberately process-independent — SHA-256 over stable strings, no
+// map-order or per-process seeds — so every member of a fleet computes
+// the identical owner for every fingerprint.
+package fleet
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// DefaultReplicas is the virtual-node count per backend. 64 points per
+// backend keeps the keyspace split within a few percent of even for
+// single-digit fleets without making ring construction noticeable.
+const DefaultReplicas = 64
+
+// Ring is a consistent-hash ring over backend base URLs. Construct with
+// NewRing; immutable and safe for concurrent use afterwards.
+type Ring struct {
+	backends []string
+	points   []ringPoint // sorted by hash
+}
+
+type ringPoint struct {
+	hash    uint64
+	backend int // index into backends
+}
+
+// NewRing builds a ring with replicas virtual nodes per backend
+// (replicas <= 0 selects DefaultReplicas). Backend order does not affect
+// placement — only the URL strings do — but duplicates are an error:
+// they would silently double a backend's keyspace share.
+func NewRing(backends []string, replicas int) (*Ring, error) {
+	if len(backends) == 0 {
+		return nil, fmt.Errorf("fleet: ring needs at least one backend")
+	}
+	if replicas <= 0 {
+		replicas = DefaultReplicas
+	}
+	seen := make(map[string]bool, len(backends))
+	r := &Ring{
+		backends: append([]string(nil), backends...),
+		points:   make([]ringPoint, 0, len(backends)*replicas),
+	}
+	for i, b := range backends {
+		if b == "" {
+			return nil, fmt.Errorf("fleet: empty backend URL at index %d", i)
+		}
+		if seen[b] {
+			return nil, fmt.Errorf("fleet: duplicate backend %q", b)
+		}
+		seen[b] = true
+		for v := 0; v < replicas; v++ {
+			r.points = append(r.points, ringPoint{
+				hash:    hash64(fmt.Sprintf("%s|vnode=%d", b, v)),
+				backend: i,
+			})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool {
+		if r.points[a].hash != r.points[b].hash {
+			return r.points[a].hash < r.points[b].hash
+		}
+		// Hash ties (vanishingly rare) break on backend index so the
+		// walk order stays deterministic across processes.
+		return r.points[a].backend < r.points[b].backend
+	})
+	return r, nil
+}
+
+// hash64 is the ring's placement hash: the first 8 bytes of SHA-256.
+// Fingerprints are already uniformly distributed hex, but virtual-node
+// labels are not, and one stable, well-mixed hash for both keeps every
+// fleet member's view identical.
+func hash64(s string) uint64 {
+	sum := sha256.Sum256([]byte(s))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// Backends returns the ring's member URLs in construction order.
+func (r *Ring) Backends() []string {
+	return append([]string(nil), r.backends...)
+}
+
+// Owner returns the backend owning a key: the first backend clockwise
+// from the key's hash.
+func (r *Ring) Owner(key string) string {
+	return r.backends[r.points[r.start(key)].backend]
+}
+
+// Owners returns every distinct backend in ring-walk order from the
+// key's position: Owners(k)[0] is the owner, the rest are the replica
+// preference order a router fails over to and a daemon consults for
+// peer cache-fill. The slice is freshly allocated.
+func (r *Ring) Owners(key string) []string {
+	out := make([]string, 0, len(r.backends))
+	seen := make([]bool, len(r.backends))
+	for i, n := r.start(key), 0; n < len(r.points) && len(out) < len(r.backends); n++ {
+		p := r.points[(i+n)%len(r.points)]
+		if !seen[p.backend] {
+			seen[p.backend] = true
+			out = append(out, r.backends[p.backend])
+		}
+	}
+	return out
+}
+
+// start locates the first ring point at or clockwise of the key's hash.
+func (r *Ring) start(key string) int {
+	h := hash64(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return i
+}

@@ -1,0 +1,124 @@
+package fleet
+
+import (
+	"fmt"
+	"testing"
+
+	"graphpipe/internal/service"
+	"graphpipe/internal/synth"
+
+	_ "graphpipe/internal/planner/all" // canonicalization validates planner names
+)
+
+func testBackends() []string {
+	return []string{"http://a:8787", "http://b:8787", "http://c:8787"}
+}
+
+// TestRingPlacementIsOrderAndProcessIndependent pins the fleet's core
+// invariant: every member computes the identical owner for every key, no
+// matter the order its -peers flag listed the backends in. A router and
+// daemon disagreeing on placement would turn every plan into a peer
+// consult.
+func TestRingPlacementIsOrderAndProcessIndependent(t *testing.T) {
+	a, err := NewRing(testBackends(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRing([]string{"http://c:8787", "http://a:8787", "http://b:8787"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("fingerprint-%d", i)
+		ow1, ow2 := a.Owners(key), b.Owners(key)
+		if len(ow1) != 3 || len(ow2) != 3 {
+			t.Fatalf("Owners(%q) lengths = %d, %d, want 3", key, len(ow1), len(ow2))
+		}
+		for j := range ow1 {
+			if ow1[j] != ow2[j] {
+				t.Fatalf("Owners(%q) diverge between member orderings: %v vs %v", key, ow1, ow2)
+			}
+		}
+		if a.Owner(key) != ow1[0] {
+			t.Fatalf("Owner(%q) = %q, want Owners[0] = %q", key, a.Owner(key), ow1[0])
+		}
+	}
+}
+
+// TestRingDistribution checks the virtual nodes spread a uniform
+// keyspace within sane bounds: no shard starves, no shard owns half the
+// fleet's keys.
+func TestRingDistribution(t *testing.T) {
+	r, err := NewRing(testBackends(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const keys = 9000
+	counts := make(map[string]int)
+	for i := 0; i < keys; i++ {
+		counts[r.Owner(fmt.Sprintf("key-%d", i))]++
+	}
+	for _, b := range testBackends() {
+		share := float64(counts[b]) / keys
+		if share < 0.15 || share > 0.55 {
+			t.Errorf("backend %s owns %.1f%% of keys, outside [15%%, 55%%]: %v",
+				b, 100*share, counts)
+		}
+	}
+}
+
+func TestRingRejectsBadConfigs(t *testing.T) {
+	if _, err := NewRing(nil, 0); err == nil {
+		t.Error("empty backend list accepted")
+	}
+	if _, err := NewRing([]string{"http://a", ""}, 0); err == nil {
+		t.Error("empty backend URL accepted")
+	}
+	if _, err := NewRing([]string{"http://a", "http://a"}, 0); err == nil {
+		t.Error("duplicate backend accepted")
+	}
+}
+
+// TestSynthSpellingsRouteToSameShard pins route-key canonicalization:
+// the seed shorthand of a synth model and its fully resolved spelling
+// are the same planning question, so they must hash to the same shard —
+// otherwise one question would cold-plan on two shards and the fleet
+// cache would silently halve.
+func TestSynthSpellingsRouteToSameShard(t *testing.T) {
+	r, err := NewRing(testBackends(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	expanded := 0
+	for seed := int64(1); seed <= 5; seed++ {
+		for _, family := range synth.Families() {
+			shorthand := fmt.Sprintf("synth:%s/seed=%d", family, seed)
+			resolved, err := synth.Resolve(synth.Spec{Family: family, Seed: seed})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if resolved.String() != shorthand {
+				expanded++
+			}
+			var fps [2]string
+			for i, model := range []string{shorthand, resolved.String()} {
+				req := service.Request{Model: model, Devices: 4}
+				fp, err := req.CanonicalFingerprint()
+				if err != nil {
+					t.Fatalf("CanonicalFingerprint(%q): %v", model, err)
+				}
+				fps[i] = fp
+			}
+			if fps[0] != fps[1] {
+				t.Fatalf("%q and its resolved spelling fingerprint differently: %s vs %s",
+					shorthand, fps[0], fps[1])
+			}
+			if o1, o2 := r.Owner(fps[0]), r.Owner(fps[1]); o1 != o2 {
+				t.Fatalf("spellings of %q land on different shards: %s vs %s", shorthand, o1, o2)
+			}
+		}
+	}
+	if expanded == 0 {
+		t.Fatal("no shorthand expanded during resolution; the test is vacuous")
+	}
+}

@@ -1,0 +1,398 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"graphpipe/internal/service"
+)
+
+// HeaderBackend names the shard that answered a routed request, so
+// clients and smoke tests can see placement without consulting the ring.
+const HeaderBackend = "X-Graphpipe-Backend"
+
+// maxBodyBytes bounds routed request bodies. Planning requests are a few
+// hundred bytes of JSON; a larger body is a client error, not traffic.
+const maxBodyBytes = 1 << 20
+
+// RouterConfig sizes a Router. Backends is required; everything else has
+// serviceable defaults.
+type RouterConfig struct {
+	// Backends are the graphpiped base URLs the ring shards over.
+	Backends []string
+	// Replicas is the ring's virtual-node count per backend
+	// (0: DefaultReplicas). Must match the daemons' own rings.
+	Replicas int
+	// LoadFactor is the bounded-load factor c: a backend already
+	// carrying more than c times the fleet's mean in-flight routed load
+	// is passed over for the next ring replica. <= 0 disables the bound
+	// (strict ownership); default 1.25.
+	LoadFactor float64
+	// RetryShed is how many times a 429 from a backend is retried on
+	// that same backend, honoring its Retry-After header, before the
+	// 429 propagates to the client (default 1; negative disables).
+	RetryShed int
+	// MaxRetryAfter caps how long one shed retry will wait, whatever
+	// the backend's Retry-After says (default 2s).
+	MaxRetryAfter time.Duration
+	// HealthInterval is the active health-check period (GET /v1/stats
+	// per backend; default 2s, negative disables the background loop —
+	// transport failures still mark backends down passively).
+	HealthInterval time.Duration
+	// Client issues backend requests; nil uses a 30s-timeout client.
+	Client *http.Client
+}
+
+// Router is the fleet's front door: an http.Handler that consistent-
+// hashes each request's canonical fingerprint to its owning backend.
+// Create with NewRouter, release with Close.
+type Router struct {
+	cfg    RouterConfig
+	ring   *Ring
+	client *http.Client
+	sleep  func(time.Duration) // test seam for 429 backoff
+
+	mu       sync.Mutex
+	down     map[string]bool
+	inflight map[string]*atomic.Int64
+	total    atomic.Int64
+
+	routed      atomic.Uint64
+	failovers   atomic.Uint64
+	retried429  atomic.Uint64
+	badRequests atomic.Uint64
+	noBackend   atomic.Uint64
+
+	stop chan struct{}
+	done sync.WaitGroup
+}
+
+// NewRouter validates the config, builds the ring, and starts the
+// health-check loop.
+func NewRouter(cfg RouterConfig) (*Router, error) {
+	ring, err := NewRing(cfg.Backends, cfg.Replicas)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.LoadFactor == 0 {
+		cfg.LoadFactor = 1.25
+	}
+	if cfg.RetryShed == 0 {
+		cfg.RetryShed = 1
+	}
+	if cfg.MaxRetryAfter <= 0 {
+		cfg.MaxRetryAfter = 2 * time.Second
+	}
+	if cfg.HealthInterval == 0 {
+		cfg.HealthInterval = 2 * time.Second
+	}
+	if cfg.Client == nil {
+		cfg.Client = &http.Client{Timeout: 30 * time.Second}
+	}
+	r := &Router{
+		cfg:      cfg,
+		ring:     ring,
+		client:   cfg.Client,
+		sleep:    time.Sleep,
+		down:     make(map[string]bool),
+		inflight: make(map[string]*atomic.Int64, len(cfg.Backends)),
+		stop:     make(chan struct{}),
+	}
+	for _, b := range cfg.Backends {
+		r.inflight[b] = &atomic.Int64{}
+	}
+	if cfg.HealthInterval > 0 {
+		r.done.Add(1)
+		go r.healthLoop()
+	}
+	return r, nil
+}
+
+// Close stops the health-check loop. In-flight proxied requests finish
+// on their own.
+func (r *Router) Close() {
+	close(r.stop)
+	r.done.Wait()
+}
+
+// Handler returns the router's HTTP API — the same surface as one
+// graphpiped, plus fleet-wide aggregation on /v1/stats:
+//
+//	POST /v1/plan              routed by canonical request fingerprint
+//	POST /v1/eval              routed by artifact or request fingerprint
+//	GET  /v1/artifacts/{fp}    routed by fingerprint
+//	GET  /v1/stats             fleet-aggregated counters + router stats
+func (r *Router) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/plan", r.handlePlan)
+	mux.HandleFunc("POST /v1/eval", r.handleEval)
+	mux.HandleFunc("GET /v1/artifacts/{fp}", r.handleArtifact)
+	mux.HandleFunc("GET /v1/stats", r.handleStats)
+	return mux
+}
+
+func (r *Router) handlePlan(w http.ResponseWriter, req *http.Request) {
+	body, ok := readBody(w, req, r)
+	if !ok {
+		return
+	}
+	var preq service.Request
+	if !decodeStrict(w, r, body, &preq) {
+		return
+	}
+	fp, err := preq.CanonicalFingerprint()
+	if err != nil {
+		r.badRequests.Add(1)
+		writeRouterError(w, http.StatusBadRequest, "bad_request", err)
+		return
+	}
+	r.forward(w, req, fp, "/v1/plan", body)
+}
+
+func (r *Router) handleEval(w http.ResponseWriter, req *http.Request) {
+	body, ok := readBody(w, req, r)
+	if !ok {
+		return
+	}
+	var ereq service.EvalRequest
+	if !decodeStrict(w, r, body, &ereq) {
+		return
+	}
+	// An eval-by-fingerprint routes to the artifact's shard; an eval of
+	// an embedded planning request routes exactly where the equivalent
+	// /v1/plan would, so the plan-if-cold path lands on the plan's owner.
+	fp := ereq.Fingerprint
+	if fp == "" {
+		var err error
+		if fp, err = ereq.Request.CanonicalFingerprint(); err != nil {
+			r.badRequests.Add(1)
+			writeRouterError(w, http.StatusBadRequest, "bad_request", err)
+			return
+		}
+	}
+	r.forward(w, req, fp, "/v1/eval", body)
+}
+
+func (r *Router) handleArtifact(w http.ResponseWriter, req *http.Request) {
+	fp := req.PathValue("fp")
+	r.forward(w, req, fp, "/v1/artifacts/"+fp, nil)
+}
+
+// forward proxies one request to the fleet: candidates are the key's
+// ring owners, filtered by health and reordered by the bounded-load
+// rule; a connection failure marks the backend down and fails over to
+// the next replica; a 429 is retried on the same backend after its
+// Retry-After delay before propagating.
+func (r *Router) forward(w http.ResponseWriter, req *http.Request, key, path string, body []byte) {
+	r.routed.Add(1)
+	var lastErr error
+	for _, backend := range r.candidates(key) {
+		resp, err := r.send(req, backend, path, body)
+		for attempt := 0; err == nil && resp.StatusCode == http.StatusTooManyRequests && attempt < r.cfg.RetryShed; attempt++ {
+			// The shard told us when a worker should free up; honoring
+			// that (capped) beats hammering the next replica, which does
+			// not own the fingerprint's cache entry.
+			delay := retryAfterDelay(resp, r.cfg.MaxRetryAfter)
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			r.retried429.Add(1)
+			r.sleep(delay)
+			resp, err = r.send(req, backend, path, body)
+		}
+		if err != nil {
+			r.markDown(backend)
+			r.failovers.Add(1)
+			lastErr = err
+			continue
+		}
+		r.relay(w, resp, backend)
+		return
+	}
+	r.noBackend.Add(1)
+	if lastErr == nil {
+		lastErr = errors.New("no backends configured for key")
+	}
+	writeRouterError(w, http.StatusBadGateway, "no_backend",
+		fmt.Errorf("fleet: every replica failed for %s: %w", key, lastErr))
+}
+
+// send issues one backend request, tracking per-backend in-flight load
+// for the bounded-load rule.
+func (r *Router) send(orig *http.Request, backend, path string, body []byte) (*http.Response, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(orig.Context(), orig.Method, backend+path, rd)
+	if err != nil {
+		return nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	counter := r.inflight[backend]
+	counter.Add(1)
+	r.total.Add(1)
+	resp, err := r.client.Do(req)
+	counter.Add(-1)
+	r.total.Add(-1)
+	return resp, err
+}
+
+// relay copies a backend response to the client, stamping which shard
+// answered.
+func (r *Router) relay(w http.ResponseWriter, resp *http.Response, backend string) {
+	defer resp.Body.Close()
+	for _, h := range []string{"Content-Type", service.HeaderFingerprint, service.HeaderCache, "Retry-After"} {
+		if v := resp.Header.Get(h); v != "" {
+			w.Header().Set(h, v)
+		}
+	}
+	w.Header().Set(HeaderBackend, backend)
+	w.WriteHeader(resp.StatusCode)
+	io.Copy(w, resp.Body)
+}
+
+// candidates orders the key's ring owners for one forwarding attempt:
+// healthy backends under the bounded-load capacity first (in ring
+// order), then loaded-but-healthy ones, then — only if every backend is
+// marked down — the full owner list, because a wrong "down" verdict
+// must degrade to a slow request, not a refused one.
+func (r *Router) candidates(key string) []string {
+	owners := r.ring.Owners(key)
+	cap := r.loadCapacity()
+	var within, over []string
+	r.mu.Lock()
+	for _, b := range owners {
+		if r.down[b] {
+			continue
+		}
+		if cap > 0 && r.inflight[b].Load() >= cap {
+			over = append(over, b)
+		} else {
+			within = append(within, b)
+		}
+	}
+	r.mu.Unlock()
+	if len(within) == 0 && len(over) == 0 {
+		return owners
+	}
+	return append(within, over...)
+}
+
+// loadCapacity is the bounded-load ceiling: ceil(c * (total+1) / n),
+// the classic consistent-hashing-with-bounded-loads capacity. 0 means
+// the bound is disabled.
+func (r *Router) loadCapacity() int64 {
+	if r.cfg.LoadFactor <= 0 {
+		return 0
+	}
+	n := int64(len(r.cfg.Backends))
+	mean := float64(r.total.Load()+1) / float64(n)
+	cap := int64(r.cfg.LoadFactor * mean)
+	if float64(cap) < r.cfg.LoadFactor*mean {
+		cap++
+	}
+	if cap < 1 {
+		cap = 1
+	}
+	return cap
+}
+
+func (r *Router) markDown(backend string) {
+	r.mu.Lock()
+	r.down[backend] = true
+	r.mu.Unlock()
+}
+
+// healthLoop actively probes every backend's /v1/stats, reviving
+// backends that passive failures marked down and catching dead ones
+// before traffic does.
+func (r *Router) healthLoop() {
+	defer r.done.Done()
+	tick := time.NewTicker(r.cfg.HealthInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-r.stop:
+			return
+		case <-tick.C:
+			for _, b := range r.cfg.Backends {
+				healthy := r.probe(b)
+				r.mu.Lock()
+				r.down[b] = !healthy
+				r.mu.Unlock()
+			}
+		}
+	}
+}
+
+func (r *Router) probe(backend string) bool {
+	req, err := http.NewRequest(http.MethodGet, backend+"/v1/stats", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := r.client.Do(req)
+	if err != nil {
+		return false
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}
+
+// retryAfterDelay parses a 429's Retry-After seconds, capped; absent or
+// malformed headers get a small fixed backoff.
+func retryAfterDelay(resp *http.Response, max time.Duration) time.Duration {
+	if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs >= 0 {
+		d := time.Duration(secs) * time.Second
+		if d > max {
+			d = max
+		}
+		return d
+	}
+	return 250 * time.Millisecond
+}
+
+// readBody slurps a bounded request body.
+func readBody(w http.ResponseWriter, req *http.Request, r *Router) ([]byte, bool) {
+	body, err := io.ReadAll(io.LimitReader(req.Body, maxBodyBytes))
+	if err != nil {
+		r.badRequests.Add(1)
+		writeRouterError(w, http.StatusBadRequest, "bad_request", fmt.Errorf("body: %w", err))
+		return nil, false
+	}
+	return body, true
+}
+
+// decodeStrict mirrors the daemons' strict JSON decoding, so malformed
+// requests die at the router with the same 400 shape they would get
+// from a shard.
+func decodeStrict(w http.ResponseWriter, r *Router, body []byte, dst any) bool {
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		r.badRequests.Add(1)
+		writeRouterError(w, http.StatusBadRequest, "bad_request", fmt.Errorf("body: %w", err))
+		return false
+	}
+	return true
+}
+
+// writeRouterError matches the service's apiError wire shape.
+func writeRouterError(w http.ResponseWriter, status int, code string, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(struct {
+		Error  string `json:"error"`
+		Detail string `json:"detail"`
+	}{code, err.Error()})
+}

@@ -1,0 +1,263 @@
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"graphpipe/internal/service"
+)
+
+const planBody = `{"model":"case-study","devices":4}`
+
+func newTestRouter(t *testing.T, cfg RouterConfig) (*Router, *httptest.Server, *[]time.Duration) {
+	t.Helper()
+	if cfg.HealthInterval == 0 {
+		cfg.HealthInterval = -1 // the tests drive health transitions themselves
+	}
+	r, err := NewRouter(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(r.Close)
+	slept := &[]time.Duration{}
+	r.sleep = func(d time.Duration) { *slept = append(*slept, d) }
+	srv := httptest.NewServer(r.Handler())
+	t.Cleanup(srv.Close)
+	return r, srv, slept
+}
+
+// TestRouterHonorsRetryAfterOnSameBackend pins satellite behavior the
+// fleet depends on under load: a 429 is retried on the SAME backend
+// (the one owning the fingerprint's cache) after exactly the backend's
+// Retry-After, capped by MaxRetryAfter — not failed over to a replica
+// that would cold-plan the same question.
+func TestRouterHonorsRetryAfterOnSameBackend(t *testing.T) {
+	var calls atomic.Int64
+	backend := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", "7") // above the cap
+			w.WriteHeader(http.StatusTooManyRequests)
+			return
+		}
+		w.Header().Set(service.HeaderCache, "hit-memory")
+		w.Write([]byte(`{"ok":true}`))
+	}))
+	defer backend.Close()
+
+	r, srv, slept := newTestRouter(t, RouterConfig{
+		Backends:      []string{backend.URL},
+		RetryShed:     1,
+		MaxRetryAfter: 2 * time.Second,
+	})
+
+	resp, err := http.Post(srv.URL+"/v1/plan", "application/json", strings.NewReader(planBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200 after one shed retry", resp.StatusCode)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("backend saw %d calls, want 2 (shed + retry)", got)
+	}
+	if len(*slept) != 1 || (*slept)[0] != 2*time.Second {
+		t.Fatalf("backoffs = %v, want exactly [2s] (Retry-After 7s capped at 2s)", *slept)
+	}
+	if got := r.retried429.Load(); got != 1 {
+		t.Fatalf("retried_429 = %d, want 1", got)
+	}
+}
+
+// TestRouterPropagatesPersistent429 pins the give-up side: a backend
+// that sheds past the retry budget propagates its 429 — and its
+// Retry-After — to the client instead of spilling the key to a replica.
+func TestRouterPropagatesPersistent429(t *testing.T) {
+	backend := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "1")
+		w.WriteHeader(http.StatusTooManyRequests)
+	}))
+	defer backend.Close()
+
+	_, srv, slept := newTestRouter(t, RouterConfig{
+		Backends:      []string{backend.URL},
+		RetryShed:     2,
+		MaxRetryAfter: 2 * time.Second,
+	})
+	resp, err := http.Post(srv.URL+"/v1/plan", "application/json", strings.NewReader(planBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429 once retries are exhausted", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "1" {
+		t.Fatalf("Retry-After = %q, want relayed %q", got, "1")
+	}
+	if want := []time.Duration{time.Second, time.Second}; len(*slept) != 2 ||
+		(*slept)[0] != want[0] || (*slept)[1] != want[1] {
+		t.Fatalf("backoffs = %v, want %v", *slept, want)
+	}
+}
+
+// TestRouterFailsOverOnConnectionFailure pins replica failover: when the
+// owning shard is unreachable, the request lands on the next ring
+// replica instead of erroring, and the dead shard is marked down.
+func TestRouterFailsOverOnConnectionFailure(t *testing.T) {
+	live := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(`{"ok":true}`))
+	}))
+	defer live.Close()
+	dead := httptest.NewServer(http.HandlerFunc(nil))
+	deadURL := dead.URL
+	dead.Close() // nothing listens there anymore
+
+	r, srv, _ := newTestRouter(t, RouterConfig{Backends: []string{deadURL, live.URL}})
+
+	// Find a key the dead backend owns, so the request must fail over.
+	key := ""
+	for i := 0; i < 10000; i++ {
+		k := fmt.Sprintf("fp-%d", i)
+		if r.ring.Owner(k) == deadURL {
+			key = k
+			break
+		}
+	}
+	if key == "" {
+		t.Fatal("no key hashed to the dead backend")
+	}
+
+	resp, err := http.Get(srv.URL + "/v1/artifacts/" + key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200 from the failover replica", resp.StatusCode)
+	}
+	if got := resp.Header.Get(HeaderBackend); got != live.URL {
+		t.Fatalf("%s = %q, want the live backend %q", HeaderBackend, got, live.URL)
+	}
+	if got := r.failovers.Load(); got != 1 {
+		t.Fatalf("failovers = %d, want 1", got)
+	}
+	r.mu.Lock()
+	down := r.down[deadURL]
+	r.mu.Unlock()
+	if !down {
+		t.Fatal("dead backend not marked down after a connection failure")
+	}
+}
+
+// TestRouterRelaysHeadersAndStampsBackend pins the relay contract:
+// cache/fingerprint headers pass through untouched and the answering
+// shard is stamped, which is what lets fleetgen attribute latencies to
+// tiers and the smoke test observe placement.
+func TestRouterRelaysHeadersAndStampsBackend(t *testing.T) {
+	backend := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set(service.HeaderFingerprint, "fp123")
+		w.Header().Set(service.HeaderCache, "hit-disk")
+		w.Write([]byte(`{"ok":true}`))
+	}))
+	defer backend.Close()
+
+	_, srv, _ := newTestRouter(t, RouterConfig{Backends: []string{backend.URL}})
+	resp, err := http.Post(srv.URL+"/v1/plan", "application/json", strings.NewReader(planBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if got := resp.Header.Get(service.HeaderFingerprint); got != "fp123" {
+		t.Errorf("fingerprint header = %q, want fp123", got)
+	}
+	if got := resp.Header.Get(service.HeaderCache); got != "hit-disk" {
+		t.Errorf("cache header = %q, want hit-disk", got)
+	}
+	if got := resp.Header.Get(HeaderBackend); got != backend.URL {
+		t.Errorf("backend header = %q, want %q", got, backend.URL)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	if string(body) != `{"ok":true}` {
+		t.Errorf("body = %q relayed incorrectly", body)
+	}
+}
+
+// TestRouterRejectsMalformedRequests pins that garbage dies at the
+// router with the daemons' 400 shape, before consuming backend queue
+// slots.
+func TestRouterRejectsMalformedRequests(t *testing.T) {
+	var backendCalls atomic.Int64
+	backend := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		backendCalls.Add(1)
+	}))
+	defer backend.Close()
+
+	r, srv, _ := newTestRouter(t, RouterConfig{Backends: []string{backend.URL}})
+	for _, body := range []string{
+		`{not json`,
+		`{"model":"case-study","devices":4,"bogus_field":1}`,
+		`{"model":"case-study","devices":-2}`,
+	} {
+		resp, err := http.Post(srv.URL+"/v1/plan", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("body %q: status = %d, want 400", body, resp.StatusCode)
+		}
+	}
+	if got := backendCalls.Load(); got != 0 {
+		t.Errorf("backend saw %d calls for malformed requests, want 0", got)
+	}
+	if got := r.badRequests.Load(); got != 3 {
+		t.Errorf("bad_requests = %d, want 3", got)
+	}
+}
+
+// TestRouterAggregatesStats pins /v1/stats: per-backend snapshots plus
+// their field-wise sum under "fleet", with the router's own counters.
+func TestRouterAggregatesStats(t *testing.T) {
+	mkBackend := func(snap service.Snapshot) *httptest.Server {
+		return httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if r.URL.Path != "/v1/stats" {
+				http.NotFound(w, r)
+				return
+			}
+			json.NewEncoder(w).Encode(snap)
+		}))
+	}
+	b1 := mkBackend(service.Snapshot{HitsMemory: 3, Planned: 1, PeerFills: 2})
+	defer b1.Close()
+	b2 := mkBackend(service.Snapshot{HitsMemory: 4, Planned: 2, Rejected: 5})
+	defer b2.Close()
+
+	_, srv, _ := newTestRouter(t, RouterConfig{Backends: []string{b1.URL, b2.URL}})
+	resp, err := http.Get(srv.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats FleetStats
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Fleet.HitsMemory != 7 || stats.Fleet.Planned != 3 ||
+		stats.Fleet.PeerFills != 2 || stats.Fleet.Rejected != 5 {
+		t.Errorf("fleet sum = %+v, want hits 7 / planned 3 / peer fills 2 / rejected 5", stats.Fleet)
+	}
+	if len(stats.Backends) != 2 || stats.Backends[b1.URL] == nil || stats.Backends[b2.URL] == nil {
+		t.Errorf("backends map = %v, want both members present", stats.Backends)
+	}
+	if stats.Backends[b1.URL].HitsMemory != 3 {
+		t.Errorf("backend %s hits = %d, want 3", b1.URL, stats.Backends[b1.URL].HitsMemory)
+	}
+}

@@ -1,0 +1,178 @@
+package fleet
+
+import (
+	"io"
+	"net/http"
+	"sync"
+
+	"encoding/json"
+
+	"graphpipe/internal/service"
+)
+
+// FleetStats is the router's /v1/stats body: every backend's own
+// snapshot, their field-wise sum, and the router's forwarding counters.
+// The summed view is what a dashboard watches — fleet-wide hit ratio,
+// total sheds, total peer fills — while the per-backend map shows skew.
+type FleetStats struct {
+	Fleet    service.Snapshot             `json:"fleet"`
+	Backends map[string]*service.Snapshot `json:"backends"`
+	Router   RouterStats                  `json:"router"`
+}
+
+// RouterStats are the router's own counters, distinct from anything the
+// shards report.
+type RouterStats struct {
+	// Routed counts requests accepted for forwarding (including ones
+	// that ultimately failed every replica).
+	Routed uint64 `json:"routed"`
+	// Failovers counts backend connection failures that moved a request
+	// to the next ring replica.
+	Failovers uint64 `json:"failovers"`
+	// Retried429 counts shed responses retried on the same backend
+	// after honoring its Retry-After.
+	Retried429 uint64 `json:"retried_429"`
+	// BadRequests counts requests rejected at the router (malformed
+	// JSON, uncanonicalizable planning questions).
+	BadRequests uint64 `json:"bad_requests"`
+	// NoBackend counts requests for which every replica failed (502s).
+	NoBackend uint64 `json:"no_backend"`
+	// Unhealthy lists backends currently marked down.
+	Unhealthy []string `json:"unhealthy,omitempty"`
+	// InFlight is the router's per-backend in-flight proxied requests —
+	// the load the bounded-load rule balances on.
+	InFlight map[string]int64 `json:"in_flight"`
+}
+
+func (r *Router) handleStats(w http.ResponseWriter, req *http.Request) {
+	out := FleetStats{
+		Backends: make(map[string]*service.Snapshot, len(r.cfg.Backends)),
+		Router:   r.routerStats(),
+	}
+	var (
+		mu sync.Mutex
+		wg sync.WaitGroup
+	)
+	for _, b := range r.cfg.Backends {
+		wg.Add(1)
+		go func(b string) {
+			defer wg.Done()
+			snap := r.fetchSnapshot(req, b)
+			mu.Lock()
+			out.Backends[b] = snap // nil: unreachable right now
+			if snap != nil {
+				addSnapshot(&out.Fleet, snap)
+			}
+			mu.Unlock()
+		}(b)
+	}
+	wg.Wait()
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(out)
+}
+
+func (r *Router) routerStats() RouterStats {
+	rs := RouterStats{
+		Routed:      r.routed.Load(),
+		Failovers:   r.failovers.Load(),
+		Retried429:  r.retried429.Load(),
+		BadRequests: r.badRequests.Load(),
+		NoBackend:   r.noBackend.Load(),
+		InFlight:    make(map[string]int64, len(r.inflight)),
+	}
+	for b, c := range r.inflight {
+		rs.InFlight[b] = c.Load()
+	}
+	r.mu.Lock()
+	for _, b := range r.cfg.Backends {
+		if r.down[b] {
+			rs.Unhealthy = append(rs.Unhealthy, b)
+		}
+	}
+	r.mu.Unlock()
+	return rs
+}
+
+func (r *Router) fetchSnapshot(orig *http.Request, backend string) *service.Snapshot {
+	req, err := http.NewRequestWithContext(orig.Context(), http.MethodGet, backend+"/v1/stats", nil)
+	if err != nil {
+		return nil
+	}
+	resp, err := r.client.Do(req)
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	var snap service.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		return nil
+	}
+	return &snap
+}
+
+// addSnapshot accumulates one shard's snapshot into the fleet sum.
+// Counters and gauges add; latency histograms merge bucket-wise.
+func addSnapshot(dst *service.Snapshot, src *service.Snapshot) {
+	dst.HitsMemory += src.HitsMemory
+	dst.HitsDisk += src.HitsDisk
+	dst.Misses += src.Misses
+	dst.Planned += src.Planned
+	dst.SharedWaits += src.SharedWaits
+	dst.Rejected += src.Rejected
+	dst.Evals += src.Evals
+	dst.DiskFailures += src.DiskFailures
+	dst.MemoWarmHits += src.MemoWarmHits
+	dst.MemoEntriesReused += src.MemoEntriesReused
+	dst.PeerFills += src.PeerFills
+	dst.PeerMisses += src.PeerMisses
+	dst.PeerErrors += src.PeerErrors
+	dst.MemoOffersSent += src.MemoOffersSent
+	dst.MemoOffersReceived += src.MemoOffersReceived
+	dst.InFlight += src.InFlight
+	dst.Queued += src.Queued
+	dst.MemoryEntries += src.MemoryEntries
+	dst.MemoryEvictions += src.MemoryEvictions
+	dst.MemoSnapshots += src.MemoSnapshots
+	dst.MemoInstalls += src.MemoInstalls
+	dst.MemoEvictions += src.MemoEvictions
+	for name, h := range src.PlannerLatency {
+		if dst.PlannerLatency == nil {
+			dst.PlannerLatency = make(map[string]service.HistogramSnapshot)
+		}
+		dst.PlannerLatency[name] = mergeHistogram(dst.PlannerLatency[name], h)
+	}
+}
+
+// mergeHistogram sums two latency histograms. Buckets merge pointwise
+// when the bound ladders match (they do across one build's fleet); on a
+// mismatch — mixed-version fleets — the counts and sums still add and
+// the buckets of the richer side win, which keeps the fleet view usable
+// during a rolling upgrade.
+func mergeHistogram(a, b service.HistogramSnapshot) service.HistogramSnapshot {
+	out := service.HistogramSnapshot{
+		Count:      a.Count + b.Count,
+		SumSeconds: a.SumSeconds + b.SumSeconds,
+	}
+	if len(a.Buckets) == len(b.Buckets) {
+		out.Buckets = make([]service.HistogramBucket, len(a.Buckets))
+		for i := range a.Buckets {
+			out.Buckets[i] = service.HistogramBucket{
+				LE:    a.Buckets[i].LE,
+				Count: a.Buckets[i].Count + b.Buckets[i].Count,
+			}
+		}
+		return out
+	}
+	if len(a.Buckets) > len(b.Buckets) {
+		out.Buckets = a.Buckets
+	} else {
+		out.Buckets = b.Buckets
+	}
+	return out
+}

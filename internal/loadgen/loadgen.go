@@ -1,0 +1,323 @@
+// Package loadgen replays skewed synthetic planning traffic against a
+// planning endpoint — one graphpiped or a fleet router — and reduces the
+// outcome to the latency and hit-ratio numbers a capacity plan needs.
+//
+// The workload vocabulary is internal/synth: a seeded population of
+// resolved specs (synth.Population) crossed with a device-count ladder
+// gives K distinct planning questions, and a Zipf(s) sampler over their
+// popularity ranks replays N requests the way real traffic would — a hot
+// head the caches must absorb and a long tail that keeps missing. The
+// whole run derives from one seed, so the identical request sequence can
+// be replayed against a rebuilt fleet; aggregate statistics from a
+// sampled slice then project full-scale behavior, in the spirit of the
+// sampling-fidelity arguments the ROADMAP cites. Latency is tracked per
+// cache tier (memory, disk, peer, cold), not just as a blended mean,
+// because the tiers' costs are asymmetric.
+package loadgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"graphpipe/internal/service"
+	"graphpipe/internal/synth"
+)
+
+// Config describes one replay run.
+type Config struct {
+	// Target is the base URL traffic is replayed against (a router or a
+	// single daemon).
+	Target string
+	// Requests is the replay length (default 1000).
+	Requests int
+	// Concurrency is the number of in-flight replay workers (default 8).
+	Concurrency int
+	// ZipfS is the popularity skew exponent: request i in the popularity
+	// ranking is drawn proportionally to 1/(i+1)^s. 0 disables skew
+	// (uniform); default 1.1, a web-traffic-like head.
+	ZipfS float64
+	// Population is the number of distinct planning questions (default
+	// 32); Families narrows which synth families they draw from (empty:
+	// all).
+	Population int
+	Families   []string
+	// Devices is the device-count ladder the population cycles through
+	// (default {2, 3, 4} — small counts keep cold searches cheap).
+	Devices []int
+	// Planner names the planner every request asks for (default
+	// "graphpipe").
+	Planner string
+	// Seed derives the population and the sampled request sequence.
+	Seed int64
+	// Client issues the requests; nil uses a 60s-timeout client.
+	Client *http.Client
+}
+
+// Result is one replay's reduced outcome.
+type Result struct {
+	Requests  int            `json:"requests"`
+	Completed int            `json:"completed"`
+	Shed      int            `json:"shed"`
+	Errors    int            `json:"errors"`
+	Sources   map[string]int `json:"sources"`
+	// DistinctFingerprints counts the unique plans the replay touched.
+	DistinctFingerprints int `json:"distinct_fingerprints"`
+	// HitRatio is warm answers (hit-memory + hit-disk + hit-peer) over
+	// completed requests.
+	HitRatio float64 `json:"hit_ratio"`
+	// Overall, Cold (source "miss"), and Warm (any hit-*) latency
+	// percentiles, plus per-tier breakdowns keyed by source.
+	Overall     Percentiles            `json:"overall"`
+	Cold        Percentiles            `json:"cold"`
+	Warm        Percentiles            `json:"warm"`
+	TierLatency map[string]Percentiles `json:"tier_latency"`
+	// PeerFills and Planned are fleet-stats deltas across the run: how
+	// many local misses a peer's cache absorbed, and how many cold
+	// searches actually ran anywhere in the fleet.
+	PeerFills uint64 `json:"peer_fills"`
+	Planned   uint64 `json:"planned"`
+	// WallSeconds is the replay's wall-clock time.
+	WallSeconds float64 `json:"wall_seconds"`
+}
+
+// Percentiles summarizes a latency sample in seconds.
+type Percentiles struct {
+	Count int     `json:"count"`
+	P50   float64 `json:"p50_s"`
+	P95   float64 `json:"p95_s"`
+	P99   float64 `json:"p99_s"`
+	Max   float64 `json:"max_s"`
+}
+
+func percentiles(samples []float64) Percentiles {
+	p := Percentiles{Count: len(samples)}
+	if len(samples) == 0 {
+		return p
+	}
+	sorted := append([]float64(nil), samples...)
+	sort.Float64s(sorted)
+	at := func(q float64) float64 {
+		i := int(q*float64(len(sorted))+0.5) - 1
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(sorted) {
+			i = len(sorted) - 1
+		}
+		return sorted[i]
+	}
+	p.P50, p.P95, p.P99, p.Max = at(0.50), at(0.95), at(0.99), sorted[len(sorted)-1]
+	return p
+}
+
+// outcome is one replayed request's record.
+type outcome struct {
+	seconds float64
+	source  string // X-Graphpipe-Cache, "" on failure
+	fp      string
+	status  int
+	err     bool
+}
+
+// Run generates the population, replays the sampled sequence, and
+// reduces it. The only hard failure is being unable to construct the
+// workload or reach the target for stats at all — individual request
+// failures are counted, not fatal, because measuring an overloaded
+// fleet is the point of the exercise.
+func Run(cfg Config) (*Result, error) {
+	if cfg.Requests <= 0 {
+		cfg.Requests = 1000
+	}
+	if cfg.Concurrency <= 0 {
+		cfg.Concurrency = 8
+	}
+	if cfg.ZipfS == 0 {
+		cfg.ZipfS = 1.1
+	}
+	if cfg.Population <= 0 {
+		cfg.Population = 32
+	}
+	if len(cfg.Devices) == 0 {
+		cfg.Devices = []int{2, 3, 4}
+	}
+	if cfg.Planner == "" {
+		cfg.Planner = "graphpipe"
+	}
+	if cfg.Client == nil {
+		cfg.Client = &http.Client{Timeout: 60 * time.Second}
+	}
+	if cfg.Target == "" {
+		return nil, fmt.Errorf("loadgen: no target")
+	}
+
+	bodies, err := buildBodies(cfg)
+	if err != nil {
+		return nil, err
+	}
+	seq := sampleSequence(cfg, len(bodies))
+
+	before, err := fetchFleetSnapshot(cfg.Client, cfg.Target)
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: target stats before run: %w", err)
+	}
+
+	outcomes := make([]outcome, len(seq))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < cfg.Concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				outcomes[i] = replayOne(cfg.Client, cfg.Target, bodies[seq[i]])
+			}
+		}()
+	}
+	for i := range seq {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	wall := time.Since(start).Seconds()
+
+	after, err := fetchFleetSnapshot(cfg.Client, cfg.Target)
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: target stats after run: %w", err)
+	}
+
+	return reduce(cfg, outcomes, wall, before, after), nil
+}
+
+// buildBodies renders the distinct request bodies: the spec population
+// crossed with the device ladder, round-robin. Bodies are index-aligned
+// with popularity rank — index 0 is the hottest question.
+func buildBodies(cfg Config) ([]string, error) {
+	specs, err := synth.Population(cfg.Families, cfg.Population, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	bodies := make([]string, len(specs))
+	for i, s := range specs {
+		bodies[i] = fmt.Sprintf(`{"model":%q,"devices":%d,"planner":%q}`,
+			s.String(), cfg.Devices[i%len(cfg.Devices)], cfg.Planner)
+	}
+	return bodies, nil
+}
+
+// sampleSequence draws the replay order: Requests indices into the
+// population, Zipf-weighted by rank. The draw is fully deterministic in
+// (Seed, Requests, Population, ZipfS).
+func sampleSequence(cfg Config, population int) []int {
+	z := newZipf(cfg.ZipfS, population)
+	r := newRNG(cfg.Seed, "loadgen/sequence")
+	seq := make([]int, cfg.Requests)
+	for i := range seq {
+		seq[i] = z.sample(r.float())
+	}
+	return seq
+}
+
+func replayOne(client *http.Client, target, body string) outcome {
+	start := time.Now()
+	resp, err := client.Post(target+"/v1/plan", "application/json", strings.NewReader(body))
+	if err != nil {
+		return outcome{seconds: time.Since(start).Seconds(), err: true}
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	o := outcome{
+		seconds: time.Since(start).Seconds(),
+		status:  resp.StatusCode,
+		source:  resp.Header.Get(service.HeaderCache),
+		fp:      resp.Header.Get(service.HeaderFingerprint),
+	}
+	if resp.StatusCode != http.StatusOK {
+		o.source, o.fp = "", ""
+	}
+	return o
+}
+
+func reduce(cfg Config, outcomes []outcome, wall float64, before, after *service.Snapshot) *Result {
+	res := &Result{
+		Requests:    cfg.Requests,
+		Sources:     make(map[string]int),
+		TierLatency: make(map[string]Percentiles),
+		WallSeconds: wall,
+		PeerFills:   after.PeerFills - before.PeerFills,
+		Planned:     after.Planned - before.Planned,
+	}
+	var all, cold, warm []float64
+	tiers := make(map[string][]float64)
+	fps := make(map[string]bool)
+	for _, o := range outcomes {
+		switch {
+		case o.err:
+			res.Errors++
+			continue
+		case o.status == http.StatusTooManyRequests:
+			res.Shed++
+			continue
+		case o.status != http.StatusOK:
+			res.Errors++
+			continue
+		}
+		res.Completed++
+		res.Sources[o.source]++
+		fps[o.fp] = true
+		all = append(all, o.seconds)
+		tiers[o.source] = append(tiers[o.source], o.seconds)
+		if strings.HasPrefix(o.source, "hit-") {
+			warm = append(warm, o.seconds)
+		} else if o.source == "miss" {
+			cold = append(cold, o.seconds)
+		}
+	}
+	res.DistinctFingerprints = len(fps)
+	if res.Completed > 0 {
+		hits := res.Sources["hit-memory"] + res.Sources["hit-disk"] + res.Sources["hit-peer"]
+		res.HitRatio = float64(hits) / float64(res.Completed)
+	}
+	res.Overall = percentiles(all)
+	res.Cold = percentiles(cold)
+	res.Warm = percentiles(warm)
+	for src, samples := range tiers {
+		res.TierLatency[src] = percentiles(samples)
+	}
+	return res
+}
+
+// fetchFleetSnapshot reads /v1/stats from either a router (whose body
+// nests the fleet-summed snapshot under "fleet") or a bare daemon
+// (whose body is the snapshot itself).
+func fetchFleetSnapshot(client *http.Client, target string) (*service.Snapshot, error) {
+	resp, err := client.Get(target + "/v1/stats")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("stats: status %d", resp.StatusCode)
+	}
+	var probe struct {
+		Fleet *service.Snapshot `json:"fleet"`
+		service.Snapshot
+	}
+	if err := json.Unmarshal(data, &probe); err != nil {
+		return nil, fmt.Errorf("stats: %v", err)
+	}
+	if probe.Fleet != nil {
+		return probe.Fleet, nil
+	}
+	return &probe.Snapshot, nil
+}

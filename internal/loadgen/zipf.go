@@ -1,0 +1,80 @@
+package loadgen
+
+import (
+	"math"
+	"sort"
+)
+
+// zipf draws population indices with probability proportional to
+// 1/(rank+1)^s via inverse-CDF lookup over the precomputed cumulative
+// weights. Inversion from a caller-supplied uniform keeps the sampler a
+// pure function of the RNG stream — the same splitmix64 draws replay
+// the same request sequence on every machine and Go release, which
+// math/rand's Zipf (a rejection sampler with its own state) cannot
+// promise.
+type zipf struct {
+	cdf []float64 // cdf[i] = P(index <= i), cdf[len-1] == 1
+}
+
+// newZipf builds a sampler over n ranks with skew exponent s. s <= 0
+// degenerates to uniform.
+func newZipf(s float64, n int) *zipf {
+	if n < 1 {
+		n = 1
+	}
+	z := &zipf{cdf: make([]float64, n)}
+	total := 0.0
+	for i := 0; i < n; i++ {
+		w := 1.0
+		if s > 0 {
+			w = 1.0 / math.Pow(float64(i+1), s)
+		}
+		total += w
+		z.cdf[i] = total
+	}
+	for i := range z.cdf {
+		z.cdf[i] /= total
+	}
+	z.cdf[n-1] = 1
+	return z
+}
+
+// sample maps a uniform u in [0, 1) to a rank index.
+func (z *zipf) sample(u float64) int {
+	i := sort.SearchFloat64s(z.cdf, u)
+	if i >= len(z.cdf) {
+		i = len(z.cdf) - 1
+	}
+	// SearchFloat64s finds the first cdf >= u; u exactly on a boundary
+	// belongs to the next rank.
+	if z.cdf[i] == u && i+1 < len(z.cdf) {
+		i++
+	}
+	return i
+}
+
+// rng is the same splitmix64 stream internal/synth uses (duplicated
+// because it is deliberately unexported there): no math/rand, so a
+// sampled sequence replays identically across Go releases.
+type rng struct{ state uint64 }
+
+func newRNG(seed int64, salt string) *rng {
+	h := uint64(seed) ^ 0x9E3779B97F4A7C15
+	for _, b := range []byte(salt) {
+		h ^= uint64(b)
+		h *= 0x100000001B3
+	}
+	return &rng{state: h}
+}
+
+func (r *rng) next() uint64 {
+	r.state += 0x9E3779B97F4A7C15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+func (r *rng) float() float64 {
+	return float64(r.next()>>11) / float64(1<<53)
+}

@@ -1,0 +1,131 @@
+package memostore
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"testing"
+
+	"graphpipe/internal/memosnap"
+)
+
+// TestConcurrentInstallLookupEvict hammers one store from many
+// goroutines — installs, lookups, and LRU evictions all interleaving,
+// with one writer corrupting disk shards mid-run — and requires only
+// the store's contract: no data race (run under -race), every returned
+// snapshot is intact for its key, and corruption degrades to a miss,
+// never an error or a wrong answer. The memo-offer endpoint made
+// installs a remote-triggered path, so cross-request interleavings are
+// now fleet-reachable, not theoretical.
+func TestConcurrentInstallLookupEvict(t *testing.T) {
+	dir := t.TempDir()
+	// max 8 with 32 keys forces continuous eviction and disk re-promotion.
+	s, err := New(8, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const (
+		keys    = 32
+		workers = 8
+		rounds  = 200
+	)
+	keyOf := func(i int) memosnap.Key {
+		return memosnap.Key{GraphHash: fmt.Sprintf("%04x", i), ShapeSig: 1, CostSig: 2}
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				i := (w + r) % keys
+				k := keyOf(i)
+				if (w+r)%3 == 0 {
+					s.Install(snapFor(k.GraphHash, 64, int32(8+w)))
+				}
+				snap := s.Lookup(k)
+				if snap == nil {
+					continue // evicted, corrupted, or not yet installed: a miss is legal
+				}
+				if snap.Key != k {
+					t.Errorf("Lookup(%v) returned snapshot for %v", k, snap.Key)
+					return
+				}
+				if len(snap.Searches) == 0 || snap.Entries() == 0 {
+					t.Errorf("Lookup(%v) returned a gutted snapshot", k)
+					return
+				}
+			}
+		}(w)
+	}
+
+	// The corrupter truncates and scribbles over disk shards while the
+	// workers run, simulating torn writes and bit rot under the store.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for r := 0; r < rounds; r++ {
+			k := keyOf(r % keys)
+			switch r % 3 {
+			case 0:
+				os.WriteFile(s.path(k), []byte("GPMEMO garbage"), 0o644)
+			case 1:
+				os.Truncate(s.path(k), 10)
+			case 2:
+				os.Remove(s.path(k))
+			}
+		}
+	}()
+	wg.Wait()
+
+	// The store stays serviceable after the abuse: a fresh install wins
+	// over whatever the corrupter left on disk.
+	k := keyOf(0)
+	os.WriteFile(s.path(k), []byte("still garbage"), 0o644)
+	s.Install(snapFor(k.GraphHash, 64, 8))
+	if got := s.Lookup(k); got == nil || got.Key != k {
+		t.Fatal("store did not recover after mid-run corruption")
+	}
+}
+
+// TestCorruptShardDegradesToMissUnderConcurrentReaders pins the exact
+// satellite scenario: a key evicted from memory whose disk shard was
+// corrupted mid-run answers nil (a miss) to every concurrent reader —
+// no panic, no stale bytes — and counts a disk failure.
+func TestCorruptShardDegradesToMissUnderConcurrentReaders(t *testing.T) {
+	dir := t.TempDir()
+	s, err := New(1, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := snapFor("dead", 64, 8)
+	s.Install(victim)
+	// Evict the victim from memory; only its disk shard remains.
+	s.Install(snapFor("beef", 64, 8))
+	if s.items[victim.Key] != nil {
+		t.Fatal("victim still resident; eviction bound not enforced")
+	}
+	if err := os.WriteFile(s.path(victim.Key), []byte("scribble"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if snap := s.Lookup(victim.Key); snap != nil {
+					t.Error("corrupt shard served a snapshot")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if s.DiskFailures() == 0 {
+		t.Error("corrupt shard reads did not count as disk failures")
+	}
+}

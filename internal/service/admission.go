@@ -6,12 +6,35 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // ErrOverloaded marks a request rejected at admission because the planning
 // queue was full. The HTTP layer maps it to 429; clients should back off
 // and retry. Test with errors.Is.
 var ErrOverloaded = errors.New("service: overloaded")
+
+// OverloadError is the structured form of a queue-full rejection: the
+// observed depths and a retry hint derived from them. errors.Is sees
+// through it to ErrOverloaded; the HTTP layer additionally renders
+// RetryAfter as a Retry-After header, and the fleet router honors that
+// header when it retries a shed request on the same backend.
+type OverloadError struct {
+	// Queued and InFlight are the admission gauges at rejection time.
+	Queued, InFlight int64
+	// RetryAfter estimates when a slot will free up: the backlog
+	// (queued + in-flight searches) divided across the workers, at an
+	// assumed one second per search, floored at one second. It is a
+	// backoff hint, not a promise.
+	RetryAfter time.Duration
+}
+
+func (e *OverloadError) Error() string {
+	return fmt.Sprintf("%v: planning queue full (%d queued, %d in flight, retry in %s)",
+		ErrOverloaded, e.Queued, e.InFlight, e.RetryAfter)
+}
+
+func (e *OverloadError) Unwrap() error { return ErrOverloaded }
 
 // admission is the bounded execution stage in front of the planners: a
 // fixed worker pool fed by a fixed-depth queue. Its size is deliberately
@@ -24,6 +47,7 @@ var ErrOverloaded = errors.New("service: overloaded")
 // to retry elsewhere, rather than time out in a queue it cannot see.
 type admission struct {
 	jobs     chan func()
+	size     int            // worker count, for retry-hint estimation
 	workers  sync.WaitGroup // running worker goroutines
 	pending  sync.WaitGroup // accepted-but-unfinished jobs
 	queued   atomic.Int64
@@ -34,7 +58,7 @@ type admission struct {
 }
 
 func newAdmission(workers, queueDepth int) *admission {
-	a := &admission{jobs: make(chan func(), queueDepth)}
+	a := &admission{jobs: make(chan func(), queueDepth), size: workers}
 	for i := 0; i < workers; i++ {
 		a.workers.Add(1)
 		go func() {
@@ -79,8 +103,7 @@ func (a *admission) run(ctx context.Context, fn func()) error {
 	default:
 		queued, inflight := a.queued.Add(-1), a.inflight.Load()
 		a.mu.Unlock()
-		return fmt.Errorf("%w: planning queue full (%d queued, %d in flight)",
-			ErrOverloaded, queued, inflight)
+		return &OverloadError{Queued: queued, InFlight: inflight, RetryAfter: a.retryAfter(queued, inflight)}
 	}
 
 	defer a.pending.Done()
@@ -90,6 +113,22 @@ func (a *admission) run(ctx context.Context, fn func()) error {
 	case <-ctx.Done():
 		return ctx.Err()
 	}
+}
+
+// retryAfter turns the rejection-time queue depth into a backoff hint:
+// ceil(backlog / workers) seconds, at an assumed one second per queued
+// search, never less than one second. Deeper queues tell shed clients to
+// stay away longer, so retries spread out instead of stampeding back.
+func (a *admission) retryAfter(queued, inflight int64) time.Duration {
+	workers := int64(a.size)
+	if workers < 1 {
+		workers = 1
+	}
+	secs := (queued + inflight + workers - 1) / workers
+	if secs < 1 {
+		secs = 1
+	}
+	return time.Duration(secs) * time.Second
 }
 
 // close stops admitting, drains every accepted job, and joins the

@@ -20,6 +20,10 @@ type cacheEntry struct {
 	fp   string
 	art  *strategy.Artifact
 	data []byte
+	// src records how a cold-path entry was produced ("hit-peer" when a
+	// ring peer supplied it; empty means this process planned it). Cache
+	// tier lookups report their own tier instead.
+	src string
 }
 
 // memoryLRU is the first cache tier: a mutex-guarded LRU over decoded
@@ -100,12 +104,9 @@ func (d *diskStore) get(fp string) (*cacheEntry, error) {
 	if err != nil {
 		return nil, err
 	}
-	art, err := strategy.DecodeArtifact(data)
+	art, err := strategy.VerifyArtifactBytes(fp, data)
 	if err != nil {
-		return nil, fmt.Errorf("cached artifact %s: %w", fp, err)
-	}
-	if got := art.Fingerprint(); got != fp {
-		return nil, fmt.Errorf("cached artifact %s hashes to %s (misfiled or edited)", fp, got)
+		return nil, fmt.Errorf("cached artifact: %w", err)
 	}
 	return &cacheEntry{fp: fp, art: art, data: data}, nil
 }

@@ -4,7 +4,11 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
+	"strconv"
+
+	"graphpipe/internal/memosnap"
 )
 
 // HTTP headers the service stamps on plan responses, so clients and smoke
@@ -22,17 +26,20 @@ const (
 //	POST /v1/plan              plan (or fetch) a strategy artifact
 //	POST /v1/eval              evaluate a plan on a registered backend
 //	GET  /v1/artifacts/{fp}    fetch a cached artifact by fingerprint
+//	POST /v1/memos             accept a peer's DP memo snapshot offer
 //	GET  /v1/stats             counters, gauges, latency histograms
 //
 // Responses are JSON. Errors are structured —
 // {"error": <machine code>, "detail": <human text>} — with ErrBadRequest
 // as 400, ErrUnknownArtifact as 404, ErrOverloaded as 429 (clients should
-// back off and retry), and anything else as 500.
+// back off for the Retry-After header's duration and retry), and anything
+// else as 500.
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/plan", s.handlePlan)
 	mux.HandleFunc("POST /v1/eval", s.handleEval)
 	mux.HandleFunc("GET /v1/artifacts/{fp}", s.handleArtifact)
+	mux.HandleFunc("POST /v1/memos", s.handleMemoOffer)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	return mux
 }
@@ -69,7 +76,13 @@ func (s *Service) handleEval(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Service) handleArtifact(w http.ResponseWriter, r *http.Request) {
-	res, err := s.Artifact(r.PathValue("fp"))
+	// A fellow daemon's fill request stops at the local tiers; only
+	// client-originated lookups may consult peers in turn.
+	lookup := s.Artifact
+	if r.Header.Get(HeaderPeerFill) != "" {
+		lookup = s.ArtifactLocal
+	}
+	res, err := lookup(r.PathValue("fp"))
 	if err != nil {
 		writeError(w, err)
 		return
@@ -78,6 +91,34 @@ func (s *Service) handleArtifact(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set(HeaderFingerprint, res.Fingerprint)
 	w.Header().Set(HeaderCache, res.Source)
 	w.Write(res.Data)
+}
+
+// handleMemoOffer accepts a DP memo snapshot pushed by a fleet peer
+// (POST /v1/memos, raw GPMEMO bytes) and installs it into the local
+// snapshot store, merging with whatever is already there. Offers are
+// hints: a daemon with warm-starting disabled refuses them as 400s.
+func (s *Service) handleMemoOffer(w http.ResponseWriter, r *http.Request) {
+	if s.memos == nil {
+		writeError(w, fmt.Errorf("%w: memo warm-starting is disabled on this daemon", ErrBadRequest))
+		return
+	}
+	data, err := io.ReadAll(io.LimitReader(r.Body, maxMemoOfferBytes+1))
+	if err != nil {
+		writeError(w, fmt.Errorf("%w: body: %v", ErrBadRequest, err))
+		return
+	}
+	if len(data) > maxMemoOfferBytes {
+		writeError(w, fmt.Errorf("%w: memo snapshot exceeds %d bytes", ErrBadRequest, maxMemoOfferBytes))
+		return
+	}
+	snap, err := memosnap.Decode(data)
+	if err != nil {
+		writeError(w, fmt.Errorf("%w: %v", ErrBadRequest, err))
+		return
+	}
+	s.memos.Install(snap)
+	s.stats.memoOffersReceived.Add(1)
+	w.WriteHeader(http.StatusNoContent)
 }
 
 func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -116,6 +157,12 @@ func writeError(w http.ResponseWriter, err error) {
 		code, status = "not_found", http.StatusNotFound
 	case errors.Is(err, ErrOverloaded):
 		code, status = "overloaded", http.StatusTooManyRequests
+		// A queue-full rejection knows how deep the backlog is; tell the
+		// client (and the fleet router) when a retry is worth attempting.
+		var oe *OverloadError
+		if errors.As(err, &oe) && oe.RetryAfter > 0 {
+			w.Header().Set("Retry-After", strconv.Itoa(int(oe.RetryAfter.Seconds())))
+		}
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)

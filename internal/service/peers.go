@@ -1,0 +1,220 @@
+package service
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"graphpipe/internal/memosnap"
+	"graphpipe/internal/strategy"
+)
+
+// HeaderPeerFill marks fleet-internal requests between daemons. A daemon
+// answering a request that carries it serves only its own two tiers and
+// never consults peers in turn — without the marker, two daemons missing
+// the same fingerprint would ask each other forever.
+const HeaderPeerFill = "X-Graphpipe-Peer-Fill"
+
+// maxMemoOfferBytes bounds the snapshot body POST /v1/memos accepts. DP
+// memo snapshots for the corpus models are kilobytes to low megabytes;
+// anything larger is a misdirected upload, not a memo.
+const maxMemoOfferBytes = 64 << 20
+
+// A PeerRanker orders every fleet backend (self included) for a route
+// key. fleet.Ring implements it; the service only needs the walk order,
+// not the hashing, so the two packages stay dependency-free of each
+// other in that direction.
+type PeerRanker interface {
+	Owners(key string) []string
+}
+
+// PeerConfig wires one daemon into a fleet for peer cache-fill: on a
+// local two-tier miss it consults the other fleet members' artifact
+// caches before paying for a cold search, and (optionally) offers its DP
+// memo snapshots to the peers that own neighboring device counts.
+type PeerConfig struct {
+	// Self is this daemon's own base URL exactly as it appears in
+	// Backends and in the router's ring; it is skipped during fills.
+	Self string
+	// Backends lists every fleet member's base URL, self included, in
+	// the same order the router was configured with.
+	Backends []string
+	// Ranker orders Backends per fingerprint (the consistent-hash walk).
+	// nil falls back to Backends order — correct, just not
+	// locality-aware.
+	Ranker PeerRanker
+	// Client issues the peer HTTP requests; nil uses a client with
+	// FillTimeout as its overall timeout.
+	Client *http.Client
+	// FillTimeout bounds each peer consult (default 2s). Peer fills sit
+	// on the cold path: a slow peer must lose to just planning.
+	FillTimeout time.Duration
+	// OfferMemos pushes DP memo snapshots installed after local cold
+	// plans to the peers owning neighboring device counts, so elastic
+	// replans warm-start on whichever shard they land on.
+	OfferMemos bool
+}
+
+func (p *PeerConfig) client() *http.Client {
+	if p.Client != nil {
+		return p.Client
+	}
+	return &http.Client{Timeout: p.fillTimeout()}
+}
+
+func (p *PeerConfig) fillTimeout() time.Duration {
+	if p.FillTimeout > 0 {
+		return p.FillTimeout
+	}
+	return 2 * time.Second
+}
+
+// order returns the fleet walk order for a key, self excluded.
+func (p *PeerConfig) order(key string) []string {
+	all := p.Backends
+	if p.Ranker != nil {
+		all = p.Ranker.Owners(key)
+	}
+	peers := make([]string, 0, len(all))
+	for _, b := range all {
+		if b != p.Self {
+			peers = append(peers, b)
+		}
+	}
+	return peers
+}
+
+// peerFill consults the fleet for a fingerprint this daemon's two tiers
+// missed: ring-ordered peers are asked for the artifact, the first valid
+// answer is verified byte-for-byte against the fingerprint, installed in
+// both local tiers, and served — the plan stays byte-identical no matter
+// which shard computed it, and this daemon never re-runs the cold
+// search. Every failure mode (peer down, 404, corrupt or misfiled bytes)
+// degrades to a miss; the planner remains the recovery path.
+func (s *Service) peerFill(fp string) *cacheEntry {
+	p := s.cfg.Peers
+	if p == nil {
+		return nil
+	}
+	for _, peer := range p.order(fp) {
+		data, err := s.fetchPeerArtifact(peer, fp)
+		if err != nil {
+			s.stats.peerErrors.Add(1)
+			continue
+		}
+		if data == nil { // peer does not have it either
+			continue
+		}
+		art, err := strategy.VerifyArtifactBytes(fp, data)
+		if err != nil {
+			s.stats.peerErrors.Add(1)
+			continue
+		}
+		e := &cacheEntry{fp: fp, art: art, data: data, src: "hit-peer"}
+		if err := s.disk.put(e); err != nil {
+			s.stats.diskFailures.Add(1)
+		}
+		s.memory.put(e)
+		s.stats.peerFills.Add(1)
+		return e
+	}
+	s.stats.peerMisses.Add(1)
+	return nil
+}
+
+// fetchPeerArtifact asks one peer for a fingerprint. nil, nil is a clean
+// 404: the peer answered, it just does not hold the plan.
+func (s *Service) fetchPeerArtifact(peer, fp string) ([]byte, error) {
+	req, err := http.NewRequest(http.MethodGet, peer+"/v1/artifacts/"+fp, nil)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set(HeaderPeerFill, "1")
+	resp, err := s.cfg.Peers.client().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		return io.ReadAll(resp.Body)
+	case http.StatusNotFound:
+		io.Copy(io.Discard, resp.Body)
+		return nil, nil
+	default:
+		return nil, fmt.Errorf("peer %s: status %d for %s", peer, resp.StatusCode, fp)
+	}
+}
+
+// offerMemo pushes a freshly installed DP memo snapshot to the peers
+// that own the same planning question at neighboring device counts
+// (devices ± 1, under the default mini-batch pairing): those are the
+// shards an elastic replan of this job will hash to, and a snapshot
+// installed there ahead of time turns their next cold search warm. The
+// offers are asynchronous and best-effort — a missed offer costs one
+// warm-start, never an answer.
+func (s *Service) offerMemo(req Request, snap *memosnap.Snapshot) {
+	p := s.cfg.Peers
+	if p == nil || !p.OfferMemos || snap == nil {
+		return
+	}
+	targets := make(map[string]bool)
+	for _, d := range []int{req.Devices - 1, req.Devices + 1} {
+		if d < 1 {
+			continue
+		}
+		// The neighbor's fingerprint under the default mini-batch pairing
+		// for its device count — a routing heuristic (explicit mini-batch
+		// replans may hash elsewhere), not a correctness condition.
+		nreq := req
+		nreq.Devices = d
+		nreq.MiniBatch = 0
+		nfp, err := nreq.CanonicalFingerprint()
+		if err != nil {
+			continue
+		}
+		owners := p.Backends
+		if p.Ranker != nil {
+			owners = p.Ranker.Owners(nfp)
+		}
+		if len(owners) > 0 && owners[0] != p.Self {
+			targets[owners[0]] = true
+		}
+	}
+	if len(targets) == 0 {
+		return
+	}
+	data := memosnap.Encode(snap)
+	for peer := range targets {
+		s.peerWG.Add(1)
+		go func(peer string) {
+			defer s.peerWG.Done()
+			if err := s.postMemo(peer, data); err == nil {
+				s.stats.memoOffersSent.Add(1)
+			} else {
+				s.stats.peerErrors.Add(1)
+			}
+		}(peer)
+	}
+}
+
+func (s *Service) postMemo(peer string, data []byte) error {
+	req, err := http.NewRequest(http.MethodPost, peer+"/v1/memos", bytes.NewReader(data))
+	if err != nil {
+		return err
+	}
+	req.Header.Set(HeaderPeerFill, "1")
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := s.cfg.Peers.client().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode != http.StatusNoContent {
+		return fmt.Errorf("peer %s: memo offer rejected with %d", peer, resp.StatusCode)
+	}
+	return nil
+}

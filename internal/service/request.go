@@ -114,3 +114,19 @@ func (r Request) skeleton() *strategy.Artifact {
 func (r Request) Fingerprint() string {
 	return r.skeleton().Fingerprint()
 }
+
+// CanonicalFingerprint canonicalizes the request and returns its content
+// fingerprint without planning anything. It is the fleet route key: the
+// router shards on it, and because canonicalization resolves synth
+// seed-shorthand specs to their full spelling and zero mini-batches to
+// the paper default before hashing, every spelling of one planning
+// question lands on the same shard. Errors wrap ErrBadRequest exactly as
+// Plan would, so the router can reject malformed requests without
+// forwarding them.
+func (r Request) CanonicalFingerprint() (string, error) {
+	creq, _, err := r.canonicalize()
+	if err != nil {
+		return "", err
+	}
+	return creq.Fingerprint(), nil
+}

@@ -28,12 +28,14 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"sync"
 	"time"
 
 	"graphpipe/internal/cluster"
 	"graphpipe/internal/costmodel"
 	"graphpipe/internal/eval"
 	"graphpipe/internal/graph"
+	"graphpipe/internal/memosnap"
 	"graphpipe/internal/memostore"
 	"graphpipe/internal/models"
 	"graphpipe/internal/planner"
@@ -77,6 +79,9 @@ type Config struct {
 	// warm-starting). When CacheDir is set, snapshots also persist as
 	// shards under CacheDir/memos and survive restarts.
 	MemoSnapshots int
+	// Peers wires this daemon into a fleet for peer cache-fill and memo
+	// offers; nil runs standalone (no peer traffic at all).
+	Peers *PeerConfig
 }
 
 // Service answers planning and evaluation requests. Create with New,
@@ -89,6 +94,7 @@ type Service struct {
 	flight flightGroup
 	pool   *admission
 	stats  stats
+	peerWG sync.WaitGroup // in-flight async memo offers
 }
 
 // New builds a Service, creating the cache directory if configured.
@@ -133,7 +139,11 @@ func New(cfg Config) (*Service, error) {
 // Close drains the admission pool: accepted planning jobs finish and
 // publish to the cache, new ones are rejected. Called after the HTTP
 // listener stops accepting, it completes the daemon's graceful shutdown.
-func (s *Service) Close() { s.pool.close() }
+// In-flight peer memo offers are waited out too.
+func (s *Service) Close() {
+	s.pool.close()
+	s.peerWG.Wait()
+}
 
 // PlanResult is a Plan answer: the artifact, its serialized bytes (served
 // verbatim, so identical requests get byte-identical responses), and
@@ -141,7 +151,8 @@ func (s *Service) Close() { s.pool.close() }
 type PlanResult struct {
 	Fingerprint string
 	// Source is "miss" (this request ran the planner), "shared" (joined
-	// another request's planner run), "hit-memory", or "hit-disk".
+	// another request's planner run), "hit-memory", "hit-disk", or
+	// "hit-peer" (a ring peer's cache supplied the plan).
 	Source   string
 	Artifact *strategy.Artifact
 	Data     []byte
@@ -166,6 +177,13 @@ func (s *Service) Plan(ctx context.Context, req Request) (*PlanResult, error) {
 		// was filling it; the flight map resolves that race, not this
 		// re-check — the leader is the only cache writer for fp.
 		//
+		// A peer that already holds the plan beats a cold search: the
+		// consult runs inside the flight so N concurrent misses cost one
+		// round of peer traffic, and before admission because it is IO,
+		// not a planner search competing for the worker pool.
+		if e := s.peerFill(fp); e != nil {
+			return e, nil
+		}
 		// The flight runs under a context detached from the leader's
 		// request: N-1 joiners (and the cache) depend on this one run, so
 		// one client hanging up must not poison everyone else's answer
@@ -187,6 +205,9 @@ func (s *Service) Plan(ctx context.Context, req Request) (*PlanResult, error) {
 		return nil, err
 	}
 	source := "miss"
+	if e.src != "" {
+		source = e.src
+	}
 	if shared {
 		s.stats.sharedWaits.Add(1)
 		source = "shared"
@@ -235,9 +256,14 @@ func (s *Service) runPlanner(req Request, g *graph.Graph, fp string) (*cacheEntr
 	if s.memos != nil {
 		// Warm-start: hand the planner the snapshot store. A warm plan is
 		// byte-identical to a cold one (the warm≡cold conformance
-		// invariant), so this changes latency, never answers.
+		// invariant), so this changes latency, never answers. The sink
+		// also offers the snapshot to the ring peers owning neighboring
+		// device counts (no-op when Peers is nil or OfferMemos is off).
 		popts.WarmMemo = s.memos.Lookup
-		popts.MemoSink = s.memos.Install
+		popts.MemoSink = func(snap *memosnap.Snapshot) {
+			s.memos.Install(snap)
+			s.offerMemo(req, snap)
+		}
 	}
 	start := time.Now()
 	st, pstats, err := pl.Plan(g, topo, req.MiniBatch, popts)
@@ -274,8 +300,26 @@ func (s *Service) runPlanner(req Request, g *graph.Graph, fp string) (*cacheEntr
 }
 
 // Artifact returns the cached plan for a fingerprint without planning
-// (GET /v1/artifacts/{fp}): ErrUnknownArtifact if neither tier holds it.
+// (GET /v1/artifacts/{fp}). A local two-tier miss still consults the
+// fleet: any shard can serve any plan the fleet has ever computed,
+// byte-identically, without a cold search. ErrUnknownArtifact if neither
+// the local tiers nor any peer holds it.
 func (s *Service) Artifact(fp string) (*PlanResult, error) {
+	e, src := s.lookup(fp)
+	if e == nil {
+		if e = s.peerFill(fp); e == nil {
+			return nil, fmt.Errorf("%w: %s", ErrUnknownArtifact, fp)
+		}
+		src = e.src
+	}
+	return &PlanResult{Fingerprint: fp, Source: src, Artifact: e.art, Data: e.data}, nil
+}
+
+// ArtifactLocal is Artifact restricted to this daemon's own two tiers.
+// It answers peer-originated fills (requests carrying HeaderPeerFill):
+// a fleet of mutually missing daemons must bottom out at 404s, not
+// recurse through each other.
+func (s *Service) ArtifactLocal(fp string) (*PlanResult, error) {
 	e, src := s.lookup(fp)
 	if e == nil {
 		return nil, fmt.Errorf("%w: %s", ErrUnknownArtifact, fp)

@@ -82,6 +82,12 @@ type stats struct {
 	memoWarmHits      atomic.Uint64
 	memoEntriesReused atomic.Uint64
 
+	peerFills          atomic.Uint64
+	peerMisses         atomic.Uint64
+	peerErrors         atomic.Uint64
+	memoOffersSent     atomic.Uint64
+	memoOffersReceived atomic.Uint64
+
 	mu        sync.Mutex
 	latencies map[string]*histogram // planner name → search latency
 }
@@ -123,6 +129,18 @@ type Snapshot struct {
 	// actually consulted.
 	MemoWarmHits      uint64 `json:"memo_warm_hits"`
 	MemoEntriesReused uint64 `json:"memo_entries_reused"`
+	// PeerFills counts local two-tier misses answered by a ring peer's
+	// artifact (each one avoided a cold search); PeerMisses counts full
+	// peer consults that found nothing; PeerErrors counts unreachable or
+	// invalid peer answers (each degraded to a miss).
+	PeerFills  uint64 `json:"peer_fills"`
+	PeerMisses uint64 `json:"peer_misses"`
+	PeerErrors uint64 `json:"peer_errors"`
+	// MemoOffersSent counts DP memo snapshots pushed to the peers owning
+	// neighboring device counts; MemoOffersReceived counts snapshots
+	// accepted from peers via POST /v1/memos.
+	MemoOffersSent     uint64 `json:"memo_offers_sent"`
+	MemoOffersReceived uint64 `json:"memo_offers_received"`
 	// InFlight and Queued are the admission pool's instantaneous gauges;
 	// MemoryEntries and MemoryEvictions describe the memory cache tier.
 	InFlight        int64  `json:"in_flight"`
@@ -150,6 +168,12 @@ func (s *stats) snapshot() Snapshot {
 		DiskFailures:      s.diskFailures.Load(),
 		MemoWarmHits:      s.memoWarmHits.Load(),
 		MemoEntriesReused: s.memoEntriesReused.Load(),
+
+		PeerFills:          s.peerFills.Load(),
+		PeerMisses:         s.peerMisses.Load(),
+		PeerErrors:         s.peerErrors.Load(),
+		MemoOffersSent:     s.memoOffersSent.Load(),
+		MemoOffersReceived: s.memoOffersReceived.Load(),
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()

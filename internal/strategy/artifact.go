@@ -204,6 +204,23 @@ func (a *Artifact) Fingerprint() string {
 	return hex.EncodeToString(h.Sum(nil))
 }
 
+// VerifyArtifactBytes decodes serialized artifact bytes and checks that
+// their content hashes to the fingerprint they were requested or filed
+// under. It is the one verification every byte-serving cache tier runs —
+// the service's disk store on read, a fleet daemon on a peer cache-fill —
+// so corrupted, hand-edited, or misdirected artifact bytes always degrade
+// to a miss instead of being served under the wrong identity.
+func VerifyArtifactBytes(fp string, data []byte) (*Artifact, error) {
+	a, err := DecodeArtifact(data)
+	if err != nil {
+		return nil, err
+	}
+	if got := a.Fingerprint(); got != fp {
+		return nil, fmt.Errorf("artifact filed under %s hashes to %s (misfiled or edited)", fp, got)
+	}
+	return a, nil
+}
+
 // CheckPlanner verifies the artifact's planner name against the caller's
 // registered planner names (typically planner.Names(); the strategy
 // package cannot import the registry without a cycle). An artifact from a

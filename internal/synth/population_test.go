@@ -1,0 +1,72 @@
+package synth
+
+import "testing"
+
+// TestPopulationDeterministicAndResolved pins the property load
+// generation leans on: one (families, n, seed) triple names the same
+// fully resolved spec population everywhere, and the pinned depth band
+// stays in the cheap range.
+func TestPopulationDeterministicAndResolved(t *testing.T) {
+	a, err := Population(nil, 24, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Population(nil, 24, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != 24 {
+		t.Fatalf("population size = %d, want 24", len(a))
+	}
+	seen := make(map[string]bool)
+	for i := range a {
+		if a[i].String() != b[i].String() {
+			t.Fatalf("spec %d differs across identical draws: %s vs %s", i, a[i], b[i])
+		}
+		if seen[a[i].String()] {
+			t.Fatalf("spec %d duplicated in population: %s", i, a[i])
+		}
+		seen[a[i].String()] = true
+		if rs, err := Resolve(a[i]); err != nil || rs.String() != a[i].String() {
+			t.Fatalf("spec %d is not fully resolved: %s", i, a[i])
+		}
+		if a[i].Family == "chain" && (a[i].Depth < 4 || a[i].Depth > 10) {
+			t.Fatalf("chain spec %d depth %d outside the pinned 4-10 band", i, a[i].Depth)
+		}
+	}
+
+	shifted, err := Population(nil, 24, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := 0
+	for i := range a {
+		if a[i].String() == shifted[i].String() {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("changing the base seed changed nothing; populations are not seed-driven")
+	}
+}
+
+// TestPopulationValidation pins the error paths: unknown families and
+// non-positive sizes fail fast instead of generating a partial workload.
+func TestPopulationValidation(t *testing.T) {
+	if _, err := Population([]string{"nonesuch"}, 4, 1); err == nil {
+		t.Error("unknown family accepted")
+	}
+	if _, err := Population(nil, 0, 1); err == nil {
+		t.Error("zero population accepted")
+	}
+	specs, err := Population([]string{"chain", "fanout"}, 5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"chain", "fanout", "chain", "fanout", "chain"}
+	for i, s := range specs {
+		if s.Family != want[i] {
+			t.Errorf("spec %d family = %s, want %s (round-robin)", i, s.Family, want[i])
+		}
+	}
+}

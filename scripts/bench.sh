@@ -36,6 +36,55 @@ go test -run '^$' -bench ServicePlan -benchtime=20x ./internal/service | tee -a 
 # lines supersede the 1x numbers above): one sweep's wall-clock is noisy
 # enough to blur the warm/cold ratio the report gates on.
 go test -run '^$' -bench Replan -benchtime=3x . | tee -a "$tmp"
-# -check-warm: the run fails outright if any warm replan did not beat its
-# cold counterpart — warm-start snapshots must pay for themselves.
-go run ./cmd/benchreport -label "$label" -note "$note" -o "$out" -in "$tmp" -check-warm
+
+# Fleet replay: boot a three-shard fleet with peer cache-fill behind the
+# router and drive it with a Zipf-skewed fleetgen mix, so the report
+# carries serving-fleet numbers (fleet_p50_s/p99_s, hit ratio, peer
+# fills, shed rate) next to the planner microbenchmarks. Same topology
+# as scripts/fleet_smoke.sh, sized for measurement instead of smoke.
+fleet_port="${FLEET_BENCH_PORT:-8894}"
+fleet_dir="$(mktemp -d)"
+fleet_pids=()
+cleanup_fleet() {
+  for pid in "${fleet_pids[@]:-}"; do
+    if [[ -n "$pid" ]] && kill -0 "$pid" 2>/dev/null; then
+      kill -TERM "$pid" 2>/dev/null || true
+      wait "$pid" 2>/dev/null || true
+    fi
+  done
+  fleet_pids=()
+  rm -rf "$fleet_dir"
+}
+trap 'rm -f "$tmp"; cleanup_fleet' EXIT
+
+go build -o "$fleet_dir/graphpiped" ./cmd/graphpiped
+go build -o "$fleet_dir/graphpipe-lb" ./cmd/graphpipe-lb
+go build -o "$fleet_dir/fleetgen" ./cmd/fleetgen
+fleet_peers=""
+for i in 0 1 2; do
+  fleet_peers="$fleet_peers,http://127.0.0.1:$((fleet_port + i))"
+done
+fleet_peers="${fleet_peers#,}"
+for i in 0 1 2; do
+  "$fleet_dir/graphpiped" -addr "127.0.0.1:$((fleet_port + i))" \
+    -cache-dir "$fleet_dir/cache$i" \
+    -self "http://127.0.0.1:$((fleet_port + i))" -peers "$fleet_peers" >/dev/null 2>&1 &
+  fleet_pids+=($!)
+done
+lb_url="http://127.0.0.1:$((fleet_port + 3))"
+"$fleet_dir/graphpipe-lb" -addr "127.0.0.1:$((fleet_port + 3))" \
+  -backends "$fleet_peers" >/dev/null 2>&1 &
+fleet_pids+=($!)
+for _ in $(seq 1 50); do
+  curl -fsS "$lb_url/v1/stats" >/dev/null 2>&1 && break
+  sleep 0.2
+done
+"$fleet_dir/fleetgen" -target "$lb_url" -requests 600 -concurrency 8 \
+  -zipf 1.1 -population 16 -devices 2,4 -seed 7 | tee -a "$tmp"
+cleanup_fleet
+
+# -check-warm / -check-fleet: the run fails outright if any warm replan
+# did not beat its cold counterpart, or if the fleet's warm p99 did not
+# beat a cold plan's median — caching and peer fill must pay for
+# themselves.
+go run ./cmd/benchreport -label "$label" -note "$note" -o "$out" -in "$tmp" -check-warm -check-fleet

@@ -1,0 +1,107 @@
+#!/usr/bin/env bash
+# fleet_smoke.sh — boot a three-shard planning fleet (3x graphpiped with
+# a shared ring + graphpipe-lb in front) and prove the PR's acceptance
+# criteria from the outside: a plan computed cold on one shard is served
+# byte-identically by every other shard via peer cache-fill with no
+# second cold search, a skewed fleetgen replay meets its aggregate hit
+# ratio, the warm fleet path beats a cold plan (benchreport -check-fleet),
+# and the whole fleet drains cleanly on SIGTERM.
+#
+# Usage: scripts/fleet_smoke.sh [base_port]   (default: 8890)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+base_port="${1:-8890}"
+lb_port=$((base_port + 3))
+lb="http://127.0.0.1:$lb_port"
+work="$(mktemp -d)"
+pids=()
+cleanup() {
+  for pid in "${pids[@]:-}"; do
+    if [[ -n "$pid" ]] && kill -0 "$pid" 2>/dev/null; then
+      kill -TERM "$pid" 2>/dev/null || true
+      wait "$pid" 2>/dev/null || true
+    fi
+  done
+  rm -rf "$work"
+}
+trap cleanup EXIT
+
+echo "== build"
+go build -o "$work/graphpiped" ./cmd/graphpiped
+go build -o "$work/graphpipe-lb" ./cmd/graphpipe-lb
+go build -o "$work/fleetgen" ./cmd/fleetgen
+go build -o "$work/benchreport" ./cmd/benchreport
+
+peers=""
+for i in 0 1 2; do
+  peers="$peers,http://127.0.0.1:$((base_port + i))"
+done
+peers="${peers#,}"
+
+echo "== boot 3 shards ($peers)"
+for i in 0 1 2; do
+  port=$((base_port + i))
+  "$work/graphpiped" -addr "127.0.0.1:$port" -cache-dir "$work/cache$i" \
+    -self "http://127.0.0.1:$port" -peers "$peers" &
+  pids+=($!)
+done
+
+echo "== boot router on :$lb_port"
+"$work/graphpipe-lb" -addr "127.0.0.1:$lb_port" -backends "$peers" &
+pids+=($!)
+
+for url in ${peers//,/ } "$lb"; do
+  up=""
+  for _ in $(seq 1 50); do
+    curl -fsS "$url/v1/stats" >/dev/null 2>&1 && { up=1; break; }
+    sleep 0.2
+  done
+  [[ -n "$up" ]] || { echo "$url never came up"; exit 1; }
+done
+
+req='{"model":"case-study","devices":4}'
+
+echo "== cold plan through the router"
+curl -fsS -D "$work/cold.h" -o "$work/cold.json" -X POST "$lb/v1/plan" -d "$req"
+grep -i '^x-graphpipe-cache: miss' "$work/cold.h" \
+  || { echo "cold request was not a miss:"; cat "$work/cold.h"; exit 1; }
+fp="$(sed -n 's/^[Xx]-[Gg]raphpipe-[Ff]ingerprint: *//p' "$work/cold.h" | tr -d '\r')"
+[[ ${#fp} -eq 64 ]] || { echo "bad fingerprint header: '$fp'"; exit 1; }
+owner="$(sed -n 's/^[Xx]-[Gg]raphpipe-[Bb]ackend: *//p' "$work/cold.h" | tr -d '\r')"
+echo "   fingerprint $fp planned on $owner"
+
+echo "== every shard serves the artifact byte-identically (peer fill)"
+for url in ${peers//,/ }; do
+  curl -fsS -o "$work/art.json" "$url/v1/artifacts/$fp"
+  cmp "$work/cold.json" "$work/art.json" \
+    || { echo "shard $url served different bytes for $fp"; exit 1; }
+done
+
+echo "== no second cold search: fleet planned exactly once, filled twice"
+curl -fsS "$lb/v1/stats" > "$work/stats.json"
+# The fleet-summed block renders first in the stats body, so the first
+# occurrence of each counter is the fleet-wide value.
+grep -m1 '"planned"' "$work/stats.json" | grep -q '"planned": *1' \
+  || { echo "fleet planned != 1:"; grep -m1 '"planned"' "$work/stats.json"; exit 1; }
+grep -m1 '"peer_fills"' "$work/stats.json" | grep -q '"peer_fills": *2' \
+  || { echo "fleet peer_fills != 2:"; grep -m1 '"peer_fills"' "$work/stats.json"; exit 1; }
+
+echo "== skewed replay through the router (fleetgen)"
+"$work/fleetgen" -target "$lb" -requests 120 -concurrency 8 -zipf 1.2 \
+  -population 8 -devices 2,4 -seed 7 -min-hit-ratio 0.5 -max-errors 0 \
+  -o "$work/fleetgen.json" | tee "$work/fleet-bench.txt"
+
+echo "== warm fleet path must beat a cold plan (benchreport -check-fleet)"
+"$work/benchreport" -label fleet-smoke -note "fleet smoke" \
+  -o "$work/fleet-bench.json" -in "$work/fleet-bench.txt" -check-fleet
+
+echo "== graceful shutdown (SIGTERM all)"
+for pid in "${pids[@]}"; do
+  kill -TERM "$pid"
+done
+for pid in "${pids[@]}"; do
+  wait "$pid"
+done
+pids=()
+echo "fleet smoke OK"
