@@ -51,8 +51,14 @@ func run() error {
 		seed        = flag.Int64("seed", 1, "workload seed: population and request sequence derive from it")
 		timeout     = flag.Duration("timeout", 60*time.Second, "per-request timeout")
 		out         = flag.String("o", "", "also write the full result as JSON to this file")
-		minHitRatio = flag.Float64("min-hit-ratio", -1, "fail unless the warm hit ratio reaches this (smoke gate; -1 disables)")
-		maxErrors   = flag.Int("max-errors", -1, "fail if more than this many requests errored (-1 disables)")
+		budgetMs    = flag.Int("budget-ms", 0, "stamp every request with this end-to-end budget in ms (0: none)")
+		pace        = flag.Duration("pace", 0, "per-worker sleep between requests (0: replay flat out)")
+		verifyPlans = flag.Bool("verify-plans", false,
+			"track a content hash per fingerprint and count 200s whose bytes differ (byte-identity check)")
+		minHitRatio  = flag.Float64("min-hit-ratio", -1, "fail unless the warm hit ratio reaches this (smoke gate; -1 disables)")
+		maxErrors    = flag.Int("max-errors", -1, "fail if more than this many requests errored (-1 disables)")
+		maxErrorRate = flag.Float64("max-error-rate", -1,
+			"fail if (errors + deadline expiries) / requests exceeds this (chaos gate; -1 disables)")
 	)
 	flag.Parse()
 
@@ -75,6 +81,9 @@ func run() error {
 		Devices:     devs,
 		Planner:     *planner,
 		Seed:        *seed,
+		BudgetMs:    *budgetMs,
+		VerifyPlans: *verifyPlans,
+		Pace:        *pace,
 		Client:      &http.Client{Timeout: *timeout},
 	})
 	if err != nil {
@@ -83,9 +92,9 @@ func run() error {
 
 	fmt.Println(res.BenchLine())
 	fmt.Fprintf(os.Stderr,
-		"fleetgen: %d/%d ok (%d shed, %d errors), hit ratio %.3f, %d distinct plans, %d peer fills, %d planned, p50 %.4fs p99 %.4fs\n",
-		res.Completed, res.Requests, res.Shed, res.Errors, res.HitRatio,
-		res.DistinctFingerprints, res.PeerFills, res.Planned, res.Overall.P50, res.Overall.P99)
+		"fleetgen: %d/%d ok (%d shed, %d errors, %d deadline), hit ratio %.3f, %d distinct plans, %d peer fills, %d planned, %d byte mismatches, %d alternate plans, p50 %.4fs p99 %.4fs\n",
+		res.Completed, res.Requests, res.Shed, res.Errors, res.DeadlineExceeded, res.HitRatio,
+		res.DistinctFingerprints, res.PeerFills, res.Planned, res.ByteMismatches, res.AlternatePlans, res.Overall.P50, res.Overall.P99)
 
 	if *out != "" {
 		data, err := json.MarshalIndent(res, "", "  ")
@@ -104,6 +113,12 @@ func run() error {
 	}
 	if *maxErrors >= 0 && res.Errors > *maxErrors {
 		return fmt.Errorf("%d request errors exceed allowed %d", res.Errors, *maxErrors)
+	}
+	if *maxErrorRate >= 0 && res.ErrorRate > *maxErrorRate {
+		return fmt.Errorf("error rate %.4f exceeds allowed %.4f", res.ErrorRate, *maxErrorRate)
+	}
+	if *verifyPlans && res.ByteMismatches > 0 {
+		return fmt.Errorf("%d byte mismatches: a cache tier served non-identical bytes for one fingerprint", res.ByteMismatches)
 	}
 	return nil
 }

@@ -10,10 +10,17 @@
 // Routing is bounded-load consistent hashing: an overloaded shard spills
 // its next requests to the following ring replica instead of queueing
 // behind the hot spot. Backends that stop answering are marked down and
-// skipped until a health probe sees them again; 429s are retried on the
-// same backend after honoring its Retry-After. GET /v1/stats returns
-// every shard's snapshot, their field-wise sum, and the router's own
-// forwarding counters.
+// skipped until a (jittered) health probe sees them again; each backend
+// sits behind a circuit breaker that opens after repeated failures and
+// re-closes via half-open trial traffic; 429s are retried on the same
+// backend after honoring its Retry-After (or bounded deterministic
+// backoff without one). Requests carry an end-to-end time budget
+// (X-Graphpipe-Budget-Ms, or -default-budget) forwarded hop by hop, 200
+// plan/artifact bodies are re-verified against their fingerprint before
+// relaying (a corrupt answer fails over, never reaches a client), and
+// artifact reads can hedge to a second replica (-hedge-delay). GET
+// /v1/stats returns every shard's snapshot, their field-wise sum, and
+// the router's own forwarding counters, breaker states included.
 //
 // SIGINT/SIGTERM drain in-flight proxied requests before exiting, same
 // as graphpiped.
@@ -33,6 +40,7 @@ import (
 	"syscall"
 	"time"
 
+	"graphpipe/internal/faultinject"
 	"graphpipe/internal/fleet"
 
 	// Route keys come from service.Request canonicalization, which
@@ -68,7 +76,23 @@ func run(args []string, logw io.Writer, ready chan<- string, sigs <-chan os.Sign
 		maxRetryAfter = fs.Duration("max-retry-after", 2*time.Second,
 			"cap on how long one shed retry waits, whatever the backend asks for")
 		healthInterval = fs.Duration("health-interval", 2*time.Second,
-			"active health-check period (negative disables the probe loop)")
+			"active health-check period, jittered ±25% per round (negative disables the probe loop)")
+		probeJitterSeed = fs.Int64("probe-jitter-seed", 0,
+			"seed for health-probe jitter (0: derived from the PID so co-started routers decorrelate)")
+		breakerThreshold = fs.Int("breaker-threshold", 0,
+			"consecutive failures that open a backend's circuit breaker (0: default 5)")
+		breakerOpenFor = fs.Duration("breaker-open-for", 0,
+			"how long an open breaker rejects before half-open trial traffic (0: default 5s)")
+		defaultBudget = fs.Duration("default-budget", 0,
+			"end-to-end deadline stamped on requests without X-Graphpipe-Budget-Ms (0: none)")
+		verifyArtifacts = fs.Bool("verify-artifacts", true,
+			"re-verify 200 plan/artifact bodies against their fingerprint before relaying; "+
+				"corrupt answers fail over to the next replica")
+		hedgeDelay = fs.Duration("hedge-delay", 0,
+			"launch a second artifact read at the next replica after this delay (0 disables hedging)")
+		faultSpec = fs.String("fault-spec", os.Getenv("GRAPHPIPE_FAULT_SPEC"),
+			"deterministic fault injection spec for the backend client, e.g. 'seed=42;http.drop=0.1' "+
+				"(default $GRAPHPIPE_FAULT_SPEC; empty disables; see internal/faultinject)")
 		drainTimeout = fs.Duration("drain-timeout", 30*time.Second,
 			"how long shutdown waits for in-flight requests before aborting them")
 	)
@@ -91,6 +115,14 @@ func run(args []string, logw io.Writer, ready chan<- string, sigs <-chan os.Sign
 		return fmt.Errorf("-backends is required (comma-separated graphpiped URLs)")
 	}
 
+	faults, err := faultinject.Parse(*faultSpec)
+	if err != nil {
+		return err
+	}
+	if faults != nil {
+		fmt.Fprintf(logw, "graphpipe-lb: fault injection active: %s\n", faults)
+	}
+
 	router, err := fleet.NewRouter(fleet.RouterConfig{
 		Backends:       urls,
 		Replicas:       *replicas,
@@ -98,6 +130,15 @@ func run(args []string, logw io.Writer, ready chan<- string, sigs <-chan os.Sign
 		RetryShed:      *retryShed,
 		MaxRetryAfter:  *maxRetryAfter,
 		HealthInterval: *healthInterval,
+		JitterSeed:     *probeJitterSeed,
+		Breaker: fleet.BreakerConfig{
+			FailureThreshold: *breakerThreshold,
+			OpenFor:          *breakerOpenFor,
+		},
+		DefaultBudget:   *defaultBudget,
+		VerifyArtifacts: *verifyArtifacts,
+		HedgeDelay:      *hedgeDelay,
+		Faults:          faults,
 	})
 	if err != nil {
 		return err

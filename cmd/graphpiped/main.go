@@ -40,6 +40,7 @@ import (
 	"syscall"
 	"time"
 
+	"graphpipe/internal/faultinject"
 	"graphpipe/internal/fleet"
 	"graphpipe/internal/service"
 
@@ -84,6 +85,9 @@ func run(args []string, logw io.Writer, ready chan<- string, sigs <-chan os.Sign
 			"offer DP memo snapshots to ring peers owning neighboring device counts (needs -self/-peers)")
 		drainTimeout = fs.Duration("drain-timeout", 30*time.Second,
 			"how long shutdown waits for in-flight requests before aborting them")
+		faultSpec = fs.String("fault-spec", os.Getenv("GRAPHPIPE_FAULT_SPEC"),
+			"deterministic fault injection spec, e.g. 'seed=42;http.drop=0.1;disk.read-corrupt=0.2' "+
+				"(default $GRAPHPIPE_FAULT_SPEC; empty disables; see internal/faultinject)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -96,6 +100,13 @@ func run(args []string, logw io.Writer, ready chan<- string, sigs <-chan os.Sign
 		return fmt.Errorf("unexpected arguments: %v", fs.Args())
 	}
 
+	faults, err := faultinject.Parse(*faultSpec)
+	if err != nil {
+		return err
+	}
+	if faults != nil {
+		fmt.Fprintf(logw, "graphpiped: fault injection active: %s\n", faults)
+	}
 	cfg := service.Config{
 		CacheDir:       *dir,
 		MemoryEntries:  *mem,
@@ -103,6 +114,7 @@ func run(args []string, logw io.Writer, ready chan<- string, sigs <-chan os.Sign
 		QueueDepth:     *queue,
 		PlannerWorkers: *plannerWorkers,
 		MemoSnapshots:  *memoSnapshots,
+		Faults:         faults,
 	}
 	if *peers != "" {
 		var urls []string

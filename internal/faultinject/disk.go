@@ -1,0 +1,62 @@
+package faultinject
+
+// Disk returns a DiskInjector carrying this Set's disk fault kinds for
+// one named store ("artifacts", "memos", ...). A nil Set returns nil,
+// and a nil *DiskInjector is the disabled injector — stores hold the
+// pointer unconditionally and call through it on every IO.
+func (s *Set) Disk(name string) *DiskInjector {
+	if s == nil {
+		return nil
+	}
+	return &DiskInjector{
+		writeFail:    s.site(name, KindWriteFail),
+		writePartial: s.site(name, KindWritePartial),
+		readCorrupt:  s.site(name, KindReadCorrupt),
+	}
+}
+
+// DiskInjector mangles a store's reads and writes the way a failing
+// disk would. It sits between the store and the bytes, not between
+// the store and the filesystem: a partial write really lands
+// truncated on disk, and a corrupted read really hands the caller
+// flipped bytes — so the store's own verification and
+// degrade-to-miss paths are what recover, exactly as they would have
+// to in production.
+type DiskInjector struct {
+	writeFail, writePartial, readCorrupt *site
+}
+
+// Read passes stored bytes through the read-corruption fault: one
+// deterministic byte flip in a copy (never the caller's buffer).
+func (d *DiskInjector) Read(data []byte) []byte {
+	if d == nil || !d.readCorrupt.roll() || len(data) == 0 {
+		return data
+	}
+	out := append([]byte(nil), data...)
+	pos := int(d.readCorrupt.next() % uint64(len(out)))
+	out[pos] ^= 0x5A
+	return out
+}
+
+// Write passes bytes about to be persisted through the write faults:
+// a failed write errors outright, a partial write truncates the data
+// to half (modeling a torn write that still got renamed into place).
+func (d *DiskInjector) Write(data []byte) ([]byte, error) {
+	if d == nil {
+		return data, nil
+	}
+	if d.writeFail.roll() {
+		return nil, errWriteFail
+	}
+	if d.writePartial.roll() {
+		return data[:len(data)/2], nil
+	}
+	return data, nil
+}
+
+// errWriteFail is the injected write error, distinguishable in logs.
+var errWriteFail = errorString("faultinject: disk write failed")
+
+type errorString string
+
+func (e errorString) Error() string { return string(e) }

@@ -1,0 +1,265 @@
+package faultinject
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+func mustParse(t *testing.T, spec string) *Set {
+	t.Helper()
+	s, err := Parse(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestParseErrorsAndNilSet(t *testing.T) {
+	if s, err := Parse(""); s != nil || err != nil {
+		t.Fatalf("empty spec = (%v, %v), want (nil, nil)", s, err)
+	}
+	for _, spec := range []string{
+		"nonsense",
+		"http.bogus=0.5",
+		"http.drop=1.5",
+		"http.drop=-0.1",
+		"http.latency=0.5",          // missing duration
+		"http.latency=0.5:nonsense", // bad duration
+		"seed=x",
+		"window=-3",
+	} {
+		if _, err := Parse(spec); err == nil {
+			t.Errorf("Parse(%q) accepted, want error", spec)
+		}
+	}
+
+	// A nil Set is the disabled layer everywhere.
+	var s *Set
+	if got := s.Transport("x", http.DefaultTransport); got != http.DefaultTransport {
+		t.Error("nil Set.Transport did not return base unchanged")
+	}
+	if s.Disk("x") != nil || s.Tallies() != nil || s.Kinds() != nil || s.String() != "" {
+		t.Error("nil Set methods are not no-ops")
+	}
+	var d *DiskInjector
+	if got := d.Read([]byte("ok")); string(got) != "ok" {
+		t.Error("nil DiskInjector.Read mangled data")
+	}
+	if got, err := d.Write([]byte("ok")); err != nil || string(got) != "ok" {
+		t.Error("nil DiskInjector.Write mangled data")
+	}
+}
+
+// TestDeterministicSchedule pins the replay property: two Sets parsed
+// from the same spec make identical fault decisions at the same site,
+// and a different seed makes different ones.
+func TestDeterministicSchedule(t *testing.T) {
+	roll := func(spec string, n int) []bool {
+		s := mustParse(t, spec)
+		site := s.site("peers", KindDrop)
+		out := make([]bool, n)
+		for i := range out {
+			out[i] = site.roll()
+		}
+		return out
+	}
+	const spec = "seed=42;http.drop=0.3"
+	a, b := roll(spec, 200), roll(spec, 200)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same spec produced different fault schedules")
+	}
+	c := roll("seed=43;http.drop=0.3", 200)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical schedules")
+	}
+	// Sites are salted by name: the same kind at another wrap point has
+	// its own independent stream.
+	s := mustParse(t, spec)
+	d1, d2 := s.site("peers", KindDrop), s.site("backend", KindDrop)
+	var seq1, seq2 []bool
+	for i := 0; i < 200; i++ {
+		seq1, seq2 = append(seq1, d1.roll()), append(seq2, d2.roll())
+	}
+	if reflect.DeepEqual(seq1, seq2) {
+		t.Fatal("two sites with different names share a schedule")
+	}
+}
+
+// TestWindowStopsInjection pins the fault-window contract the chaos
+// soak relies on: past `window` draws, a site never injects again.
+func TestWindowStopsInjection(t *testing.T) {
+	s := mustParse(t, "seed=7;window=50;http.drop=1")
+	site := s.site("x", KindDrop)
+	for i := 0; i < 50; i++ {
+		if !site.roll() {
+			t.Fatalf("draw %d inside the window did not inject at prob 1", i)
+		}
+	}
+	for i := 0; i < 100; i++ {
+		if site.roll() {
+			t.Fatalf("draw %d past the window injected", 50+i)
+		}
+	}
+	if got := s.Tallies()["x/"+KindDrop]; got != 50 {
+		t.Fatalf("tally = %d, want exactly the window's 50", got)
+	}
+}
+
+func TestQuiesced(t *testing.T) {
+	var nilSet *Set
+	if !nilSet.Quiesced() {
+		t.Fatal("nil Set must report quiesced: no faults are ever possible")
+	}
+	if mustParse(t, "seed=1;http.drop=0.5").Quiesced() {
+		t.Fatal("windowless Set reported quiesced: faults remain possible forever")
+	}
+
+	s := mustParse(t, "seed=7;window=10;http.drop=0.5;http.err5xx=0")
+	if !s.Quiesced() {
+		t.Fatal("Set with no instantiated sites should be quiesced")
+	}
+	site := s.site("x", KindDrop)
+	if s.Quiesced() {
+		t.Fatal("fresh site has draws remaining, must not be quiesced")
+	}
+	// Zero-probability sites never inject, so they must not hold
+	// quiescence hostage.
+	s.site("x", KindErr5xx)
+	for i := 0; i < 9; i++ {
+		site.roll()
+	}
+	if s.Quiesced() {
+		t.Fatal("site one draw short of the window reported quiesced")
+	}
+	site.roll()
+	if !s.Quiesced() {
+		t.Fatal("all windows spent but Quiesced is false")
+	}
+}
+
+func TestTransportFaults(t *testing.T) {
+	const body = `{"artifact":"0123456789abcdef0123456789abcdef"}`
+	backend := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, body)
+	}))
+	defer backend.Close()
+
+	get := func(s *Set) (*http.Response, []byte, error) {
+		t.Helper()
+		client := &http.Client{Transport: s.Transport("t", nil)}
+		resp, err := client.Get(backend.URL)
+		if err != nil {
+			return nil, nil, err
+		}
+		defer resp.Body.Close()
+		data, err := io.ReadAll(resp.Body)
+		return resp, data, err
+	}
+
+	t.Run("drop", func(t *testing.T) {
+		s := mustParse(t, "http.drop=1")
+		if _, _, err := get(s); err == nil || !strings.Contains(err.Error(), "dropped") {
+			t.Fatalf("err = %v, want injected connection drop", err)
+		}
+		if got := s.Tallies()["t/"+KindDrop]; got != 1 {
+			t.Fatalf("drop tally = %d, want 1", got)
+		}
+	})
+	t.Run("err5xx", func(t *testing.T) {
+		resp, data, err := get(mustParse(t, "http.err5xx=1"))
+		if err != nil || resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("resp = %v (%v), want injected 503", resp, err)
+		}
+		if !strings.Contains(string(data), "injected_fault") {
+			t.Fatalf("injected 503 body = %q", data)
+		}
+	})
+	t.Run("truncate", func(t *testing.T) {
+		_, data, err := get(mustParse(t, "http.truncate=1"))
+		if !errors.Is(err, io.ErrUnexpectedEOF) {
+			t.Fatalf("read err = %v, want io.ErrUnexpectedEOF mid-body", err)
+		}
+		if len(data) != len(body)/2 {
+			t.Fatalf("got %d bytes before the cut, want %d", len(data), len(body)/2)
+		}
+	})
+	t.Run("corrupt", func(t *testing.T) {
+		resp, data, err := get(mustParse(t, "http.corrupt=1"))
+		if err != nil || resp.StatusCode != http.StatusOK {
+			t.Fatalf("resp = %v (%v), want a 200 with corrupt bytes", resp, err)
+		}
+		if len(data) != len(body) || string(data) == body {
+			t.Fatalf("body %q should differ from %q in exactly one byte", data, body)
+		}
+		diff := 0
+		for i := range data {
+			if data[i] != body[i] {
+				diff++
+			}
+		}
+		if diff != 1 {
+			t.Fatalf("%d bytes differ, want 1", diff)
+		}
+	})
+	t.Run("latency", func(t *testing.T) {
+		s := mustParse(t, "http.latency=1:50ms")
+		start := time.Now()
+		if _, _, err := get(s); err != nil {
+			t.Fatal(err)
+		}
+		if d := time.Since(start); d < 50*time.Millisecond {
+			t.Fatalf("request took %v, want >= injected 50ms", d)
+		}
+	})
+	t.Run("latency honors context", func(t *testing.T) {
+		s := mustParse(t, "http.latency=1:10s")
+		client := &http.Client{Transport: s.Transport("t", nil), Timeout: 50 * time.Millisecond}
+		start := time.Now()
+		_, err := client.Get(backend.URL)
+		if err == nil {
+			t.Fatal("budgeted request survived a 10s injected sleep")
+		}
+		if d := time.Since(start); d > 2*time.Second {
+			t.Fatalf("deadline took %v to fire; the injected sleep is not honoring ctx", d)
+		}
+	})
+}
+
+func TestDiskFaults(t *testing.T) {
+	data := []byte("0123456789abcdef")
+
+	d := mustParse(t, "disk.read-corrupt=1").Disk("store")
+	got := d.Read(data)
+	if string(got) == string(data) {
+		t.Fatal("read corruption changed nothing")
+	}
+	if string(data) != "0123456789abcdef" {
+		t.Fatal("read corruption mutated the caller's buffer")
+	}
+
+	d = mustParse(t, "disk.write-fail=1").Disk("store")
+	if _, err := d.Write(data); err == nil {
+		t.Fatal("write-fail did not error")
+	}
+
+	d = mustParse(t, "disk.write-partial=1").Disk("store")
+	got, err := d.Write(data)
+	if err != nil || len(got) != len(data)/2 {
+		t.Fatalf("partial write = %d bytes (%v), want %d", len(got), err, len(data)/2)
+	}
+}
+
+func TestKinds(t *testing.T) {
+	s := mustParse(t, "seed=1;http.drop=0.1;disk.read-corrupt=0.2;http.err5xx=0")
+	want := []string{KindReadCorrupt, KindDrop}
+	got := s.Kinds()
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("Kinds = %v, want %v (zero-prob kinds excluded, sorted)", got, want)
+	}
+}

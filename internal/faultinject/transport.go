@@ -1,0 +1,120 @@
+package faultinject
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// Transport wraps an http.RoundTripper with this Set's HTTP fault
+// kinds, each drawing from its own stream salted by name (so two wrap
+// points with the same spec inject independently). A nil Set or a nil
+// receiver returns base unchanged; a nil base wraps
+// http.DefaultTransport.
+//
+// Fault order per request: injected latency (honoring the request
+// context, so a budgeted caller is cut off at its deadline, not after
+// the sleep), then a dropped connection, then the real round trip,
+// then — on a successful response — an injected 503, a mid-body
+// truncation, or corrupted body bytes. Request bodies are never
+// touched: the injected failures model a sick server and a sick wire,
+// not a sick client.
+func (s *Set) Transport(name string, base http.RoundTripper) http.RoundTripper {
+	if s == nil {
+		return base
+	}
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	return &transport{
+		base:       base,
+		latencyDur: s.kinds[KindLatency].latency,
+		latency:    s.site(name, KindLatency),
+		drop:       s.site(name, KindDrop),
+		err5xx:     s.site(name, KindErr5xx),
+		truncate:   s.site(name, KindTruncate),
+		corrupt:    s.site(name, KindCorrupt),
+	}
+}
+
+type transport struct {
+	base       http.RoundTripper
+	latencyDur time.Duration
+
+	latency, drop, err5xx, truncate, corrupt *site
+}
+
+func (t *transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	if t.latency.roll() && t.latencyDur > 0 {
+		timer := time.NewTimer(t.latencyDur)
+		select {
+		case <-req.Context().Done():
+			timer.Stop()
+			return nil, req.Context().Err()
+		case <-timer.C:
+		}
+	}
+	if t.drop.roll() {
+		return nil, fmt.Errorf("faultinject: connection to %s dropped", req.URL.Host)
+	}
+	resp, err := t.base.RoundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	if t.err5xx.roll() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return &http.Response{
+			Status:     "503 Service Unavailable (injected)",
+			StatusCode: http.StatusServiceUnavailable,
+			Proto:      resp.Proto,
+			ProtoMajor: resp.ProtoMajor,
+			ProtoMinor: resp.ProtoMinor,
+			Header:     http.Header{"Content-Type": []string{"application/json"}},
+			Body:       io.NopCloser(bytes.NewReader([]byte(`{"error":"injected_fault","detail":"faultinject: http.err5xx"}`))),
+			Request:    req,
+		}, nil
+	}
+	if t.truncate.roll() {
+		data, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		resp.Body = &truncatedBody{data: data[:len(data)/2]}
+		return resp, nil
+	}
+	if t.corrupt.roll() {
+		data, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return nil, err
+		}
+		if len(data) > 0 {
+			pos := int(t.corrupt.next() % uint64(len(data)))
+			data[pos] ^= 0x5A
+		}
+		resp.Body = io.NopCloser(bytes.NewReader(data))
+		return resp, nil
+	}
+	return resp, nil
+}
+
+// truncatedBody serves a prefix of the real body and then fails the
+// way a cut connection does: io.ErrUnexpectedEOF mid-stream, so
+// readers that check their errors see a torn transfer, and readers
+// that do not get half an artifact that no longer verifies.
+type truncatedBody struct {
+	data []byte
+	off  int
+}
+
+func (b *truncatedBody) Read(p []byte) (int, error) {
+	if b.off >= len(b.data) {
+		return 0, io.ErrUnexpectedEOF
+	}
+	n := copy(p, b.data[b.off:])
+	b.off += n
+	return n, nil
+}
+
+func (b *truncatedBody) Close() error { return nil }

@@ -1,0 +1,80 @@
+package fleet
+
+import (
+	"hash/fnv"
+	"time"
+)
+
+// backoffDelay computes the bounded-exponential retry delay with
+// deterministic equal jitter that replaces the router's old fixed
+// 250ms fallback: attempt i waits base·2^i capped at max, then
+// jittered into [d/2, d) by a splitmix64 value derived from (key,
+// attempt). Deriving the jitter from the retried key instead of a
+// shared RNG keeps replays deterministic — the same request sequence
+// backs off identically on every run — while still spreading distinct
+// keys' retries apart so they do not stampede back in lockstep.
+func backoffDelay(base, max time.Duration, key string, attempt int) time.Duration {
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	if max <= 0 {
+		max = 2 * time.Second
+	}
+	d := base
+	for i := 0; i < attempt && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	// Equal jitter: half fixed, half drawn from the key's stream.
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	r := rng{state: h.Sum64() ^ uint64(attempt)*0x9E3779B97F4A7C15}
+	half := d / 2
+	return half + time.Duration(r.float()*float64(half))
+}
+
+// rng is the repository's splitmix64 stream (see internal/synth): the
+// fleet uses it for retry jitter and health-probe spacing so both are
+// pure functions of their seeds.
+type rng struct{ state uint64 }
+
+func (r *rng) next() uint64 {
+	r.state += 0x9E3779B97F4A7C15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+func (r *rng) float() float64 {
+	return float64(r.next()>>11) / float64(1<<53)
+}
+
+// probeDelays returns the first n health-probe intervals for a router
+// with the given base interval and jitter seed: each delay lands in
+// [0.75, 1.25)·interval, drawn from a splitmix64 stream salted by the
+// seed. N routers probing the same fleet get distinct seeds (the
+// default derives from the process ID), so their probes decorrelate
+// instead of hitting every shard in lockstep each period. Exported
+// logic is a pure function so the spacing is pinnable by test.
+func probeDelays(interval time.Duration, seed int64, n int) []time.Duration {
+	r := probeJitter(seed)
+	out := make([]time.Duration, n)
+	for i := range out {
+		out[i] = nextProbeDelay(&r, interval)
+	}
+	return out
+}
+
+// probeJitter seeds the probe-spacing stream; healthLoop and
+// probeDelays share it, so the loop's actual spacing is exactly what
+// the pure function predicts.
+func probeJitter(seed int64) rng {
+	return rng{state: uint64(seed) ^ 0xA5A5A5A55A5A5A5A}
+}
+
+func nextProbeDelay(r *rng, interval time.Duration) time.Duration {
+	return time.Duration((0.75 + 0.5*r.float()) * float64(interval))
+}

@@ -1,0 +1,201 @@
+package fleet
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is one of the circuit breaker's three explicit states.
+type BreakerState int
+
+const (
+	// BreakerClosed: traffic flows; consecutive failures are counted.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen: traffic is rejected until the open window elapses.
+	BreakerOpen
+	// BreakerHalfOpen: a bounded number of trial requests probe the
+	// backend; their outcome decides the next state.
+	BreakerHalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// BreakerConfig sizes a Breaker. The zero value gets serviceable
+// defaults.
+type BreakerConfig struct {
+	// FailureThreshold is how many consecutive failures trip a closed
+	// breaker open (default 5).
+	FailureThreshold int
+	// OpenFor is how long an open breaker rejects before admitting
+	// half-open trial traffic (default 5s).
+	OpenFor time.Duration
+	// HalfOpenProbes bounds concurrent trial requests while half-open
+	// (default 1).
+	HalfOpenProbes int
+
+	now func() time.Time // test seam; nil uses time.Now
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.FailureThreshold <= 0 {
+		c.FailureThreshold = 5
+	}
+	if c.OpenFor <= 0 {
+		c.OpenFor = 5 * time.Second
+	}
+	if c.HalfOpenProbes <= 0 {
+		c.HalfOpenProbes = 1
+	}
+	if c.now == nil {
+		c.now = time.Now
+	}
+	return c
+}
+
+// Breaker is a per-backend circuit breaker specified as an explicit
+// state machine, in the abstract-state-machine tradition: the whole
+// behavior is the transition table below over (state, failures,
+// probes, until), and the table-driven tests in breaker_test.go walk
+// it literally. Ad-hoc retry code hides its states; this one has
+// exactly three.
+//
+//	state     | event                      | next state, effect
+//	----------+----------------------------+--------------------------------
+//	Closed    | Allow                      | Closed, admitted
+//	Closed    | Record(success)            | Closed, failures = 0
+//	Closed    | Record(failure), n < T     | Closed, failures = n+1
+//	Closed    | Record(failure), n+1 == T  | Open, until = now + OpenFor
+//	Open      | Allow, now < until         | Open, rejected
+//	Open      | Allow, now >= until        | HalfOpen, admitted as probe 1
+//	Open      | Record(either)             | Open (stale in-flight result;
+//	          |                            |   only a half-open probe may
+//	          |                            |   close the circuit)
+//	HalfOpen  | Allow, probes < P          | HalfOpen, admitted, probes+1
+//	HalfOpen  | Allow, probes == P         | HalfOpen, rejected
+//	HalfOpen  | Record(success)            | Closed, counters reset
+//	HalfOpen  | Record(failure)            | Open, until = now + OpenFor
+//	any       | Cancel                     | state unchanged; probes-1 if
+//	          |                            |   HalfOpen (no verdict: the
+//	          |                            |   caller's own budget expired)
+//
+// Create with NewBreaker; safe for concurrent use.
+type Breaker struct {
+	cfg BreakerConfig
+
+	mu       sync.Mutex
+	state    BreakerState
+	failures int       // consecutive failures while Closed
+	until    time.Time // when Open admits half-open probes
+	probes   int       // in-flight trial requests while HalfOpen
+	opens    uint64    // lifetime trips, for stats
+}
+
+// NewBreaker builds a closed breaker.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	return &Breaker{cfg: cfg.withDefaults()}
+}
+
+// Allow reports whether a request may proceed, performing the
+// Open→HalfOpen transition when the open window has elapsed. Every
+// admitted request must eventually call Record exactly once.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if b.cfg.now().Before(b.until) {
+			return false
+		}
+		b.state = BreakerHalfOpen
+		b.probes = 1
+		return true
+	default: // BreakerHalfOpen
+		if b.probes >= b.cfg.HalfOpenProbes {
+			return false
+		}
+		b.probes++
+		return true
+	}
+}
+
+// Record reports an admitted request's outcome and drives the
+// failure-counting and half-open transitions of the table above.
+func (b *Breaker) Record(success bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		if success {
+			b.failures = 0
+			return
+		}
+		b.failures++
+		if b.failures >= b.cfg.FailureThreshold {
+			b.trip()
+		}
+	case BreakerOpen:
+		// A stale result from a request admitted before the trip: the
+		// deliberate half-open probe, not a straggler, decides recovery.
+	case BreakerHalfOpen:
+		if b.probes > 0 {
+			b.probes--
+		}
+		if success {
+			b.state = BreakerClosed
+			b.failures = 0
+			b.probes = 0
+			return
+		}
+		b.trip()
+	}
+}
+
+// Cancel releases an admitted request's slot without a verdict: the
+// caller's own deadline fired mid-flight, which proves nothing about
+// the backend's health either way. While half-open this frees the
+// probe slot so the next Allow can try again; in any state it never
+// counts as a failure, so tight client budgets cannot trip breakers
+// on healthy backends.
+func (b *Breaker) Cancel() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == BreakerHalfOpen && b.probes > 0 {
+		b.probes--
+	}
+}
+
+// trip moves to Open and re-arms the recovery timer. Caller holds mu.
+func (b *Breaker) trip() {
+	b.state = BreakerOpen
+	b.until = b.cfg.now().Add(b.cfg.OpenFor)
+	b.failures = 0
+	b.probes = 0
+	b.opens++
+}
+
+// State reports the current state (Open may lag reality by one Allow:
+// the Open→HalfOpen transition happens on admission, not on a clock).
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Opens reports how many times the breaker has tripped.
+func (b *Breaker) Opens() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.opens
+}

@@ -1,0 +1,352 @@
+package fleet
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is the breaker test seam: a manually advanced time source.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)}
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+// TestBreakerTransitionTable walks the documented transition table in
+// breaker.go literally: each case is a sequence of events against a
+// fresh breaker and the state it must land in.
+func TestBreakerTransitionTable(t *testing.T) {
+	const openFor = 10 * time.Second
+
+	// Event vocabulary. allow/reject assert the Allow verdict; ok/fail
+	// are Record outcomes; cancel is Cancel; wait advances the clock.
+	type event struct {
+		kind string // "allow", "reject", "ok", "fail", "cancel", "wait"
+		wait time.Duration
+	}
+	allow := event{kind: "allow"}
+	reject := event{kind: "reject"}
+	ok := event{kind: "ok"}
+	fail := event{kind: "fail"}
+	cancel := event{kind: "cancel"}
+	wait := func(d time.Duration) event { return event{kind: "wait", wait: d} }
+
+	cases := []struct {
+		name      string
+		threshold int
+		probes    int
+		events    []event
+		want      BreakerState
+		wantOpens uint64
+	}{
+		{
+			name:   "closed admits and stays closed on success",
+			events: []event{allow, ok, allow, ok},
+			want:   BreakerClosed,
+		},
+		{
+			name:      "failures below threshold stay closed",
+			threshold: 3,
+			events:    []event{allow, fail, allow, fail},
+			want:      BreakerClosed,
+		},
+		{
+			name:      "success resets the consecutive-failure count",
+			threshold: 2,
+			events:    []event{allow, fail, allow, ok, allow, fail},
+			want:      BreakerClosed,
+		},
+		{
+			name:      "threshold consecutive failures trip open",
+			threshold: 2,
+			events:    []event{allow, fail, allow, fail},
+			want:      BreakerOpen,
+			wantOpens: 1,
+		},
+		{
+			name:      "open rejects before the window elapses",
+			threshold: 1,
+			events:    []event{allow, fail, wait(openFor - time.Millisecond), reject},
+			want:      BreakerOpen,
+			wantOpens: 1,
+		},
+		{
+			name:      "open admits a half-open probe after the window",
+			threshold: 1,
+			events:    []event{allow, fail, wait(openFor), allow},
+			want:      BreakerHalfOpen,
+			wantOpens: 1,
+		},
+		{
+			name:      "stale record while open is ignored",
+			threshold: 1,
+			// Two admitted, one fails and trips; the straggler's success
+			// must not close the circuit.
+			events:    []event{allow, allow, fail, ok, wait(openFor - time.Millisecond), reject},
+			want:      BreakerOpen,
+			wantOpens: 1,
+		},
+		{
+			name:      "half-open caps concurrent probes",
+			threshold: 1,
+			probes:    1,
+			events:    []event{allow, fail, wait(openFor), allow, reject},
+			want:      BreakerHalfOpen,
+			wantOpens: 1,
+		},
+		{
+			name:      "successful probe closes the circuit",
+			threshold: 1,
+			events:    []event{allow, fail, wait(openFor), allow, ok, allow, ok},
+			want:      BreakerClosed,
+			wantOpens: 1,
+		},
+		{
+			name:      "failed probe re-opens for a fresh window",
+			threshold: 1,
+			events: []event{allow, fail, wait(openFor), allow, fail,
+				wait(openFor - time.Millisecond), reject},
+			want:      BreakerOpen,
+			wantOpens: 2,
+		},
+		{
+			name:      "after a probe closes, the threshold applies afresh",
+			threshold: 2,
+			events: []event{allow, fail, allow, fail, // trip
+				wait(openFor), allow, ok, // recover
+				allow, fail}, // one failure: not enough to re-trip
+			want:      BreakerClosed,
+			wantOpens: 1,
+		},
+		{
+			name:      "cancel while closed is not a failure",
+			threshold: 1,
+			events:    []event{allow, cancel, allow, cancel},
+			want:      BreakerClosed,
+		},
+		{
+			name:      "cancel frees the half-open probe slot",
+			threshold: 1,
+			probes:    1,
+			// Probe's caller deadline dies (cancel) → the next Allow must
+			// get the freed slot instead of being rejected.
+			events:    []event{allow, fail, wait(openFor), allow, cancel, allow, ok},
+			want:      BreakerClosed,
+			wantOpens: 1,
+		},
+		{
+			name:      "cancel alone never closes an open circuit",
+			threshold: 1,
+			events:    []event{allow, fail, cancel, wait(openFor - time.Millisecond), reject},
+			want:      BreakerOpen,
+			wantOpens: 1,
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			clk := newFakeClock()
+			b := NewBreaker(BreakerConfig{
+				FailureThreshold: tc.threshold,
+				OpenFor:          openFor,
+				HalfOpenProbes:   tc.probes,
+				now:              clk.now,
+			})
+			for i, ev := range tc.events {
+				switch ev.kind {
+				case "allow":
+					if !b.Allow() {
+						t.Fatalf("event %d: Allow() = false, want admitted (state %s)", i, b.State())
+					}
+				case "reject":
+					if b.Allow() {
+						t.Fatalf("event %d: Allow() = true, want rejected (state %s)", i, b.State())
+					}
+				case "ok":
+					b.Record(true)
+				case "fail":
+					b.Record(false)
+				case "cancel":
+					b.Cancel()
+				case "wait":
+					clk.advance(ev.wait)
+				}
+			}
+			if got := b.State(); got != tc.want {
+				t.Errorf("final state = %s, want %s", got, tc.want)
+			}
+			if got := b.Opens(); got != tc.wantOpens {
+				t.Errorf("Opens() = %d, want %d", got, tc.wantOpens)
+			}
+		})
+	}
+}
+
+// TestBreakerHalfOpenProbeRace hammers a half-open breaker from many
+// goroutines and asserts the probe cap holds exactly: no interleaving
+// admits more than HalfOpenProbes trial requests at once. Run under
+// -race this also exercises the lock discipline.
+func TestBreakerHalfOpenProbeRace(t *testing.T) {
+	const probeCap = 3
+	clk := newFakeClock()
+	b := NewBreaker(BreakerConfig{
+		FailureThreshold: 1,
+		OpenFor:          time.Second,
+		HalfOpenProbes:   probeCap,
+		now:              clk.now,
+	})
+	// Trip it, then elapse the window so the next Allows contend for
+	// the half-open probe slots.
+	if !b.Allow() {
+		t.Fatal("fresh breaker rejected")
+	}
+	b.Record(false)
+	clk.advance(time.Second)
+
+	const goroutines = 64
+	admitted := make(chan bool, goroutines)
+	var start, done sync.WaitGroup
+	start.Add(1)
+	for i := 0; i < goroutines; i++ {
+		done.Add(1)
+		go func() {
+			defer done.Done()
+			start.Wait()
+			admitted <- b.Allow()
+		}()
+	}
+	start.Done()
+	done.Wait()
+	close(admitted)
+
+	var n int
+	for a := range admitted {
+		if a {
+			n++
+		}
+	}
+	if n != probeCap {
+		t.Fatalf("half-open admitted %d concurrent probes, want exactly %d", n, probeCap)
+	}
+	if got := b.State(); got != BreakerHalfOpen {
+		t.Fatalf("state = %s, want half-open", got)
+	}
+
+	// Releasing one slot via Cancel must admit exactly one more.
+	b.Cancel()
+	if !b.Allow() {
+		t.Fatal("Allow() after Cancel rejected; probe slot not released")
+	}
+	if b.Allow() {
+		t.Fatal("Allow() admitted past the probe cap after one Cancel")
+	}
+
+	// One success closes the circuit regardless of outstanding probes.
+	b.Record(true)
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("state after probe success = %s, want closed", got)
+	}
+}
+
+func TestBreakerStateString(t *testing.T) {
+	for st, want := range map[BreakerState]string{
+		BreakerClosed:   "closed",
+		BreakerOpen:     "open",
+		BreakerHalfOpen: "half-open",
+		BreakerState(9): "unknown",
+	} {
+		if got := st.String(); got != want {
+			t.Errorf("BreakerState(%d).String() = %q, want %q", st, got, want)
+		}
+	}
+}
+
+// TestBackoffDelay pins the deterministic retry backoff: same (key,
+// attempt) → same delay; delays grow exponentially from base, are
+// capped at max, and equal jitter keeps every delay in [cap/2, cap).
+func TestBackoffDelay(t *testing.T) {
+	base, max := 100*time.Millisecond, 2*time.Second
+
+	for attempt := 0; attempt < 8; attempt++ {
+		a := backoffDelay(base, max, "backend-1", attempt)
+		b := backoffDelay(base, max, "backend-1", attempt)
+		if a != b {
+			t.Fatalf("attempt %d: backoffDelay not deterministic: %v vs %v", attempt, a, b)
+		}
+		// Uncapped exponential for this attempt, clamped to max.
+		exp := base << attempt
+		if exp > max || exp <= 0 {
+			exp = max
+		}
+		if a < exp/2 || a >= exp {
+			t.Errorf("attempt %d: delay %v outside equal-jitter band [%v, %v)", attempt, a, exp/2, exp)
+		}
+	}
+
+	if backoffDelay(base, max, "backend-1", 0) == backoffDelay(base, max, "backend-2", 0) {
+		t.Error("distinct keys produced identical jitter; retries would stampede in lockstep")
+	}
+
+	// Zero-value config gets the documented defaults (100ms base, 2s cap).
+	d := backoffDelay(0, 0, "k", 20)
+	if d < time.Second || d >= 2*time.Second {
+		t.Errorf("defaulted high attempt delay %v outside [1s, 2s)", d)
+	}
+}
+
+// TestProbeDelaysSpacing pins the health-probe jitter (satellite: the
+// router's probe loop shares nextProbeDelay with this pure function, so
+// these bounds are the loop's actual spacing).
+func TestProbeDelaysSpacing(t *testing.T) {
+	const interval = 2 * time.Second
+	delays := probeDelays(interval, 42, 100)
+	if len(delays) != 100 {
+		t.Fatalf("probeDelays returned %d delays, want 100", len(delays))
+	}
+	lo := time.Duration(0.75 * float64(interval))
+	hi := time.Duration(1.25 * float64(interval))
+	distinct := make(map[time.Duration]bool)
+	for i, d := range delays {
+		if d < lo || d >= hi {
+			t.Errorf("delay %d = %v outside [%v, %v)", i, d, lo, hi)
+		}
+		distinct[d] = true
+	}
+	if len(distinct) < 50 {
+		t.Errorf("only %d distinct delays in 100 draws; jitter stream looks degenerate", len(distinct))
+	}
+
+	// Determinism per seed; decorrelation across seeds.
+	again := probeDelays(interval, 42, 100)
+	for i := range delays {
+		if delays[i] != again[i] {
+			t.Fatalf("probeDelays(seed 42) not deterministic at %d", i)
+		}
+	}
+	other := probeDelays(interval, 43, 100)
+	same := 0
+	for i := range delays {
+		if delays[i] == other[i] {
+			same++
+		}
+	}
+	if same > 5 {
+		t.Errorf("seeds 42 and 43 agree on %d/100 delays; routers would probe in lockstep", same)
+	}
+}

@@ -2,17 +2,22 @@ package fleet
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"os"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"graphpipe/internal/faultinject"
 	"graphpipe/internal/service"
+	"graphpipe/internal/strategy"
 )
 
 // HeaderBackend names the shard that answered a routed request, so
@@ -22,6 +27,11 @@ const HeaderBackend = "X-Graphpipe-Backend"
 // maxBodyBytes bounds routed request bodies. Planning requests are a few
 // hundred bytes of JSON; a larger body is a client error, not traffic.
 const maxBodyBytes = 1 << 20
+
+// maxRelayBytes bounds buffered backend response bodies. The router
+// buffers (instead of streaming) so it can verify artifact bytes before
+// a client sees them and retry a different replica on a torn transfer.
+const maxRelayBytes = 64 << 20
 
 // RouterConfig sizes a Router. Backends is required; everything else has
 // serviceable defaults.
@@ -41,12 +51,45 @@ type RouterConfig struct {
 	// 429 propagates to the client (default 1; negative disables).
 	RetryShed int
 	// MaxRetryAfter caps how long one shed retry will wait, whatever
-	// the backend's Retry-After says (default 2s).
+	// the backend's Retry-After says (default 2s). It also caps the
+	// deterministic exponential backoff used when a 429 carries no
+	// Retry-After at all.
 	MaxRetryAfter time.Duration
 	// HealthInterval is the active health-check period (GET /v1/stats
 	// per backend; default 2s, negative disables the background loop —
-	// transport failures still mark backends down passively).
+	// transport failures still mark backends down passively). Probe
+	// rounds are jittered into [0.75, 1.25)·HealthInterval (see
+	// probeDelays and JitterSeed).
 	HealthInterval time.Duration
+	// JitterSeed seeds the health-probe jitter stream; 0 derives a seed
+	// from the process ID, so co-started routers decorrelate without
+	// configuration.
+	JitterSeed int64
+	// Breaker sizes the per-backend circuit breakers. The zero value's
+	// defaults (5 consecutive failures, 5s open) suit a fleet of local
+	// shards; see BreakerConfig.
+	Breaker BreakerConfig
+	// DefaultBudget is the end-to-end deadline stamped on routed
+	// requests that do not carry their own HeaderBudget (0: none). The
+	// remaining budget is forwarded to shards on every hop, so peer
+	// consults and planner waits are cut off when the client's window
+	// closes, not after.
+	DefaultBudget time.Duration
+	// VerifyArtifacts re-verifies every 200 plan/artifact body against
+	// its fingerprint before relaying it: a corrupt or truncated answer
+	// becomes a breaker-counted failover to the next replica (whose
+	// deterministic re-plan is byte-identical), never a wrong byte
+	// served to a client.
+	VerifyArtifacts bool
+	// HedgeDelay staggers a second artifact read at the next replica
+	// when the first has not answered within the delay; first verified
+	// success wins (0 disables hedging). Applies to GET /v1/artifacts
+	// only — reads are idempotent, plans are not free.
+	HedgeDelay time.Duration
+	// Faults wraps the router's backend client with this injected-fault
+	// set (nil: no faults). Probes and stats fetches cross the same
+	// sick wire as routed traffic.
+	Faults *faultinject.Set
 	// Client issues backend requests; nil uses a 30s-timeout client.
 	Client *http.Client
 }
@@ -55,21 +98,27 @@ type RouterConfig struct {
 // hashes each request's canonical fingerprint to its owning backend.
 // Create with NewRouter, release with Close.
 type Router struct {
-	cfg    RouterConfig
-	ring   *Ring
-	client *http.Client
-	sleep  func(time.Duration) // test seam for 429 backoff
+	cfg      RouterConfig
+	ring     *Ring
+	client   *http.Client
+	sleep    func(time.Duration) // test seam for 429 backoff
+	breakers map[string]*Breaker // per backend, immutable map
 
 	mu       sync.Mutex
 	down     map[string]bool
 	inflight map[string]*atomic.Int64
 	total    atomic.Int64
 
-	routed      atomic.Uint64
-	failovers   atomic.Uint64
-	retried429  atomic.Uint64
-	badRequests atomic.Uint64
-	noBackend   atomic.Uint64
+	routed             atomic.Uint64
+	failovers          atomic.Uint64
+	retried429         atomic.Uint64
+	badRequests        atomic.Uint64
+	noBackend          atomic.Uint64
+	breakerRejections  atomic.Uint64
+	deadlineRejections atomic.Uint64
+	corruptBodies      atomic.Uint64
+	hedged             atomic.Uint64
+	hedgeWins          atomic.Uint64
 
 	stop chan struct{}
 	done sync.WaitGroup
@@ -94,20 +143,30 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 	if cfg.HealthInterval == 0 {
 		cfg.HealthInterval = 2 * time.Second
 	}
+	if cfg.JitterSeed == 0 {
+		cfg.JitterSeed = int64(os.Getpid())
+	}
 	if cfg.Client == nil {
 		cfg.Client = &http.Client{Timeout: 30 * time.Second}
+	}
+	if cfg.Faults != nil {
+		c := *cfg.Client
+		c.Transport = cfg.Faults.Transport("router", c.Transport)
+		cfg.Client = &c
 	}
 	r := &Router{
 		cfg:      cfg,
 		ring:     ring,
 		client:   cfg.Client,
 		sleep:    time.Sleep,
+		breakers: make(map[string]*Breaker, len(cfg.Backends)),
 		down:     make(map[string]bool),
 		inflight: make(map[string]*atomic.Int64, len(cfg.Backends)),
 		stop:     make(chan struct{}),
 	}
 	for _, b := range cfg.Backends {
 		r.inflight[b] = &atomic.Int64{}
+		r.breakers[b] = NewBreaker(cfg.Breaker)
 	}
 	if cfg.HealthInterval > 0 {
 		r.done.Add(1)
@@ -183,60 +242,332 @@ func (r *Router) handleEval(w http.ResponseWriter, req *http.Request) {
 
 func (r *Router) handleArtifact(w http.ResponseWriter, req *http.Request) {
 	fp := req.PathValue("fp")
-	r.forward(w, req, fp, "/v1/artifacts/"+fp, nil)
+	path := "/v1/artifacts/" + fp
+	if r.cfg.HedgeDelay > 0 {
+		r.forwardHedged(w, req, fp, path)
+		return
+	}
+	r.forward(w, req, fp, path, nil)
+}
+
+// outcomeKind classifies one backend attempt for the failover loop.
+type outcomeKind int
+
+const (
+	outcomeNone       outcomeKind = iota // no attempt was made
+	outcomeOK                            // relayable answer (2xx–4xx, incl. exhausted 429s)
+	outcomeBreakerOpen                   // not admitted; nothing was sent
+	outcomeDeadline                      // the request's own budget died mid-attempt
+	outcomeTransport                     // connection-level failure: mark down, fail over
+	outcomeServerErr                     // backend answered >= 500: fail over, relayable as last resort
+	outcomeCorrupt                       // body failed verification or tore mid-read: fail over
+)
+
+// outcome is one backend attempt's result: a classification plus, when
+// the backend produced an HTTP answer, the buffered response.
+type outcome struct {
+	kind    outcomeKind
+	backend string
+	status  int
+	header  http.Header
+	data    []byte
+	err     error
 }
 
 // forward proxies one request to the fleet: candidates are the key's
 // ring owners, filtered by health and reordered by the bounded-load
-// rule; a connection failure marks the backend down and fails over to
-// the next replica; a 429 is retried on the same backend after its
-// Retry-After delay before propagating.
+// rule, each gated by its circuit breaker. A connection failure marks
+// the backend down and fails over to the next replica; a 429 is retried
+// on the same backend with bounded backoff before propagating; a
+// corrupt or torn 200 becomes a failover, never a wrong byte served.
 func (r *Router) forward(w http.ResponseWriter, req *http.Request, key, path string, body []byte) {
 	r.routed.Add(1)
-	var lastErr error
-	for _, backend := range r.candidates(key) {
-		resp, err := r.send(req, backend, path, body)
-		for attempt := 0; err == nil && resp.StatusCode == http.StatusTooManyRequests && attempt < r.cfg.RetryShed; attempt++ {
-			// The shard told us when a worker should free up; honoring
-			// that (capped) beats hammering the next replica, which does
-			// not own the fingerprint's cache entry.
-			delay := retryAfterDelay(resp, r.cfg.MaxRetryAfter)
-			io.Copy(io.Discard, resp.Body)
-			resp.Body.Close()
-			r.retried429.Add(1)
-			r.sleep(delay)
-			resp, err = r.send(req, backend, path, body)
-		}
-		if err != nil {
-			r.markDown(backend)
-			r.failovers.Add(1)
-			lastErr = err
-			continue
-		}
-		r.relay(w, resp, backend)
+	ctx, cancel, ok := r.budgetCtx(w, req)
+	if !ok {
 		return
 	}
+	defer cancel()
+	verifyFP := r.verifyKey(path, key)
+	var last outcome
+	sawBreaker := false
+	for _, backend := range r.candidates(key) {
+		if ctx.Err() != nil {
+			r.finishDeadline(w, key, ctx)
+			return
+		}
+		o := r.tryBackend(ctx, req, backend, key, path, body, verifyFP)
+		switch o.kind {
+		case outcomeOK:
+			r.relayOutcome(w, o)
+			return
+		case outcomeBreakerOpen:
+			r.breakerRejections.Add(1)
+			sawBreaker = true
+		case outcomeDeadline:
+			r.finishDeadline(w, key, ctx)
+			return
+		case outcomeTransport:
+			r.markDown(o.backend)
+			r.failovers.Add(1)
+			last = o
+		default: // outcomeServerErr, outcomeCorrupt
+			r.failovers.Add(1)
+			last = o
+		}
+	}
+	r.finishExhausted(w, key, last, sawBreaker)
+}
+
+// forwardHedged is forward for artifact reads with hedging: if the
+// first replica has not answered within HedgeDelay, a second request
+// launches at the next candidate and the first verified success wins.
+// Reads are idempotent and cheap for the losing replica, so the hedge
+// trades one duplicate GET for tail latency whenever the owner is slow
+// — degraded, faulted, or mid-GC.
+func (r *Router) forwardHedged(w http.ResponseWriter, req *http.Request, fp, path string) {
+	r.routed.Add(1)
+	ctx, cancel, ok := r.budgetCtx(w, req)
+	if !ok {
+		return
+	}
+	defer cancel()
+	verifyFP := r.verifyKey(path, fp)
+	cands := r.candidates(fp)
+	results := make(chan outcome, len(cands))
+	next, pending := 0, 0
+	launch := func() bool {
+		if next >= len(cands) {
+			return false
+		}
+		backend := cands[next]
+		next++
+		pending++
+		go func() { results <- r.tryBackend(ctx, req, backend, fp, path, nil, verifyFP) }()
+		return true
+	}
+	launch()
+	hedgeTimer := time.NewTimer(r.cfg.HedgeDelay)
+	defer hedgeTimer.Stop()
+	hedgeArmed := true
+	var last outcome
+	sawBreaker := false
+	for pending > 0 {
+		select {
+		case o := <-results:
+			pending--
+			switch o.kind {
+			case outcomeOK:
+				if len(cands) > 0 && o.backend != cands[0] {
+					r.hedgeWins.Add(1)
+				}
+				r.relayOutcome(w, o)
+				return
+			case outcomeBreakerOpen:
+				r.breakerRejections.Add(1)
+				sawBreaker = true
+				launch()
+			case outcomeDeadline:
+				if pending == 0 {
+					r.finishDeadline(w, fp, ctx)
+					return
+				}
+			case outcomeTransport:
+				r.markDown(o.backend)
+				r.failovers.Add(1)
+				last = o
+				launch()
+			default:
+				r.failovers.Add(1)
+				last = o
+				launch()
+			}
+		case <-hedgeTimer.C:
+			if hedgeArmed {
+				hedgeArmed = false
+				if launch() {
+					r.hedged.Add(1)
+				}
+			}
+		}
+	}
+	r.finishExhausted(w, fp, last, sawBreaker)
+}
+
+// tryBackend runs one breaker-guarded attempt against one backend,
+// including same-backend 429 retries, buffering the response body and
+// verifying it when asked. Exactly one breaker verdict (Record or
+// Cancel) is issued per admitted attempt.
+func (r *Router) tryBackend(ctx context.Context, orig *http.Request, backend, key, path string, body []byte, verifyFP string) outcome {
+	br := r.breakers[backend]
+	if !br.Allow() {
+		return outcome{kind: outcomeBreakerOpen, backend: backend}
+	}
+	resp, err := r.send(ctx, orig, backend, path, body)
+	for attempt := 0; err == nil && resp.StatusCode == http.StatusTooManyRequests && attempt < r.cfg.RetryShed; attempt++ {
+		// The shard told us when a worker should free up; honoring that
+		// (capped) beats hammering the next replica, which does not own
+		// the fingerprint's cache entry. Absent a Retry-After, back off
+		// exponentially with deterministic jitter instead of blindly.
+		delay := r.shedDelay(resp, key, attempt)
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if dl, ok := ctx.Deadline(); ok {
+			if rem := time.Until(dl); delay > rem {
+				delay = rem
+			}
+		}
+		r.retried429.Add(1)
+		if delay > 0 {
+			r.sleep(delay)
+		}
+		if ctx.Err() != nil {
+			br.Cancel()
+			return outcome{kind: outcomeDeadline, backend: backend, err: ctx.Err()}
+		}
+		resp, err = r.send(ctx, orig, backend, path, body)
+	}
+	if err != nil {
+		if ctx.Err() != nil {
+			// Our budget (or client) died mid-flight; that proves nothing
+			// about the backend, so no breaker verdict either way.
+			br.Cancel()
+			return outcome{kind: outcomeDeadline, backend: backend, err: ctx.Err()}
+		}
+		br.Record(false)
+		return outcome{kind: outcomeTransport, backend: backend, err: err}
+	}
+	data, rerr := io.ReadAll(io.LimitReader(resp.Body, maxRelayBytes))
+	resp.Body.Close()
+	o := outcome{backend: backend, status: resp.StatusCode, header: resp.Header, data: data}
+	switch {
+	case resp.StatusCode >= http.StatusInternalServerError && resp.StatusCode != http.StatusGatewayTimeout:
+		// A 504 is excluded: it reports our own forwarded budget dying
+		// inside the shard, which says nothing about the shard's health.
+		br.Record(false)
+		o.kind = outcomeServerErr
+		o.err = fmt.Errorf("backend %s: status %d", backend, resp.StatusCode)
+	case rerr != nil:
+		// The body tore mid-read: a cut wire, not a clean answer.
+		br.Record(false)
+		r.corruptBodies.Add(1)
+		o.kind = outcomeCorrupt
+		o.err = fmt.Errorf("backend %s: body: %w", backend, rerr)
+	case verifyFP != "" && resp.StatusCode == http.StatusOK:
+		if _, verr := strategy.VerifyArtifactBytes(verifyFP, data); verr != nil {
+			br.Record(false)
+			r.corruptBodies.Add(1)
+			o.kind = outcomeCorrupt
+			o.err = fmt.Errorf("backend %s: %w", backend, verr)
+			return o
+		}
+		br.Record(true)
+		o.kind = outcomeOK
+	default:
+		br.Record(true)
+		o.kind = outcomeOK
+	}
+	return o
+}
+
+// verifyKey returns the fingerprint a path's 200 bodies must hash to,
+// or "" when the response is not verifiable (evals are reports, not
+// artifacts) or verification is disabled.
+func (r *Router) verifyKey(path, key string) string {
+	if !r.cfg.VerifyArtifacts {
+		return ""
+	}
+	if path == "/v1/plan" || strings.HasPrefix(path, "/v1/artifacts/") {
+		return key
+	}
+	return ""
+}
+
+// budgetCtx derives the forwarding context from the request's time
+// budget: an explicit HeaderBudget wins, then DefaultBudget; with
+// neither, the request context passes through. ok=false means the
+// response was already written (malformed header, or a budget that
+// arrived spent).
+func (r *Router) budgetCtx(w http.ResponseWriter, req *http.Request) (context.Context, context.CancelFunc, bool) {
+	budget := r.cfg.DefaultBudget
+	if h := req.Header.Get(service.HeaderBudget); h != "" {
+		ms, err := strconv.Atoi(h)
+		if err != nil {
+			r.badRequests.Add(1)
+			writeRouterError(w, http.StatusBadRequest, "bad_request",
+				fmt.Errorf("%s: %q is not integer milliseconds", service.HeaderBudget, h))
+			return nil, nil, false
+		}
+		if ms <= 0 {
+			r.deadlineRejections.Add(1)
+			writeRouterError(w, http.StatusGatewayTimeout, "deadline_exceeded",
+				fmt.Errorf("request budget arrived spent (%s: %d)", service.HeaderBudget, ms))
+			return nil, nil, false
+		}
+		budget = time.Duration(ms) * time.Millisecond
+	}
+	if budget <= 0 {
+		return req.Context(), func() {}, true
+	}
+	ctx, cancel := context.WithTimeout(req.Context(), budget)
+	return ctx, cancel, true
+}
+
+// finishDeadline ends a forward whose context died mid-flight: an
+// expired budget is a counted 504; a client that hung up gets nothing.
+func (r *Router) finishDeadline(w http.ResponseWriter, key string, ctx context.Context) {
+	if !errors.Is(ctx.Err(), context.DeadlineExceeded) {
+		return
+	}
+	r.deadlineRejections.Add(1)
+	writeRouterError(w, http.StatusGatewayTimeout, "deadline_exceeded",
+		fmt.Errorf("fleet: request budget exhausted for %s", key))
+}
+
+// finishExhausted writes the response for a forward that ran out of
+// candidates: the last backend 5xx if one exists (the healthiest truth
+// left is the backend's own error body), a 503 when only open breakers
+// were met, a 502 otherwise.
+func (r *Router) finishExhausted(w http.ResponseWriter, key string, last outcome, sawBreaker bool) {
 	r.noBackend.Add(1)
-	if lastErr == nil {
-		lastErr = errors.New("no backends configured for key")
+	if last.kind == outcomeServerErr {
+		r.relayOutcome(w, last)
+		return
+	}
+	if last.kind == outcomeNone && sawBreaker {
+		writeRouterError(w, http.StatusServiceUnavailable, "breaker_open",
+			fmt.Errorf("fleet: every replica's breaker is open for %s", key))
+		return
+	}
+	err := last.err
+	if err == nil {
+		err = errors.New("no backends configured for key")
 	}
 	writeRouterError(w, http.StatusBadGateway, "no_backend",
-		fmt.Errorf("fleet: every replica failed for %s: %w", key, lastErr))
+		fmt.Errorf("fleet: every replica failed for %s: %w", key, err))
 }
 
 // send issues one backend request, tracking per-backend in-flight load
-// for the bounded-load rule.
-func (r *Router) send(orig *http.Request, backend, path string, body []byte) (*http.Response, error) {
+// for the bounded-load rule and forwarding the remaining time budget so
+// the shard bounds its own peer consults and planner waits to what the
+// client will still accept.
+func (r *Router) send(ctx context.Context, orig *http.Request, backend, path string, body []byte) (*http.Response, error) {
 	var rd io.Reader
 	if body != nil {
 		rd = bytes.NewReader(body)
 	}
-	req, err := http.NewRequestWithContext(orig.Context(), orig.Method, backend+path, rd)
+	req, err := http.NewRequestWithContext(ctx, orig.Method, backend+path, rd)
 	if err != nil {
 		return nil, err
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	if dl, ok := ctx.Deadline(); ok {
+		ms := time.Until(dl).Milliseconds()
+		if ms < 1 {
+			ms = 1
+		}
+		req.Header.Set(service.HeaderBudget, strconv.FormatInt(ms, 10))
 	}
 	counter := r.inflight[backend]
 	counter.Add(1)
@@ -247,18 +578,17 @@ func (r *Router) send(orig *http.Request, backend, path string, body []byte) (*h
 	return resp, err
 }
 
-// relay copies a backend response to the client, stamping which shard
-// answered.
-func (r *Router) relay(w http.ResponseWriter, resp *http.Response, backend string) {
-	defer resp.Body.Close()
+// relayOutcome copies a buffered backend response to the client,
+// stamping which shard answered.
+func (r *Router) relayOutcome(w http.ResponseWriter, o outcome) {
 	for _, h := range []string{"Content-Type", service.HeaderFingerprint, service.HeaderCache, "Retry-After"} {
-		if v := resp.Header.Get(h); v != "" {
+		if v := o.header.Get(h); v != "" {
 			w.Header().Set(h, v)
 		}
 	}
-	w.Header().Set(HeaderBackend, backend)
-	w.WriteHeader(resp.StatusCode)
-	io.Copy(w, resp.Body)
+	w.Header().Set(HeaderBackend, o.backend)
+	w.WriteHeader(o.status)
+	w.Write(o.data)
 }
 
 // candidates orders the key's ring owners for one forwarding attempt:
@@ -315,22 +645,28 @@ func (r *Router) markDown(backend string) {
 
 // healthLoop actively probes every backend's /v1/stats, reviving
 // backends that passive failures marked down and catching dead ones
-// before traffic does.
+// before traffic does. Probe rounds are spaced by jittered delays in
+// [0.75, 1.25)·HealthInterval drawn from the router's seeded stream
+// (the same sequence probeDelays reports): routers restarted together
+// drift apart instead of synchronously hammering every shard each
+// period.
 func (r *Router) healthLoop() {
 	defer r.done.Done()
-	tick := time.NewTicker(r.cfg.HealthInterval)
-	defer tick.Stop()
+	jitter := probeJitter(r.cfg.JitterSeed)
+	timer := time.NewTimer(nextProbeDelay(&jitter, r.cfg.HealthInterval))
+	defer timer.Stop()
 	for {
 		select {
 		case <-r.stop:
 			return
-		case <-tick.C:
+		case <-timer.C:
 			for _, b := range r.cfg.Backends {
 				healthy := r.probe(b)
 				r.mu.Lock()
 				r.down[b] = !healthy
 				r.mu.Unlock()
 			}
+			timer.Reset(nextProbeDelay(&jitter, r.cfg.HealthInterval))
 		}
 	}
 }
@@ -349,17 +685,19 @@ func (r *Router) probe(backend string) bool {
 	return resp.StatusCode == http.StatusOK
 }
 
-// retryAfterDelay parses a 429's Retry-After seconds, capped; absent or
-// malformed headers get a small fixed backoff.
-func retryAfterDelay(resp *http.Response, max time.Duration) time.Duration {
+// shedDelay is how long to wait before retrying a 429 on the same
+// backend: the shard's Retry-After seconds when present (capped), else
+// bounded exponential backoff with deterministic jitter keyed by the
+// routed fingerprint.
+func (r *Router) shedDelay(resp *http.Response, key string, attempt int) time.Duration {
 	if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs >= 0 {
 		d := time.Duration(secs) * time.Second
-		if d > max {
-			d = max
+		if d > r.cfg.MaxRetryAfter {
+			d = r.cfg.MaxRetryAfter
 		}
 		return d
 	}
-	return 250 * time.Millisecond
+	return backoffDelay(250*time.Millisecond, r.cfg.MaxRetryAfter, key, attempt)
 }
 
 // readBody slurps a bounded request body.

@@ -37,11 +37,34 @@ type RouterStats struct {
 	BadRequests uint64 `json:"bad_requests"`
 	// NoBackend counts requests for which every replica failed (502s).
 	NoBackend uint64 `json:"no_backend"`
+	// BreakerRejections counts attempts refused by an open per-backend
+	// circuit breaker (the request moved on to the next replica).
+	BreakerRejections uint64 `json:"breaker_rejections"`
+	// BreakerOpens totals breaker trips across all backends since start.
+	BreakerOpens uint64 `json:"breaker_opens"`
+	// DeadlineRejections counts requests cut off by their time budget at
+	// the router (504s it wrote itself, not ones relayed from shards).
+	DeadlineRejections uint64 `json:"deadline_rejections"`
+	// CorruptBodies counts 200 responses the router refused to relay
+	// because the body tore mid-read or failed fingerprint verification;
+	// each one failed over to another replica.
+	CorruptBodies uint64 `json:"corrupt_bodies"`
+	// Hedged counts artifact reads that launched a hedge request;
+	// HedgeWins counts the hedges that answered first.
+	Hedged    uint64 `json:"hedged"`
+	HedgeWins uint64 `json:"hedge_wins"`
+	// Breakers maps each backend to its breaker state ("closed",
+	// "open", "half-open") at snapshot time.
+	Breakers map[string]string `json:"breakers,omitempty"`
 	// Unhealthy lists backends currently marked down.
 	Unhealthy []string `json:"unhealthy,omitempty"`
 	// InFlight is the router's per-backend in-flight proxied requests —
 	// the load the bounded-load rule balances on.
 	InFlight map[string]int64 `json:"in_flight"`
+	// FaultsInjected tallies the router's own injected faults by
+	// "site/kind" (empty without a fault spec); shard-side tallies
+	// appear in each backend's snapshot instead.
+	FaultsInjected map[string]uint64 `json:"faults_injected,omitempty"`
 }
 
 func (r *Router) handleStats(w http.ResponseWriter, req *http.Request) {
@@ -75,15 +98,26 @@ func (r *Router) handleStats(w http.ResponseWriter, req *http.Request) {
 
 func (r *Router) routerStats() RouterStats {
 	rs := RouterStats{
-		Routed:      r.routed.Load(),
-		Failovers:   r.failovers.Load(),
-		Retried429:  r.retried429.Load(),
-		BadRequests: r.badRequests.Load(),
-		NoBackend:   r.noBackend.Load(),
-		InFlight:    make(map[string]int64, len(r.inflight)),
+		Routed:             r.routed.Load(),
+		Failovers:          r.failovers.Load(),
+		Retried429:         r.retried429.Load(),
+		BadRequests:        r.badRequests.Load(),
+		NoBackend:          r.noBackend.Load(),
+		BreakerRejections:  r.breakerRejections.Load(),
+		DeadlineRejections: r.deadlineRejections.Load(),
+		CorruptBodies:      r.corruptBodies.Load(),
+		Hedged:             r.hedged.Load(),
+		HedgeWins:          r.hedgeWins.Load(),
+		Breakers:           make(map[string]string, len(r.breakers)),
+		InFlight:           make(map[string]int64, len(r.inflight)),
+		FaultsInjected:     r.cfg.Faults.Tallies(),
 	}
 	for b, c := range r.inflight {
 		rs.InFlight[b] = c.Load()
+	}
+	for b, br := range r.breakers {
+		rs.Breakers[b] = br.State().String()
+		rs.BreakerOpens += br.Opens()
 	}
 	r.mu.Lock()
 	for _, b := range r.cfg.Backends {
@@ -132,6 +166,14 @@ func addSnapshot(dst *service.Snapshot, src *service.Snapshot) {
 	dst.PeerFills += src.PeerFills
 	dst.PeerMisses += src.PeerMisses
 	dst.PeerErrors += src.PeerErrors
+	dst.PeerTimeouts += src.PeerTimeouts
+	dst.DeadlineRejections += src.DeadlineRejections
+	for k, n := range src.FaultsInjected {
+		if dst.FaultsInjected == nil {
+			dst.FaultsInjected = make(map[string]uint64)
+		}
+		dst.FaultsInjected[k] += n
+	}
 	dst.MemoOffersSent += src.MemoOffersSent
 	dst.MemoOffersReceived += src.MemoOffersReceived
 	dst.InFlight += src.InFlight

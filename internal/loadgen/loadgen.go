@@ -16,18 +16,25 @@
 package loadgen
 
 import (
+	"crypto/sha256"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
 
 	"graphpipe/internal/service"
+	"graphpipe/internal/strategy"
 	"graphpipe/internal/synth"
 )
+
+// maxVerifyBytes bounds how much of a 200 body VerifyPlans will buffer
+// for fingerprint verification — matches the router's own relay bound.
+const maxVerifyBytes = 64 << 20
 
 // Config describes one replay run.
 type Config struct {
@@ -55,6 +62,25 @@ type Config struct {
 	Planner string
 	// Seed derives the population and the sampled request sequence.
 	Seed int64
+	// BudgetMs stamps every request with an end-to-end time budget
+	// (service.HeaderBudget); 0 sends none. Responses of 504 — budgets
+	// that died mid-fleet — are counted apart from other errors, because
+	// under injected faults a bounded 504 is correct degradation while a
+	// hung request would be a bug.
+	BudgetMs int
+	// VerifyPlans re-verifies every 200 body against its fingerprint
+	// (Result.ByteMismatches counts the failures — wrong bytes that
+	// reached a client, acceptable only at zero) and tracks a content
+	// hash per fingerprint across the run (Result.AlternatePlans counts
+	// valid bodies that differ byte-wise from an earlier valid 200 for
+	// the same question — independent re-plans, possible only when peer
+	// cache-fill was unavailable).
+	VerifyPlans bool
+	// Pace is a per-worker sleep between requests (0: replay flat out).
+	// A chaos soak paces its arrivals so time-based recovery — breaker
+	// open windows, health probe rounds — is measured in requests the
+	// fleet could plausibly see, not swamped at memory speed.
+	Pace time.Duration
 	// Client issues the requests; nil uses a 60s-timeout client.
 	Client *http.Client
 }
@@ -65,7 +91,27 @@ type Result struct {
 	Completed int            `json:"completed"`
 	Shed      int            `json:"shed"`
 	Errors    int            `json:"errors"`
-	Sources   map[string]int `json:"sources"`
+	// DeadlineExceeded counts 504s: budgets that expired somewhere in
+	// the fleet. Kept apart from Errors because a chaos soak bounds the
+	// two differently — deadline deaths are expected degradation under
+	// faults, other errors are not.
+	DeadlineExceeded int `json:"deadline_exceeded"`
+	// ErrorRate is (Errors + DeadlineExceeded) / Requests: the fraction
+	// of the replay that got neither an answer nor a clean shed.
+	ErrorRate float64 `json:"error_rate"`
+	// ByteMismatches counts 200 responses whose bytes failed fingerprint
+	// verification (VerifyPlans only): corrupt or torn bodies that
+	// reached a client. The never-a-wrong-byte invariant makes the only
+	// acceptable value zero, faults or no faults.
+	ByteMismatches int `json:"byte_mismatches"`
+	// AlternatePlans counts valid 200 bodies that differed byte-wise
+	// from an earlier valid 200 for the same fingerprint (VerifyPlans
+	// only): a replica re-planned a question because its owner and every
+	// peer were unreachable, and the re-plan's volatile planner metadata
+	// (search seconds, memo reuse) differs. Expected zero on a healthy
+	// fleet, small under chaos, and never wrong bytes.
+	AlternatePlans int            `json:"alternate_plans"`
+	Sources        map[string]int `json:"sources"`
 	// DistinctFingerprints counts the unique plans the replay touched.
 	DistinctFingerprints int `json:"distinct_fingerprints"`
 	// HitRatio is warm answers (hit-memory + hit-disk + hit-peer) over
@@ -123,6 +169,8 @@ type outcome struct {
 	fp      string
 	status  int
 	err     bool
+	invalid bool              // a 200 whose body failed fingerprint verification
+	hash    [sha256.Size]byte // body hash of a 200, for byte-identity checks
 }
 
 // Run generates the population, replays the sampled sequence, and
@@ -176,7 +224,10 @@ func Run(cfg Config) (*Result, error) {
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				outcomes[i] = replayOne(cfg.Client, cfg.Target, bodies[seq[i]])
+				outcomes[i] = replayOne(cfg, bodies[seq[i]])
+				if cfg.Pace > 0 {
+					time.Sleep(cfg.Pace)
+				}
 			}
 		}()
 	}
@@ -224,20 +275,43 @@ func sampleSequence(cfg Config, population int) []int {
 	return seq
 }
 
-func replayOne(client *http.Client, target, body string) outcome {
+func replayOne(cfg Config, body string) outcome {
 	start := time.Now()
-	resp, err := client.Post(target+"/v1/plan", "application/json", strings.NewReader(body))
+	req, err := http.NewRequest(http.MethodPost, cfg.Target+"/v1/plan", strings.NewReader(body))
+	if err != nil {
+		return outcome{err: true}
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if cfg.BudgetMs > 0 {
+		req.Header.Set(service.HeaderBudget, strconv.Itoa(cfg.BudgetMs))
+	}
+	resp, err := cfg.Client.Do(req)
 	if err != nil {
 		return outcome{seconds: time.Since(start).Seconds(), err: true}
 	}
 	defer resp.Body.Close()
-	io.Copy(io.Discard, resp.Body)
 	o := outcome{
-		seconds: time.Since(start).Seconds(),
-		status:  resp.StatusCode,
-		source:  resp.Header.Get(service.HeaderCache),
-		fp:      resp.Header.Get(service.HeaderFingerprint),
+		status: resp.StatusCode,
+		source: resp.Header.Get(service.HeaderCache),
+		fp:     resp.Header.Get(service.HeaderFingerprint),
 	}
+	if resp.StatusCode == http.StatusOK && cfg.VerifyPlans {
+		data, err := io.ReadAll(io.LimitReader(resp.Body, maxVerifyBytes))
+		if err != nil {
+			// A body that tears mid-read never completed: count it with
+			// the transport errors, not as a (possibly short) answer.
+			return outcome{seconds: time.Since(start).Seconds(), err: true}
+		}
+		o.hash = sha256.Sum256(data)
+		if o.fp != "" {
+			if _, verr := strategy.VerifyArtifactBytes(o.fp, data); verr != nil {
+				o.invalid = true
+			}
+		}
+	} else {
+		io.Copy(io.Discard, resp.Body)
+	}
+	o.seconds = time.Since(start).Seconds()
 	if resp.StatusCode != http.StatusOK {
 		o.source, o.fp = "", ""
 	}
@@ -256,6 +330,7 @@ func reduce(cfg Config, outcomes []outcome, wall float64, before, after *service
 	var all, cold, warm []float64
 	tiers := make(map[string][]float64)
 	fps := make(map[string]bool)
+	firstHash := make(map[string][sha256.Size]byte)
 	for _, o := range outcomes {
 		switch {
 		case o.err:
@@ -264,6 +339,9 @@ func reduce(cfg Config, outcomes []outcome, wall float64, before, after *service
 		case o.status == http.StatusTooManyRequests:
 			res.Shed++
 			continue
+		case o.status == http.StatusGatewayTimeout:
+			res.DeadlineExceeded++
+			continue
 		case o.status != http.StatusOK:
 			res.Errors++
 			continue
@@ -271,6 +349,16 @@ func reduce(cfg Config, outcomes []outcome, wall float64, before, after *service
 		res.Completed++
 		res.Sources[o.source]++
 		fps[o.fp] = true
+		if cfg.VerifyPlans {
+			switch prev, seen := firstHash[o.fp]; {
+			case o.invalid:
+				res.ByteMismatches++
+			case !seen:
+				firstHash[o.fp] = o.hash
+			case prev != o.hash:
+				res.AlternatePlans++
+			}
+		}
 		all = append(all, o.seconds)
 		tiers[o.source] = append(tiers[o.source], o.seconds)
 		if strings.HasPrefix(o.source, "hit-") {
@@ -280,6 +368,9 @@ func reduce(cfg Config, outcomes []outcome, wall float64, before, after *service
 		}
 	}
 	res.DistinctFingerprints = len(fps)
+	if res.Requests > 0 {
+		res.ErrorRate = float64(res.Errors+res.DeadlineExceeded) / float64(res.Requests)
+	}
 	if res.Completed > 0 {
 		hits := res.Sources["hit-memory"] + res.Sources["hit-disk"] + res.Sources["hit-peer"]
 		res.HitRatio = float64(hits) / float64(res.Completed)

@@ -23,6 +23,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"graphpipe/internal/faultinject"
 	"graphpipe/internal/memosnap"
 )
 
@@ -41,9 +42,22 @@ type Store struct {
 	items map[memosnap.Key]*list.Element
 	dir   string
 
+	faults *faultinject.DiskInjector // nil: healthy disk
+
 	evictions    atomic.Uint64
 	installs     atomic.Uint64
 	diskFailures atomic.Uint64
+}
+
+// InjectFaults installs a deterministic disk-fault injector on the
+// store's shard IO (nil: healthy; call before serving traffic). The
+// GPMEMO checksum that memosnap.Decode verifies up front is what turns
+// every injected corruption into a counted miss instead of a silently
+// poisoned warm-start.
+func (s *Store) InjectFaults(d *faultinject.DiskInjector) {
+	if s != nil {
+		s.faults = d
+	}
 }
 
 // New builds a store holding at most max snapshots in memory (max <= 0
@@ -96,6 +110,7 @@ func (s *Store) Lookup(k memosnap.Key) *memosnap.Snapshot {
 		s.diskFailures.Add(1)
 		return nil
 	}
+	data = s.faults.Read(data)
 	snap, err := memosnap.Decode(data)
 	if err != nil || snap.Key != k {
 		// Corrupt shard, foreign format version, or a misfiled snapshot:
@@ -157,7 +172,10 @@ func (s *Store) putLocked(k memosnap.Key, snap *memosnap.Snapshot) {
 // writeShard persists one snapshot atomically, so a crashed or concurrent
 // writer can never leave a torn shard for Lookup to read.
 func (s *Store) writeShard(snap *memosnap.Snapshot) error {
-	data := memosnap.Encode(snap)
+	data, err := s.faults.Write(memosnap.Encode(snap))
+	if err != nil {
+		return err
+	}
 	tmp, err := os.CreateTemp(s.dir, ".memo-tmp-*")
 	if err != nil {
 		return err

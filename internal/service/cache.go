@@ -8,6 +8,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"graphpipe/internal/faultinject"
 	"graphpipe/internal/strategy"
 )
 
@@ -83,7 +84,15 @@ func (c *memoryLRU) len() int {
 // them directly). It survives daemon restarts and memory evictions, and
 // is unbounded — an artifact is a few KB and the operator owns the
 // directory. An empty dir disables the tier.
-type diskStore struct{ dir string }
+//
+// faults (nil: healthy disk) injects deterministic read corruption and
+// failed/partial writes between the store and its bytes; the
+// fingerprint re-verification in get is what turns every injected
+// mangle into a miss instead of a wrong answer.
+type diskStore struct {
+	dir    string
+	faults *faultinject.DiskInjector
+}
 
 func (d *diskStore) enabled() bool { return d.dir != "" }
 
@@ -104,6 +113,7 @@ func (d *diskStore) get(fp string) (*cacheEntry, error) {
 	if err != nil {
 		return nil, err
 	}
+	data = d.faults.Read(data)
 	art, err := strategy.VerifyArtifactBytes(fp, data)
 	if err != nil {
 		return nil, fmt.Errorf("cached artifact: %w", err)
@@ -117,11 +127,15 @@ func (d *diskStore) put(e *cacheEntry) error {
 	if !d.enabled() {
 		return nil
 	}
+	data, err := d.faults.Write(e.data)
+	if err != nil {
+		return err
+	}
 	tmp, err := os.CreateTemp(d.dir, "."+e.fp+".tmp-*")
 	if err != nil {
 		return err
 	}
-	if _, err := tmp.Write(e.data); err != nil {
+	if _, err := tmp.Write(data); err != nil {
 		tmp.Close()
 		os.Remove(tmp.Name())
 		return err

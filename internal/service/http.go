@@ -1,12 +1,14 @@
 package service
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"strconv"
+	"time"
 
 	"graphpipe/internal/memosnap"
 )
@@ -19,6 +21,13 @@ const (
 	// HeaderCache carries the PlanResult source: "miss", "shared",
 	// "hit-memory", or "hit-disk".
 	HeaderCache = "X-Graphpipe-Cache"
+	// HeaderBudget carries a request's remaining end-to-end time budget
+	// in integer milliseconds. Every hop — router to shard, shard to
+	// peer, memo offer — re-stamps the remainder, so the whole chain
+	// shares one deadline instead of stacking independent timeouts. A
+	// request whose budget expires gets 504 "deadline_exceeded"; one
+	// whose budget arrives spent is rejected without work.
+	HeaderBudget = "X-Graphpipe-Budget-Ms"
 )
 
 // Handler returns the service's HTTP API:
@@ -45,13 +54,19 @@ func (s *Service) Handler() http.Handler {
 }
 
 func (s *Service) handlePlan(w http.ResponseWriter, r *http.Request) {
+	r, cancel, err := withBudget(r)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	defer cancel()
 	var req Request
 	if !decodeBody(w, r, &req) {
 		return
 	}
 	res, err := s.Plan(r.Context(), req)
 	if err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -61,13 +76,19 @@ func (s *Service) handlePlan(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Service) handleEval(w http.ResponseWriter, r *http.Request) {
+	r, cancel, err := withBudget(r)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	defer cancel()
 	var req EvalRequest
 	if !decodeBody(w, r, &req) {
 		return
 	}
 	res, err := s.Eval(r.Context(), req)
 	if err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
 	w.Header().Set(HeaderFingerprint, res.Fingerprint)
@@ -76,21 +97,48 @@ func (s *Service) handleEval(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Service) handleArtifact(w http.ResponseWriter, r *http.Request) {
+	r, cancel, err := withBudget(r)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	defer cancel()
 	// A fellow daemon's fill request stops at the local tiers; only
 	// client-originated lookups may consult peers in turn.
-	lookup := s.Artifact
+	var res *PlanResult
 	if r.Header.Get(HeaderPeerFill) != "" {
-		lookup = s.ArtifactLocal
+		res, err = s.ArtifactLocal(r.PathValue("fp"))
+	} else {
+		res, err = s.Artifact(r.Context(), r.PathValue("fp"))
 	}
-	res, err := lookup(r.PathValue("fp"))
 	if err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set(HeaderFingerprint, res.Fingerprint)
 	w.Header().Set(HeaderCache, res.Source)
 	w.Write(res.Data)
+}
+
+// withBudget applies a request's HeaderBudget (integer milliseconds of
+// remaining end-to-end time) to its context. A malformed header is a
+// 400; a budget that arrived spent is context.DeadlineExceeded before
+// any work happens.
+func withBudget(r *http.Request) (*http.Request, context.CancelFunc, error) {
+	h := r.Header.Get(HeaderBudget)
+	if h == "" {
+		return r, func() {}, nil
+	}
+	ms, err := strconv.Atoi(h)
+	if err != nil {
+		return r, func() {}, fmt.Errorf("%w: %s: %q is not integer milliseconds", ErrBadRequest, HeaderBudget, h)
+	}
+	if ms <= 0 {
+		return r, func() {}, fmt.Errorf("budget arrived spent: %w", context.DeadlineExceeded)
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), time.Duration(ms)*time.Millisecond)
+	return r.WithContext(ctx), cancel, nil
 }
 
 // handleMemoOffer accepts a DP memo snapshot pushed by a fleet peer
@@ -142,15 +190,26 @@ func decodeBody(w http.ResponseWriter, r *http.Request, dst any) bool {
 // apiError is the wire form of a failed request.
 type apiError struct {
 	// Error is the machine-readable code: "bad_request", "not_found",
-	// "overloaded", or "internal".
+	// "overloaded", "deadline_exceeded", or "internal".
 	Error string `json:"error"`
 	// Detail is the human-readable cause.
 	Detail string `json:"detail"`
 }
 
+// writeError is writeError plus the service's own bookkeeping: budget
+// expiries are counted so /v1/stats shows how often deadlines bite.
+func (s *Service) writeError(w http.ResponseWriter, err error) {
+	if errors.Is(err, context.DeadlineExceeded) {
+		s.stats.deadlineRejections.Add(1)
+	}
+	writeError(w, err)
+}
+
 func writeError(w http.ResponseWriter, err error) {
 	code, status := "internal", http.StatusInternalServerError
 	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		code, status = "deadline_exceeded", http.StatusGatewayTimeout
 	case errors.Is(err, ErrBadRequest):
 		code, status = "bad_request", http.StatusBadRequest
 	case errors.Is(err, ErrUnknownArtifact):

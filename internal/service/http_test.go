@@ -234,3 +234,53 @@ func TestSentinelWrapping(t *testing.T) {
 		t.Errorf("unknown error → %d", rec.Code)
 	}
 }
+
+// TestHTTPBudgetHeader pins the daemon's side of the end-to-end budget
+// contract: a spent budget is a counted 504 before any work, a
+// malformed one is a 400, and a budget that dies while the planner is
+// still searching releases the client with a 504 at the deadline.
+func TestHTTPBudgetHeader(t *testing.T) {
+	gate := make(chan struct{})
+	stub.reset(gate)
+	defer close(gate)
+	s := newService(t, Config{})
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	send := func(budget, body string) (*http.Response, []byte) {
+		t.Helper()
+		req, _ := http.NewRequest(http.MethodPost, srv.URL+"/v1/plan", strings.NewReader(body))
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set(HeaderBudget, budget)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		data, _ := io.ReadAll(resp.Body)
+		return resp, data
+	}
+
+	resp, data := send("0", `{"model":"case-study","devices":4,"planner":"stub"}`)
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("spent budget: status = %d (%s), want 504", resp.StatusCode, data)
+	}
+	if e := decodeAPIError(t, data); e.Error != "deadline_exceeded" {
+		t.Fatalf("spent budget: code = %q, want deadline_exceeded", e.Error)
+	}
+
+	resp, _ = send("soonish", `{"model":"case-study","devices":4,"planner":"stub"}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed budget: status = %d, want 400", resp.StatusCode)
+	}
+
+	// The gate holds the planner mid-search, so this budget must expire
+	// while the cold plan is in flight.
+	resp, data = send("50", `{"model":"case-study","devices":4,"planner":"stub"}`)
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("mid-plan expiry: status = %d (%s), want 504", resp.StatusCode, data)
+	}
+	if got := s.Stats().DeadlineRejections; got != 2 {
+		t.Errorf("deadline_rejections = %d, want 2 (spent + mid-plan)", got)
+	}
+}

@@ -2,9 +2,13 @@ package service
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
+	"strconv"
 	"time"
 
 	"graphpipe/internal/memosnap"
@@ -91,17 +95,30 @@ func (p *PeerConfig) order(key string) []string {
 // answer is verified byte-for-byte against the fingerprint, installed in
 // both local tiers, and served — the plan stays byte-identical no matter
 // which shard computed it, and this daemon never re-runs the cold
-// search. Every failure mode (peer down, 404, corrupt or misfiled bytes)
-// degrades to a miss; the planner remains the recovery path.
-func (s *Service) peerFill(fp string) *cacheEntry {
+// search. Every failure mode (peer down, slow, 404, corrupt or misfiled
+// bytes) degrades to a miss; the planner remains the recovery path.
+// Each consult is bounded by FillTimeout and by ctx — the request's
+// overall budget — whichever is tighter; once the budget itself is
+// spent the walk stops rather than charging a dead deadline for every
+// remaining peer.
+func (s *Service) peerFill(ctx context.Context, fp string) *cacheEntry {
 	p := s.cfg.Peers
 	if p == nil {
 		return nil
 	}
 	for _, peer := range p.order(fp) {
-		data, err := s.fetchPeerArtifact(peer, fp)
+		pctx, cancel := context.WithTimeout(ctx, p.fillTimeout())
+		data, err := s.fetchPeerArtifact(pctx, peer, fp)
+		cancel()
 		if err != nil {
-			s.stats.peerErrors.Add(1)
+			if isTimeout(err) {
+				s.stats.peerTimeouts.Add(1)
+			} else {
+				s.stats.peerErrors.Add(1)
+			}
+			if ctx.Err() != nil {
+				return nil
+			}
 			continue
 		}
 		if data == nil { // peer does not have it either
@@ -109,6 +126,9 @@ func (s *Service) peerFill(fp string) *cacheEntry {
 		}
 		art, err := strategy.VerifyArtifactBytes(fp, data)
 		if err != nil {
+			// A corrupt peer body is a miss, never a wrong byte: the
+			// verification gate is what makes every other degradation
+			// rule safe to apply.
 			s.stats.peerErrors.Add(1)
 			continue
 		}
@@ -124,14 +144,31 @@ func (s *Service) peerFill(fp string) *cacheEntry {
 	return nil
 }
 
+// isTimeout distinguishes a consult that ran out of time (deadline,
+// net timeout) from one that failed outright (refused, corrupt, 5xx) —
+// the two degrade identically but are counted apart, because a fleet
+// full of timeouts wants a different fix than a fleet full of errors.
+func isTimeout(err error) bool {
+	if errors.Is(err, context.DeadlineExceeded) {
+		return true
+	}
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}
+
 // fetchPeerArtifact asks one peer for a fingerprint. nil, nil is a clean
 // 404: the peer answered, it just does not hold the plan.
-func (s *Service) fetchPeerArtifact(peer, fp string) ([]byte, error) {
-	req, err := http.NewRequest(http.MethodGet, peer+"/v1/artifacts/"+fp, nil)
+func (s *Service) fetchPeerArtifact(ctx context.Context, peer, fp string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, peer+"/v1/artifacts/"+fp, nil)
 	if err != nil {
 		return nil, err
 	}
 	req.Header.Set(HeaderPeerFill, "1")
+	if dl, ok := ctx.Deadline(); ok {
+		if ms := time.Until(dl).Milliseconds(); ms >= 1 {
+			req.Header.Set(HeaderBudget, strconv.FormatInt(ms, 10))
+		}
+	}
 	resp, err := s.cfg.Peers.client().Do(req)
 	if err != nil {
 		return nil, err
@@ -193,6 +230,8 @@ func (s *Service) offerMemo(req Request, snap *memosnap.Snapshot) {
 			defer s.peerWG.Done()
 			if err := s.postMemo(peer, data); err == nil {
 				s.stats.memoOffersSent.Add(1)
+			} else if isTimeout(err) {
+				s.stats.peerTimeouts.Add(1)
 			} else {
 				s.stats.peerErrors.Add(1)
 			}
@@ -201,12 +240,19 @@ func (s *Service) offerMemo(req Request, snap *memosnap.Snapshot) {
 }
 
 func (s *Service) postMemo(peer string, data []byte) error {
-	req, err := http.NewRequest(http.MethodPost, peer+"/v1/memos", bytes.NewReader(data))
+	// Offers are fire-and-forget but not unbounded: each gets one
+	// FillTimeout budget, carried on the wire so the receiver's own
+	// handling is cut off at the same instant.
+	budget := s.cfg.Peers.fillTimeout()
+	ctx, cancel := context.WithTimeout(context.Background(), budget)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, peer+"/v1/memos", bytes.NewReader(data))
 	if err != nil {
 		return err
 	}
 	req.Header.Set(HeaderPeerFill, "1")
 	req.Header.Set("Content-Type", "application/octet-stream")
+	req.Header.Set(HeaderBudget, strconv.FormatInt(budget.Milliseconds(), 10))
 	resp, err := s.cfg.Peers.client().Do(req)
 	if err != nil {
 		return err

@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -202,6 +203,140 @@ func TestPeerFillMissDegradesToPlan(t *testing.T) {
 	if snap := s.Stats(); snap.PeerMisses != 1 || snap.Planned != 1 {
 		t.Fatalf("stats = %d peer misses / %d planned, want 1 / 1", snap.PeerMisses, snap.Planned)
 	}
+}
+
+// TestPeerFillCountsTimeoutsAndErrors pins the split the stats surface
+// promises: a peer that runs out the fill timeout ticks peer_timeouts,
+// a peer that answers 5xx ticks peer_errors, and a fleet-wide failure
+// still degrades to this daemon's own cold search — never an error to
+// the caller.
+func TestPeerFillCountsTimeoutsAndErrors(t *testing.T) {
+	stub.reset(nil)
+	slow := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-r.Context().Done():
+		case <-time.After(10 * time.Second):
+		}
+	}))
+	defer slow.Close()
+	broken := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusInternalServerError)
+	}))
+	defer broken.Close()
+
+	const self = "http://self.invalid"
+	s := newService(t, Config{Peers: &PeerConfig{
+		Self:        self,
+		Backends:    []string{self, slow.URL, broken.URL},
+		Ranker:      fakeRanker{owners: []string{slow.URL, broken.URL, self}},
+		FillTimeout: 50 * time.Millisecond,
+	}})
+	res, err := s.Plan(context.Background(), testRequest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Source != "miss" {
+		t.Fatalf("source = %q, want miss (fleet consults all failed)", res.Source)
+	}
+	snap := s.Stats()
+	if snap.PeerTimeouts != 1 {
+		t.Errorf("peer_timeouts = %d, want 1 (the slow peer)", snap.PeerTimeouts)
+	}
+	if snap.PeerErrors != 1 {
+		t.Errorf("peer_errors = %d, want 1 (the 500 peer)", snap.PeerErrors)
+	}
+	if snap.PeerMisses != 1 || snap.Planned != 1 {
+		t.Errorf("stats = %d peer misses / %d planned, want 1 / 1", snap.PeerMisses, snap.Planned)
+	}
+}
+
+// TestPeerFillCorruptBodyDegradesToMiss pins the no-wrong-bytes rule on
+// the fill path: a peer 200 whose body does not verify against the
+// fingerprint is a counted miss — the local planner re-derives the
+// answer, and the corrupt bytes are never installed or served.
+func TestPeerFillCorruptBodyDegradesToMiss(t *testing.T) {
+	stub.reset(nil)
+	peer := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"version":1,"strategy":{}}`)) // decodes, wrong fingerprint
+	}))
+	defer peer.Close()
+
+	const self = "http://self.invalid"
+	s := newService(t, Config{Peers: &PeerConfig{
+		Self:     self,
+		Backends: []string{self, peer.URL},
+	}})
+	res, err := s.Plan(context.Background(), testRequest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Source != "miss" {
+		t.Fatalf("source = %q, want miss (corrupt peer body must not fill)", res.Source)
+	}
+	snap := s.Stats()
+	if snap.PeerErrors != 1 {
+		t.Errorf("peer_errors = %d, want 1 (the unverifiable body)", snap.PeerErrors)
+	}
+	if snap.PeerFills != 0 {
+		t.Errorf("peer_fills = %d, want 0", snap.PeerFills)
+	}
+	if got := stub.calls.Load(); got != 1 {
+		t.Errorf("planner ran %d times, want 1 (the local recovery path)", got)
+	}
+}
+
+// TestPeerFillStopsWhenBudgetExpiresMidWalk pins deadline propagation
+// inside the peer walk: when the request's own budget dies during the
+// first consult, the remaining peers are NOT charged a dead deadline
+// each — the walk stops immediately and the caller gets the deadline
+// error.
+func TestPeerFillStopsWhenBudgetExpiresMidWalk(t *testing.T) {
+	stub.reset(nil)
+	var calls1, calls2 atomic.Int64
+	mkSlow := func(calls *atomic.Int64) *httptest.Server {
+		return httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			calls.Add(1)
+			select {
+			case <-r.Context().Done():
+			case <-time.After(10 * time.Second):
+			}
+		}))
+	}
+	p1, p2 := mkSlow(&calls1), mkSlow(&calls2)
+	defer p1.Close()
+	defer p2.Close()
+
+	const self = "http://self.invalid"
+	s := newService(t, Config{Peers: &PeerConfig{
+		Self:        self,
+		Backends:    []string{self, p1.URL, p2.URL},
+		Ranker:      fakeRanker{owners: []string{p1.URL, p2.URL, self}},
+		FillTimeout: 2 * time.Second,
+	}})
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := s.Plan(ctx, testRequest())
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Plan returned %v, want context.DeadlineExceeded", err)
+	}
+	// The caller was released at its deadline, not after a FillTimeout
+	// per peer (2s each would be ~4s).
+	if elapsed > time.Second {
+		t.Errorf("Plan returned after %v; the budget was 60ms", elapsed)
+	}
+	if got := calls1.Load(); got != 1 {
+		t.Errorf("first peer saw %d consults, want 1", got)
+	}
+	if got := calls2.Load(); got != 0 {
+		t.Errorf("second peer saw %d consults, want 0 (budget died during the first)", got)
+	}
+	waitFor(t, "peer_timeouts to tick", func() bool {
+		return s.Stats().PeerTimeouts == 1
+	})
 }
 
 // TestMemoOfferEndpoint drives POST /v1/memos: a valid GPMEMO body

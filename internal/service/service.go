@@ -34,6 +34,7 @@ import (
 	"graphpipe/internal/cluster"
 	"graphpipe/internal/costmodel"
 	"graphpipe/internal/eval"
+	"graphpipe/internal/faultinject"
 	"graphpipe/internal/graph"
 	"graphpipe/internal/memosnap"
 	"graphpipe/internal/memostore"
@@ -82,6 +83,11 @@ type Config struct {
 	// Peers wires this daemon into a fleet for peer cache-fill and memo
 	// offers; nil runs standalone (no peer traffic at all).
 	Peers *PeerConfig
+	// Faults injects deterministic failures into this daemon's disk
+	// stores and peer HTTP client (nil: healthy). The degradation paths
+	// — corrupt reads becoming misses, failed writes surfacing only in
+	// stats — are the same ones real faults would take.
+	Faults *faultinject.Set
 }
 
 // Service answers planning and evaluation requests. Create with New,
@@ -126,11 +132,22 @@ func New(cfg Config) (*Service, error) {
 		if memos, err = memostore.New(cfg.MemoSnapshots, memoDir); err != nil {
 			return nil, fmt.Errorf("service: memo store: %w", err)
 		}
+		memos.InjectFaults(cfg.Faults.Disk("memos"))
+	}
+	if cfg.Faults != nil && cfg.Peers != nil {
+		// Peer traffic (fills and memo offers) crosses the injected sick
+		// wire; the local HTTP listener does not — faults model the
+		// fleet's network and disks, not the daemon's own socket.
+		c := *cfg.Peers.client()
+		c.Transport = cfg.Faults.Transport("peers", c.Transport)
+		p := *cfg.Peers
+		p.Client = &c
+		cfg.Peers = &p
 	}
 	return &Service{
 		cfg:    cfg,
 		memory: newMemoryLRU(cfg.MemoryEntries),
-		disk:   &diskStore{dir: cfg.CacheDir},
+		disk:   &diskStore{dir: cfg.CacheDir, faults: cfg.Faults.Disk("artifacts")},
 		memos:  memos,
 		pool:   newAdmission(cfg.Workers, cfg.QueueDepth),
 	}, nil
@@ -139,9 +156,11 @@ func New(cfg Config) (*Service, error) {
 // Close drains the admission pool: accepted planning jobs finish and
 // publish to the cache, new ones are rejected. Called after the HTTP
 // listener stops accepting, it completes the daemon's graceful shutdown.
-// In-flight peer memo offers are waited out too.
+// In-progress flights (which may outlive their abandoning waiters) and
+// in-flight peer memo offers are waited out too.
 func (s *Service) Close() {
 	s.pool.close()
+	s.flight.wait()
 	s.peerWG.Wait()
 }
 
@@ -170,9 +189,20 @@ func (s *Service) Plan(ctx context.Context, req Request) (*PlanResult, error) {
 	if e, src := s.lookup(fp); e != nil {
 		return &PlanResult{Fingerprint: fp, Source: src, Artifact: e.art, Data: e.data}, nil
 	}
+	if err := ctx.Err(); err != nil {
+		// The budget is already spent and the answer is cold: planning
+		// (or even consulting peers) would be work nobody waits for.
+		return nil, err
+	}
 	s.stats.misses.Add(1)
 
-	e, shared, err := s.flight.Do(fp, func() (*cacheEntry, error) {
+	// The wait context keeps the request's deadline — an expired budget
+	// stops the wait at the deadline, never after — but drops its
+	// cancellation: N-1 joiners (and the cache) depend on this flight,
+	// so one client hanging up must not abandon everyone else's answer.
+	waitCtx, waitCancel := detachCancellation(ctx)
+	defer waitCancel()
+	e, shared, err := s.flight.Do(waitCtx, fp, func() (*cacheEntry, error) {
 		// Joiners may have raced past the cache lookup while the leader
 		// was filling it; the flight map resolves that race, not this
 		// re-check — the leader is the only cache writer for fp.
@@ -181,7 +211,7 @@ func (s *Service) Plan(ctx context.Context, req Request) (*PlanResult, error) {
 		// consult runs inside the flight so N concurrent misses cost one
 		// round of peer traffic, and before admission because it is IO,
 		// not a planner search competing for the worker pool.
-		if e := s.peerFill(fp); e != nil {
+		if e := s.peerFill(waitCtx, fp); e != nil {
 			return e, nil
 		}
 		// The flight runs under a context detached from the leader's
@@ -213,6 +243,18 @@ func (s *Service) Plan(ctx context.Context, req Request) (*PlanResult, error) {
 		source = "shared"
 	}
 	return &PlanResult{Fingerprint: fp, Source: source, Artifact: e.art, Data: e.data}, nil
+}
+
+// detachCancellation returns a context that keeps ctx's deadline (the
+// request's end-to-end time budget) but drops its cancellation. Shared
+// work — flights, peer consults — is bounded by how long the request
+// may take, not by whether its particular client is still listening.
+func detachCancellation(ctx context.Context) (context.Context, context.CancelFunc) {
+	base := context.WithoutCancel(ctx)
+	if dl, ok := ctx.Deadline(); ok {
+		return context.WithDeadline(base, dl)
+	}
+	return base, func() {}
 }
 
 // lookup consults memory then disk, promoting disk hits to memory. Disk
@@ -302,12 +344,15 @@ func (s *Service) runPlanner(req Request, g *graph.Graph, fp string) (*cacheEntr
 // Artifact returns the cached plan for a fingerprint without planning
 // (GET /v1/artifacts/{fp}). A local two-tier miss still consults the
 // fleet: any shard can serve any plan the fleet has ever computed,
-// byte-identically, without a cold search. ErrUnknownArtifact if neither
-// the local tiers nor any peer holds it.
-func (s *Service) Artifact(fp string) (*PlanResult, error) {
+// byte-identically, without a cold search. The peer consult honors the
+// request's budget deadline but not its cancellation. ErrUnknownArtifact
+// if neither the local tiers nor any peer holds it.
+func (s *Service) Artifact(ctx context.Context, fp string) (*PlanResult, error) {
 	e, src := s.lookup(fp)
 	if e == nil {
-		if e = s.peerFill(fp); e == nil {
+		fillCtx, cancel := detachCancellation(ctx)
+		defer cancel()
+		if e = s.peerFill(fillCtx, fp); e == nil {
 			return nil, fmt.Errorf("%w: %s", ErrUnknownArtifact, fp)
 		}
 		src = e.src
@@ -369,7 +414,7 @@ func (s *Service) Eval(ctx context.Context, req EvalRequest) (*EvalResult, error
 
 	var plan *PlanResult
 	if req.Fingerprint != "" {
-		plan, err = s.Artifact(req.Fingerprint)
+		plan, err = s.Artifact(ctx, req.Fingerprint)
 	} else {
 		plan, err = s.Plan(ctx, req.Request)
 	}
@@ -414,5 +459,6 @@ func (s *Service) Stats() Snapshot {
 		snap.MemoInstalls = s.memos.Installs()
 		snap.MemoEvictions = s.memos.Evictions()
 	}
+	snap.FaultsInjected = s.cfg.Faults.Tallies()
 	return snap
 }

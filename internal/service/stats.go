@@ -85,6 +85,8 @@ type stats struct {
 	peerFills          atomic.Uint64
 	peerMisses         atomic.Uint64
 	peerErrors         atomic.Uint64
+	peerTimeouts       atomic.Uint64
+	deadlineRejections atomic.Uint64
 	memoOffersSent     atomic.Uint64
 	memoOffersReceived atomic.Uint64
 
@@ -132,10 +134,17 @@ type Snapshot struct {
 	// PeerFills counts local two-tier misses answered by a ring peer's
 	// artifact (each one avoided a cold search); PeerMisses counts full
 	// peer consults that found nothing; PeerErrors counts unreachable or
-	// invalid peer answers (each degraded to a miss).
-	PeerFills  uint64 `json:"peer_fills"`
-	PeerMisses uint64 `json:"peer_misses"`
-	PeerErrors uint64 `json:"peer_errors"`
+	// invalid peer answers (each degraded to a miss); PeerTimeouts
+	// counts consults and offers cut off by FillTimeout or the
+	// request's budget (also degraded to misses, counted apart because
+	// a slow fleet wants a different fix than a broken one).
+	PeerFills    uint64 `json:"peer_fills"`
+	PeerMisses   uint64 `json:"peer_misses"`
+	PeerErrors   uint64 `json:"peer_errors"`
+	PeerTimeouts uint64 `json:"peer_timeouts"`
+	// DeadlineRejections counts requests this daemon answered with 504
+	// because their time budget (HeaderBudget) expired mid-request.
+	DeadlineRejections uint64 `json:"deadline_rejections"`
 	// MemoOffersSent counts DP memo snapshots pushed to the peers owning
 	// neighboring device counts; MemoOffersReceived counts snapshots
 	// accepted from peers via POST /v1/memos.
@@ -154,6 +163,10 @@ type Snapshot struct {
 	MemoEvictions uint64 `json:"memo_evictions"`
 	// PlannerLatency maps planner name to its search-latency histogram.
 	PlannerLatency map[string]HistogramSnapshot `json:"planner_latency,omitempty"`
+	// FaultsInjected tallies injected faults by "site/kind" — empty in
+	// production (no fault spec); under chaos it lets every observed
+	// degradation be matched to the fault that caused it.
+	FaultsInjected map[string]uint64 `json:"faults_injected,omitempty"`
 }
 
 func (s *stats) snapshot() Snapshot {
@@ -172,6 +185,8 @@ func (s *stats) snapshot() Snapshot {
 		PeerFills:          s.peerFills.Load(),
 		PeerMisses:         s.peerMisses.Load(),
 		PeerErrors:         s.peerErrors.Load(),
+		PeerTimeouts:       s.peerTimeouts.Load(),
+		DeadlineRejections: s.deadlineRejections.Load(),
 		MemoOffersSent:     s.memoOffersSent.Load(),
 		MemoOffersReceived: s.memoOffersReceived.Load(),
 	}

@@ -1,0 +1,150 @@
+#!/usr/bin/env bash
+# chaos_soak.sh — the black-box twin of internal/fleet's
+# TestChaosSoakFleetDegradesAndRecovers: boot a three-shard fleet whose
+# wires and disks are deliberately sick (seeded, windowed fault specs on
+# every process), replay a paced workload through the router, and prove
+# the fleet degrades instead of failing:
+#
+#   faulty phase  — bounded error rate, zero invalid 200 bodies, no
+#                   request outliving its budget
+#   drain phase   — fresh questions spend every fault window
+#   clean phase   — the same seed-42 workload replays with zero errors
+#
+# Every fault decision derives from the seeds below; a failing run
+# reproduces by re-running this script unchanged (see TESTING.md). On
+# failure the fault schedule and a final /v1/stats dump land in the
+# artifacts directory for the CI job to upload.
+#
+# Usage: scripts/chaos_soak.sh [base_port]          (default: 8930)
+#   CHAOS_ARTIFACTS=dir   keep the fault schedule + stats dump here
+#                         (default: the run's temp dir, removed on exit)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+base_port="${1:-8930}"
+lb_port=$((base_port + 3))
+lb="http://127.0.0.1:$lb_port"
+work="$(mktemp -d)"
+art="${CHAOS_ARTIFACTS:-$work}"
+mkdir -p "$art"
+pids=()
+
+# Trap-based cleanup on any exit path: TERM first, then a bounded wait,
+# then KILL for anything a fault left wedged. A failing soak must never
+# leak daemons into the next CI step.
+cleanup() {
+  status=$?
+  if [[ $status -ne 0 ]]; then
+    echo "== chaos soak FAILED (status $status): dumping fleet stats to $art"
+    curl -fsS --max-time 5 "$lb/v1/stats" > "$art/stats_failure.json" 2>/dev/null || true
+  fi
+  for pid in "${pids[@]:-}"; do
+    [[ -n "$pid" ]] && kill -TERM "$pid" 2>/dev/null || true
+  done
+  for _ in $(seq 1 50); do
+    alive=0
+    for pid in "${pids[@]:-}"; do
+      [[ -n "$pid" ]] && kill -0 "$pid" 2>/dev/null && alive=1
+    done
+    [[ $alive -eq 0 ]] && break
+    sleep 0.2
+  done
+  for pid in "${pids[@]:-}"; do
+    if [[ -n "$pid" ]] && kill -0 "$pid" 2>/dev/null; then
+      echo "process $pid ignored SIGTERM; killing"
+      kill -KILL "$pid" 2>/dev/null || true
+    fi
+  done
+  wait 2>/dev/null || true
+  rm -rf "$work"
+  exit $status
+}
+trap cleanup EXIT INT TERM
+
+echo "== build"
+go build -o "$work/graphpiped" ./cmd/graphpiped
+go build -o "$work/graphpipe-lb" ./cmd/graphpipe-lb
+go build -o "$work/fleetgen" ./cmd/fleetgen
+
+peers=""
+for i in 0 1 2; do
+  peers="$peers,http://127.0.0.1:$((base_port + i))"
+done
+peers="${peers#,}"
+
+# The seeded fault schedule: five windowed kinds on the router's wire,
+# peer-wire drops plus disk write faults on every shard. Recorded first
+# so a failure always leaves its replay key behind.
+router_spec='seed=11;window=240;http.latency=0.2:30ms;http.drop=0.05;http.err5xx=0.05;http.truncate=0.05;http.corrupt=0.03'
+shard_spec() { echo "seed=$((100 + $1));window=40;http.drop=0.2;disk.write-fail=0.1;disk.write-partial=0.1"; }
+{
+  echo "router: $router_spec"
+  for i in 0 1 2; do echo "shard$i: $(shard_spec "$i")"; done
+} > "$art/fault_schedule.txt"
+cat "$art/fault_schedule.txt"
+
+echo "== boot 3 faulted shards ($peers)"
+for i in 0 1 2; do
+  port=$((base_port + i))
+  "$work/graphpiped" -addr "127.0.0.1:$port" -cache-dir "$work/cache$i" \
+    -self "http://127.0.0.1:$port" -peers "$peers" \
+    -fault-spec "$(shard_spec "$i")" &
+  pids+=($!)
+done
+
+echo "== boot faulted router on :$lb_port"
+"$work/graphpipe-lb" -addr "127.0.0.1:$lb_port" -backends "$peers" \
+  -health-interval 150ms -probe-jitter-seed 7 \
+  -breaker-threshold 2 -breaker-open-for 50ms \
+  -fault-spec "$router_spec" &
+pids+=($!)
+
+for url in ${peers//,/ } "$lb"; do
+  up=""
+  for _ in $(seq 1 50); do
+    curl -fsS "$url/v1/stats" >/dev/null 2>&1 && { up=1; break; }
+    sleep 0.2
+  done
+  [[ -n "$up" ]] || { echo "$url never came up"; exit 1; }
+done
+
+echo "== faulty phase: paced seed-42 replay under fire"
+"$work/fleetgen" -target "$lb" -requests 320 -concurrency 4 -zipf 1.1 \
+  -population 12 -seed 42 -budget-ms 3000 -pace 10ms \
+  -verify-plans -max-error-rate 0.45 -o "$art/faulty_phase.json"
+
+echo "== drain phase: fresh questions spend every fault window"
+# 200 fresh questions (different seed, wider population) walk peers and
+# write artifacts + memo shards on every shard: far more draws than any
+# window (router 240, shards 40) has left.
+"$work/fleetgen" -target "$lb" -requests 200 -concurrency 4 -zipf 0 \
+  -population 64 -seed 777 -budget-ms 3000 -pace 5ms \
+  -o "$art/drain_phase.json"
+sleep 1 # let the last breaker-open window elapse and probes re-close
+
+echo "== clean phase: the same workload must now run error-free"
+"$work/fleetgen" -target "$lb" -requests 150 -concurrency 4 -zipf 1.1 \
+  -population 12 -seed 42 -budget-ms 3000 -pace 10ms \
+  -verify-plans -max-errors 0 -o "$art/clean_phase.json"
+
+echo "== ledger: faults fired, breakers opened, everything closed now"
+curl -fsS "$lb/v1/stats" > "$art/stats_final.json"
+grep -q '"faults_injected"' "$art/stats_final.json" \
+  || { echo "no faults_injected tallies in final stats"; exit 1; }
+grep -m1 '"breaker_opens"' "$art/stats_final.json" | grep -vq '"breaker_opens": *0' \
+  || { echo "no breaker ever opened:"; grep -m1 '"breaker_opens"' "$art/stats_final.json"; exit 1; }
+if grep -E '"(open|half-open)"' "$art/stats_final.json" >/dev/null; then
+  echo "a breaker is still open after the clean phase:"
+  grep -B2 -A4 '"breakers"' "$art/stats_final.json" || true
+  exit 1
+fi
+
+echo "== graceful shutdown (SIGTERM all)"
+for pid in "${pids[@]}"; do
+  kill -TERM "$pid"
+done
+for pid in "${pids[@]}"; do
+  wait "$pid"
+done
+pids=()
+echo "chaos soak OK"

@@ -16,16 +16,34 @@ lb_port=$((base_port + 3))
 lb="http://127.0.0.1:$lb_port"
 work="$(mktemp -d)"
 pids=()
+
+# Trap-based cleanup on any exit path (normal, failure, ^C, TERM):
+# SIGTERM everything, wait bounded, then SIGKILL stragglers — a failing
+# smoke must never leak daemons into the next CI step or shell.
 cleanup() {
+  status=$?
+  for pid in "${pids[@]:-}"; do
+    [[ -n "$pid" ]] && kill -TERM "$pid" 2>/dev/null || true
+  done
+  for _ in $(seq 1 50); do
+    alive=0
+    for pid in "${pids[@]:-}"; do
+      [[ -n "$pid" ]] && kill -0 "$pid" 2>/dev/null && alive=1
+    done
+    [[ $alive -eq 0 ]] && break
+    sleep 0.2
+  done
   for pid in "${pids[@]:-}"; do
     if [[ -n "$pid" ]] && kill -0 "$pid" 2>/dev/null; then
-      kill -TERM "$pid" 2>/dev/null || true
-      wait "$pid" 2>/dev/null || true
+      echo "process $pid ignored SIGTERM; killing"
+      kill -KILL "$pid" 2>/dev/null || true
     fi
   done
+  wait 2>/dev/null || true
   rm -rf "$work"
+  exit $status
 }
-trap cleanup EXIT
+trap cleanup EXIT INT TERM
 
 echo "== build"
 go build -o "$work/graphpiped" ./cmd/graphpiped
