@@ -127,6 +127,14 @@ func checkFleet(benches map[string]map[string]float64) error {
 	}
 	fmt.Fprintf(os.Stderr, "benchreport: fleet warm p99 %.4fs vs cold p50 %.4fs (%.2fx)\n",
 		warm, cold, warm/cold)
+	// A traced replay (fleetgen -trace-sample) attributes the slow tail
+	// to serving phases; surface the split next to the latency verdict.
+	if q, ok := m["fleet_phase_queue_share"]; ok {
+		fmt.Fprintf(os.Stderr,
+			"benchreport: fleet slow tail: queue %.0f%%, search %.0f%%, cache %.0f%%, peer %.0f%%, network %.0f%%, other %.0f%%\n",
+			100*q, 100*m["fleet_phase_search_share"], 100*m["fleet_phase_cache_share"],
+			100*m["fleet_phase_peer_share"], 100*m["fleet_phase_network_share"], 100*m["fleet_phase_other_share"])
+	}
 	return nil
 }
 

@@ -55,6 +55,9 @@ func run() error {
 		pace        = flag.Duration("pace", 0, "per-worker sleep between requests (0: replay flat out)")
 		verifyPlans = flag.Bool("verify-plans", false,
 			"track a content hash per fingerprint and count 200s whose bytes differ (byte-identity check)")
+		traceSample = flag.Int("trace-sample", 0,
+			"trace every Nth request (?trace=1 + deterministic trace IDs) and report the slow tail's "+
+				"phase attribution — queue vs search vs network (0 disables)")
 		minHitRatio  = flag.Float64("min-hit-ratio", -1, "fail unless the warm hit ratio reaches this (smoke gate; -1 disables)")
 		maxErrors    = flag.Int("max-errors", -1, "fail if more than this many requests errored (-1 disables)")
 		maxErrorRate = flag.Float64("max-error-rate", -1,
@@ -84,6 +87,7 @@ func run() error {
 		BudgetMs:    *budgetMs,
 		VerifyPlans: *verifyPlans,
 		Pace:        *pace,
+		TraceSample: *traceSample,
 		Client:      &http.Client{Timeout: *timeout},
 	})
 	if err != nil {
@@ -95,6 +99,12 @@ func run() error {
 		"fleetgen: %d/%d ok (%d shed, %d errors, %d deadline), hit ratio %.3f, %d distinct plans, %d peer fills, %d planned, %d byte mismatches, %d alternate plans, p50 %.4fs p99 %.4fs\n",
 		res.Completed, res.Requests, res.Shed, res.Errors, res.DeadlineExceeded, res.HitRatio,
 		res.DistinctFingerprints, res.PeerFills, res.Planned, res.ByteMismatches, res.AlternatePlans, res.Overall.P50, res.Overall.P99)
+	if p := res.Phases; p != nil && p.Exemplars > 0 {
+		fmt.Fprintf(os.Stderr,
+			"fleetgen: slow tail (%d traced, %d exemplars): queue %.0f%%, search %.0f%%, cache %.0f%%, peer %.0f%%, network %.0f%%, other %.0f%%\n",
+			p.Traced, p.Exemplars, 100*p.QueueShare, 100*p.SearchShare, 100*p.CacheShare,
+			100*p.PeerShare, 100*p.NetworkShare, 100*p.OtherShare)
+	}
 
 	if *out != "" {
 		data, err := json.MarshalIndent(res, "", "  ")

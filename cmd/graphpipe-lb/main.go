@@ -42,6 +42,7 @@ import (
 
 	"graphpipe/internal/faultinject"
 	"graphpipe/internal/fleet"
+	"graphpipe/internal/obs"
 
 	// Route keys come from service.Request canonicalization, which
 	// validates planner names against the registry — the router must
@@ -95,6 +96,12 @@ func run(args []string, logw io.Writer, ready chan<- string, sigs <-chan os.Sign
 				"(default $GRAPHPIPE_FAULT_SPEC; empty disables; see internal/faultinject)")
 		drainTimeout = fs.Duration("drain-timeout", 30*time.Second,
 			"how long shutdown waits for in-flight requests before aborting them")
+		instance = fs.String("instance", "",
+			"process name stamped into trace/span IDs and span logs (default \"graphpipe-lb\")")
+		traceLog = fs.String("trace-log", "",
+			"append one JSON line per request trace (the full span tree) to this file; empty disables")
+		debugAddr = fs.String("debug-addr", "",
+			"serve net/http/pprof on this separate listener (e.g. localhost:6061); empty disables")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -123,7 +130,7 @@ func run(args []string, logw io.Writer, ready chan<- string, sigs <-chan os.Sign
 		fmt.Fprintf(logw, "graphpipe-lb: fault injection active: %s\n", faults)
 	}
 
-	router, err := fleet.NewRouter(fleet.RouterConfig{
+	rcfg := fleet.RouterConfig{
 		Backends:       urls,
 		Replicas:       *replicas,
 		LoadFactor:     *loadFactor,
@@ -139,9 +146,28 @@ func run(args []string, logw io.Writer, ready chan<- string, sigs <-chan os.Sign
 		VerifyArtifacts: *verifyArtifacts,
 		HedgeDelay:      *hedgeDelay,
 		Faults:          faults,
-	})
+		Instance:        *instance,
+	}
+	if *traceLog != "" {
+		f, err := os.OpenFile(*traceLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return fmt.Errorf("-trace-log: %w", err)
+		}
+		defer f.Close()
+		rcfg.TraceLog = f
+	}
+	router, err := fleet.NewRouter(rcfg)
 	if err != nil {
 		return err
+	}
+	dbg, err := obs.StartDebugServer(*debugAddr)
+	if err != nil {
+		router.Close()
+		return fmt.Errorf("-debug-addr: %w", err)
+	}
+	defer dbg.Close()
+	if dbg != nil {
+		fmt.Fprintf(logw, "graphpipe-lb: pprof on %s\n", dbg.Addr())
 	}
 
 	ln, err := net.Listen("tcp", *addr)

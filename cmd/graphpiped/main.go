@@ -42,6 +42,7 @@ import (
 
 	"graphpipe/internal/faultinject"
 	"graphpipe/internal/fleet"
+	"graphpipe/internal/obs"
 	"graphpipe/internal/service"
 
 	_ "graphpipe/internal/eval/all"    // register the built-in backends
@@ -88,6 +89,12 @@ func run(args []string, logw io.Writer, ready chan<- string, sigs <-chan os.Sign
 		faultSpec = fs.String("fault-spec", os.Getenv("GRAPHPIPE_FAULT_SPEC"),
 			"deterministic fault injection spec, e.g. 'seed=42;http.drop=0.1;disk.read-corrupt=0.2' "+
 				"(default $GRAPHPIPE_FAULT_SPEC; empty disables; see internal/faultinject)")
+		instance = fs.String("instance", "",
+			"process name stamped into trace/span IDs and span logs (default \"graphpiped\")")
+		traceLog = fs.String("trace-log", "",
+			"append one JSON line per request trace (the full span tree) to this file; empty disables")
+		debugAddr = fs.String("debug-addr", "",
+			"serve net/http/pprof on this separate listener (e.g. localhost:6060); empty disables")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -115,6 +122,15 @@ func run(args []string, logw io.Writer, ready chan<- string, sigs <-chan os.Sign
 		PlannerWorkers: *plannerWorkers,
 		MemoSnapshots:  *memoSnapshots,
 		Faults:         faults,
+		Instance:       *instance,
+	}
+	if *traceLog != "" {
+		f, err := os.OpenFile(*traceLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return fmt.Errorf("-trace-log: %w", err)
+		}
+		defer f.Close()
+		cfg.TraceLog = f
 	}
 	if *peers != "" {
 		var urls []string
@@ -140,6 +156,15 @@ func run(args []string, logw io.Writer, ready chan<- string, sigs <-chan os.Sign
 	svc, err := service.New(cfg)
 	if err != nil {
 		return err
+	}
+	dbg, err := obs.StartDebugServer(*debugAddr)
+	if err != nil {
+		svc.Close()
+		return fmt.Errorf("-debug-addr: %w", err)
+	}
+	defer dbg.Close()
+	if dbg != nil {
+		fmt.Fprintf(logw, "graphpiped: pprof on %s\n", dbg.Addr())
 	}
 
 	ln, err := net.Listen("tcp", *addr)

@@ -48,6 +48,7 @@ import (
 	"math"
 	"runtime"
 	"sort"
+	"strconv"
 	"sync/atomic"
 
 	"graphpipe/internal/cluster"
@@ -112,6 +113,22 @@ type Options struct {
 	// MemoSink, when set, receives the completed search's exported memo
 	// snapshot after a successful Plan, for persistence across requests.
 	MemoSink func(*memosnap.Snapshot)
+	// Span, when set, records one timed span per planning phase: each
+	// per-size micro-batch search, each DP probe inside its binary
+	// search, and the memo snapshot import/export. Call at phase start,
+	// invoke the returned func at end. Spans start from concurrent pool
+	// workers, so implementations must be safe for concurrent use. nil
+	// disables phase recording with no other behavior change.
+	Span func(name string, kv ...string) func()
+}
+
+// span records one planning phase through Options.Span, degrading to a
+// no-op when no recorder is wired.
+func (p *Planner) span(name string, kv ...string) func() {
+	if p.opts.Span == nil {
+		return func() {}
+	}
+	return p.opts.Span(name, kv...)
 }
 
 func (o Options) withDefaults() Options {
@@ -1036,12 +1053,18 @@ func (p *Planner) newSearch(b, miniBatch int, bCands []int, pool *workerPool) *s
 // before the first probe: entries whose validity interval covers a probe's
 // target short-circuit exactly as this search's own earlier probes would.
 func (p *Planner) searchMicroBatch(out *perB, b, miniBatch int, bCands []int, maxTPS, eps float64, root int, pool *workerPool, snap *memosnap.Snapshot) {
+	defer p.span("search.micro-batch", "b", strconv.Itoa(b))()
 	s := p.newSearch(b, miniBatch, bCands, pool)
 	out.search = s
 	if sm := snap.Search(miniBatch, b); sm != nil && !p.opts.FreshProbeMemo {
+		endImport := p.span("memo.import", "b", strconv.Itoa(b))
 		out.warmed = s.importMemo(sm)
+		endImport()
 	}
 	probe := func(tmax float64) *dpResult {
+		endProbe := p.span("dp.probe", "b", strconv.Itoa(b),
+			"target", strconv.FormatFloat(tmax, 'g', 6, 64))
+		defer endProbe()
 		if p.opts.FreshProbeMemo {
 			s.memo = newMemoTable(pool != nil)
 		}
@@ -1194,7 +1217,10 @@ func (p *Planner) Plan(miniBatch int) (*Result, error) {
 		}
 	}
 	if p.opts.MemoSink != nil && !p.opts.FreshProbeMemo {
-		p.opts.MemoSink(p.exportSnapshot(snapKey, results))
+		endExport := p.span("memo.export")
+		snapOut := p.exportSnapshot(snapKey, results)
+		endExport()
+		p.opts.MemoSink(snapOut)
 	}
 	return res, nil
 }

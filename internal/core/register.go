@@ -23,6 +23,7 @@ func (registered) Plan(g *graph.Graph, topo *cluster.Topology, miniBatch int, op
 		FreshProbeMemo:            opts.FreshProbeMemo,
 		WarmMemo:                  opts.WarmMemo,
 		MemoSink:                  opts.MemoSink,
+		Span:                      opts.Span,
 	})
 	if err != nil {
 		return nil, planner.Stats{}, err

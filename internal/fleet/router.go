@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"graphpipe/internal/faultinject"
+	"graphpipe/internal/obs"
 	"graphpipe/internal/service"
 	"graphpipe/internal/strategy"
 )
@@ -92,6 +93,12 @@ type RouterConfig struct {
 	Faults *faultinject.Set
 	// Client issues backend requests; nil uses a 30s-timeout client.
 	Client *http.Client
+	// Instance names this router in trace/span IDs and span logs
+	// (default "graphpipe-lb").
+	Instance string
+	// TraceLog, when non-nil, receives one JSON line per request trace
+	// (the -trace-log flag); nil disables span logging.
+	TraceLog io.Writer
 }
 
 // Router is the fleet's front door: an http.Handler that consistent-
@@ -119,6 +126,12 @@ type Router struct {
 	corruptBodies      atomic.Uint64
 	hedged             atomic.Uint64
 	hedgeWins          atomic.Uint64
+
+	reg      *obs.Registry
+	tracer   *obs.Tracer
+	traceLog *obs.TraceLog
+	latMu    sync.Mutex
+	latency  map[string]*obs.Histogram // route → request latency
 
 	stop chan struct{}
 	done sync.WaitGroup
@@ -154,6 +167,9 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 		c.Transport = cfg.Faults.Transport("router", c.Transport)
 		cfg.Client = &c
 	}
+	if cfg.Instance == "" {
+		cfg.Instance = "graphpipe-lb"
+	}
 	r := &Router{
 		cfg:      cfg,
 		ring:     ring,
@@ -162,17 +178,89 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 		breakers: make(map[string]*Breaker, len(cfg.Backends)),
 		down:     make(map[string]bool),
 		inflight: make(map[string]*atomic.Int64, len(cfg.Backends)),
+		reg:      obs.NewRegistry(),
+		tracer:   obs.NewTracer(cfg.Instance),
+		traceLog: obs.NewTraceLog(cfg.TraceLog),
 		stop:     make(chan struct{}),
 	}
 	for _, b := range cfg.Backends {
 		r.inflight[b] = &atomic.Int64{}
 		r.breakers[b] = NewBreaker(cfg.Breaker)
 	}
+	r.registerMetrics()
 	if cfg.HealthInterval > 0 {
 		r.done.Add(1)
 		go r.healthLoop()
 	}
 	return r, nil
+}
+
+// registerMetrics exposes the router's forwarding counters — the same
+// atomics /v1/stats reports — plus per-backend breaker and load state
+// on GET /metrics. Counters are scrape-time reads of the atomics, so
+// the two surfaces cannot disagree.
+func (r *Router) registerMetrics() {
+	counters := []struct {
+		name, help string
+		v          *atomic.Uint64
+	}{
+		{"graphpipe_router_routed_total", "Requests accepted for forwarding.", &r.routed},
+		{"graphpipe_router_failovers_total", "Attempts moved to the next ring replica.", &r.failovers},
+		{"graphpipe_router_retried_429_total", "Shed responses retried on the same backend.", &r.retried429},
+		{"graphpipe_router_bad_requests_total", "Requests rejected at the router.", &r.badRequests},
+		{"graphpipe_router_no_backend_total", "Requests for which every replica failed.", &r.noBackend},
+		{"graphpipe_router_breaker_rejections_total", "Attempts refused by an open circuit breaker.", &r.breakerRejections},
+		{"graphpipe_router_deadline_rejections_total", "Requests cut off by their time budget at the router.", &r.deadlineRejections},
+		{"graphpipe_router_corrupt_bodies_total", "Backend bodies refused after verification or a torn read.", &r.corruptBodies},
+		{"graphpipe_router_hedged_total", "Artifact reads that launched a hedge request.", &r.hedged},
+		{"graphpipe_router_hedge_wins_total", "Hedge requests that answered first.", &r.hedgeWins},
+	}
+	for _, c := range counters {
+		r.reg.CounterFunc(c.name, c.help, nil, c.v.Load)
+	}
+	r.reg.GaugeFunc("graphpipe_router_in_flight", "Proxied requests currently in flight.", nil,
+		func() float64 { return float64(r.total.Load()) })
+	r.reg.CounterSetFunc("graphpipe_router_breaker_opens_total", "Breaker trips by backend.", "backend",
+		func() map[string]uint64 {
+			out := make(map[string]uint64, len(r.breakers))
+			for b, br := range r.breakers {
+				out[b] = br.Opens()
+			}
+			return out
+		})
+	r.reg.GaugeFunc("graphpipe_router_unhealthy", "Backends currently marked down.", nil,
+		func() float64 {
+			r.mu.Lock()
+			defer r.mu.Unlock()
+			n := 0
+			for _, down := range r.down {
+				if down {
+					n++
+				}
+			}
+			return float64(n)
+		})
+	if r.cfg.Faults != nil {
+		r.reg.CounterSetFunc("graphpipe_faults_injected_total", "Injected faults by site/kind.", "site",
+			r.cfg.Faults.Tallies)
+	}
+}
+
+// observeRequest records one routed request's latency by route on the
+// shared graphpipe_request_seconds family.
+func (r *Router) observeRequest(route string, seconds float64) {
+	r.latMu.Lock()
+	if r.latency == nil {
+		r.latency = make(map[string]*obs.Histogram)
+	}
+	h, ok := r.latency[route]
+	if !ok {
+		h = r.reg.Histogram("graphpipe_request_seconds",
+			"HTTP request latency by route.", obs.Labels{"route": route}, nil)
+		r.latency[route] = h
+	}
+	r.latMu.Unlock()
+	h.Observe(seconds)
 }
 
 // Close stops the health-check loop. In-flight proxied requests finish
@@ -189,13 +277,51 @@ func (r *Router) Close() {
 //	POST /v1/eval              routed by artifact or request fingerprint
 //	GET  /v1/artifacts/{fp}    routed by fingerprint
 //	GET  /v1/stats             fleet-aggregated counters + router stats
+//	GET  /metrics              router counters, Prometheus text format
+//
+// Every request runs under the obs trace middleware: the router is the
+// fleet's trace root — it mints (or adopts) the X-Graphpipe-Trace ID,
+// propagates it to the shard it picks, and on `?trace=1` wraps the
+// shard's own span envelope in its own, so clients see one connected
+// tree spanning both processes.
 func (r *Router) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/plan", r.handlePlan)
 	mux.HandleFunc("POST /v1/eval", r.handleEval)
 	mux.HandleFunc("GET /v1/artifacts/{fp}", r.handleArtifact)
 	mux.HandleFunc("GET /v1/stats", r.handleStats)
-	return mux
+	mux.HandleFunc("GET /metrics", r.handleMetrics)
+	return obs.Middleware(mux, obs.HTTPOptions{
+		Tracer:     r.tracer,
+		Log:        r.traceLog,
+		Route:      routerRoute,
+		SpanPrefix: "router.",
+		Observe:    r.observeRequest,
+	})
+}
+
+// routerRoute names a request for span/metric labels — a closed set, so
+// labels stay bounded no matter what paths clients probe.
+func routerRoute(req *http.Request) string {
+	switch {
+	case req.URL.Path == "/v1/plan":
+		return "plan"
+	case req.URL.Path == "/v1/eval":
+		return "eval"
+	case strings.HasPrefix(req.URL.Path, "/v1/artifacts/"):
+		return "artifact"
+	case req.URL.Path == "/v1/stats":
+		return "stats"
+	case req.URL.Path == "/metrics":
+		return "metrics"
+	default:
+		return "other"
+	}
+}
+
+func (r *Router) handleMetrics(w http.ResponseWriter, req *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	r.reg.WriteText(w)
 }
 
 func (r *Router) handlePlan(w http.ResponseWriter, req *http.Request) {
@@ -254,14 +380,34 @@ func (r *Router) handleArtifact(w http.ResponseWriter, req *http.Request) {
 type outcomeKind int
 
 const (
-	outcomeNone       outcomeKind = iota // no attempt was made
-	outcomeOK                            // relayable answer (2xx–4xx, incl. exhausted 429s)
-	outcomeBreakerOpen                   // not admitted; nothing was sent
-	outcomeDeadline                      // the request's own budget died mid-attempt
-	outcomeTransport                     // connection-level failure: mark down, fail over
-	outcomeServerErr                     // backend answered >= 500: fail over, relayable as last resort
-	outcomeCorrupt                       // body failed verification or tore mid-read: fail over
+	outcomeNone        outcomeKind = iota // no attempt was made
+	outcomeOK                             // relayable answer (2xx–4xx, incl. exhausted 429s)
+	outcomeBreakerOpen                    // not admitted; nothing was sent
+	outcomeDeadline                       // the request's own budget died mid-attempt
+	outcomeTransport                      // connection-level failure: mark down, fail over
+	outcomeServerErr                      // backend answered >= 500: fail over, relayable as last resort
+	outcomeCorrupt                        // body failed verification or tore mid-read: fail over
 )
+
+// String names an outcome kind for span attributes and logs.
+func (k outcomeKind) String() string {
+	switch k {
+	case outcomeOK:
+		return "ok"
+	case outcomeBreakerOpen:
+		return "breaker-open"
+	case outcomeDeadline:
+		return "deadline"
+	case outcomeTransport:
+		return "transport"
+	case outcomeServerErr:
+		return "server-error"
+	case outcomeCorrupt:
+		return "corrupt"
+	default:
+		return "none"
+	}
+}
 
 // outcome is one backend attempt's result: a classification plus, when
 // the backend produced an HTTP answer, the buffered response.
@@ -288,6 +434,9 @@ func (r *Router) forward(w http.ResponseWriter, req *http.Request, key, path str
 	}
 	defer cancel()
 	verifyFP := r.verifyKey(path, key)
+	if traced(req) {
+		verifyFP = ""
+	}
 	var last outcome
 	sawBreaker := false
 	for _, backend := range r.candidates(key) {
@@ -332,6 +481,9 @@ func (r *Router) forwardHedged(w http.ResponseWriter, req *http.Request, fp, pat
 	}
 	defer cancel()
 	verifyFP := r.verifyKey(path, fp)
+	if traced(req) {
+		verifyFP = ""
+	}
 	cands := r.candidates(fp)
 	results := make(chan outcome, len(cands))
 	next, pending := 0, 0
@@ -396,8 +548,18 @@ func (r *Router) forwardHedged(w http.ResponseWriter, req *http.Request, fp, pat
 // tryBackend runs one breaker-guarded attempt against one backend,
 // including same-backend 429 retries, buffering the response body and
 // verifying it when asked. Exactly one breaker verdict (Record or
-// Cancel) is issued per admitted attempt.
+// Cancel) is issued per admitted attempt. The attempt is a span; the
+// shard's own trace parents under it via the propagated headers, so a
+// routed request's cross-process tree hangs off its backend attempts.
 func (r *Router) tryBackend(ctx context.Context, orig *http.Request, backend, key, path string, body []byte, verifyFP string) outcome {
+	ctx, span := obs.StartSpan(ctx, "backend.attempt", "backend", backend)
+	o := r.tryBackendOnce(ctx, orig, backend, key, path, body, verifyFP)
+	span.SetAttr("outcome", o.kind.String())
+	span.End()
+	return o
+}
+
+func (r *Router) tryBackendOnce(ctx context.Context, orig *http.Request, backend, key, path string, body []byte, verifyFP string) outcome {
 	br := r.breakers[backend]
 	if !br.Allow() {
 		return outcome{kind: outcomeBreakerOpen, backend: backend}
@@ -418,7 +580,9 @@ func (r *Router) tryBackend(ctx context.Context, orig *http.Request, backend, ke
 		}
 		r.retried429.Add(1)
 		if delay > 0 {
+			_, waitSpan := obs.StartSpan(ctx, "retry.wait", "backend", backend)
 			r.sleep(delay)
+			waitSpan.End()
 		}
 		if ctx.Err() != nil {
 			br.Cancel()
@@ -467,6 +631,14 @@ func (r *Router) tryBackend(ctx context.Context, orig *http.Request, backend, ke
 		o.kind = outcomeOK
 	}
 	return o
+}
+
+// traced reports whether a client asked for a span-tree envelope. The
+// query is forwarded to the shard, whose enveloped body no longer
+// hashes to its artifact fingerprint — so traced responses skip router-
+// side verification. Tracing is a debugging surface, not a serving one.
+func traced(req *http.Request) bool {
+	return req.URL.Query().Get("trace") == "1"
 }
 
 // verifyKey returns the fingerprint a path's 200 bodies must hash to,
@@ -547,18 +719,26 @@ func (r *Router) finishExhausted(w http.ResponseWriter, key string, last outcome
 }
 
 // send issues one backend request, tracking per-backend in-flight load
-// for the bounded-load rule and forwarding the remaining time budget so
+// for the bounded-load rule, forwarding the remaining time budget so
 // the shard bounds its own peer consults and planner waits to what the
-// client will still accept.
+// client will still accept, and propagating the trace so the shard's
+// spans parent under this attempt. A client's ?trace=1 is forwarded
+// too: the shard answers with its own span envelope, which the
+// router's middleware wraps again on the way out.
 func (r *Router) send(ctx context.Context, orig *http.Request, backend, path string, body []byte) (*http.Response, error) {
 	var rd io.Reader
 	if body != nil {
 		rd = bytes.NewReader(body)
 	}
-	req, err := http.NewRequestWithContext(ctx, orig.Method, backend+path, rd)
+	url := backend + path
+	if traced(orig) {
+		url += "?trace=1"
+	}
+	req, err := http.NewRequestWithContext(ctx, orig.Method, url, rd)
 	if err != nil {
 		return nil, err
 	}
+	obs.Propagate(ctx, req)
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}

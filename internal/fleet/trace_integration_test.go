@@ -1,0 +1,237 @@
+package fleet
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"graphpipe/internal/obs"
+	"graphpipe/internal/service"
+)
+
+// syncBuffer is a goroutine-safe io.Writer for per-process trace logs.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) bytes() []byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]byte(nil), s.b.Bytes()...)
+}
+
+// TestFleetTracedRequestYieldsConnectedSpanTree is the observability
+// acceptance criterion end to end, in-process: one traced cold plan
+// through a three-shard fleet leaves — across the union of all four
+// processes' span logs — exactly one connected tree, rooted at the
+// router's request span, with the owning shard's serving spans, its
+// peer-fill consults, the other shards' artifact lookups, and the
+// planner's per-probe DP spans all reachable from that root, and
+// timestamps that never run backwards along any parent edge. Then
+// /metrics must scrape clean on every process.
+func TestFleetTracedRequestYieldsConnectedSpanTree(t *testing.T) {
+	const n = 3
+	servers := make([]*httptest.Server, n)
+	urls := make([]string, n)
+	for i := range servers {
+		servers[i] = httptest.NewUnstartedServer(nil)
+		urls[i] = "http://" + servers[i].Listener.Addr().String()
+	}
+	ring, err := NewRing(urls, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	logs := make([]*syncBuffer, n+1) // shards then router
+	for i := range logs {
+		logs[i] = &syncBuffer{}
+	}
+	for i := range servers {
+		svc, err := service.New(service.Config{
+			CacheDir:      t.TempDir(),
+			Instance:      fmt.Sprintf("shard%d", i),
+			TraceLog:      logs[i],
+			MemoSnapshots: -1, // no async memo offers: logs stay quiescent after the response
+			Peers: &service.PeerConfig{
+				Self:     urls[i],
+				Backends: urls,
+				Ranker:   ring,
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		servers[i].Config.Handler = svc.Handler()
+		servers[i].Start()
+		defer servers[i].Close()
+		defer svc.Close()
+	}
+
+	router, err := NewRouter(RouterConfig{
+		Backends:       urls,
+		HealthInterval: -1,
+		Instance:       "lb",
+		TraceLog:       logs[n],
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer router.Close()
+	front := httptest.NewServer(router.Handler())
+	defer front.Close()
+
+	// One traced cold plan with a caller-chosen trace ID.
+	req, err := http.NewRequest(http.MethodPost, front.URL+"/v1/plan?trace=1",
+		strings.NewReader(`{"model":"case-study","devices":4,"planner":"fleetstub"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(obs.TraceHeader, "client-1")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("traced plan status %d: %s", resp.StatusCode, body)
+	}
+	if got := resp.Header.Get(obs.TraceHeader); got != "client-1" {
+		t.Fatalf("response trace ID %q, want the caller's client-1", got)
+	}
+
+	// The body is the router's envelope around the shard's: both trees
+	// plus the original plan payload must unwrap.
+	traces, payload, ok := obs.UnwrapEnvelope(body)
+	if !ok || len(traces) < 2 {
+		t.Fatalf("envelope unwrap: ok=%v traces=%d", ok, len(traces))
+	}
+	var probe struct {
+		Version int    `json:"version"`
+		Model   string `json:"model"`
+	}
+	if err := json.Unmarshal(payload, &probe); err != nil || probe.Version < 1 || probe.Model == "" {
+		t.Fatalf("unwrapped payload is not the plan artifact: %v (%.80s)", err, payload)
+	}
+
+	// Union every process's span log, keeping only our trace (the peer
+	// shards also log their own untraced business).
+	type spanRec struct {
+		export  obs.SpanExport
+		process string
+		absUs   int64
+	}
+	spans := map[string]spanRec{}
+	for i, lg := range logs {
+		sc := bufio.NewScanner(bytes.NewReader(lg.bytes()))
+		sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+		for sc.Scan() {
+			var te obs.TraceExport
+			if err := json.Unmarshal(sc.Bytes(), &te); err != nil {
+				t.Fatalf("log %d: bad trace line: %v", i, err)
+			}
+			if te.TraceID != "client-1" {
+				continue
+			}
+			for _, s := range te.Spans {
+				if _, dup := spans[s.ID]; dup {
+					t.Fatalf("span ID %s appears twice in the union", s.ID)
+				}
+				spans[s.ID] = spanRec{export: s, process: te.Process, absUs: te.StartUnixUs + s.StartUs}
+			}
+		}
+	}
+	if len(spans) == 0 {
+		t.Fatal("no spans for trace client-1 in any process log")
+	}
+
+	// Exactly one root, and it is the router's request span.
+	var roots []spanRec
+	for _, s := range spans {
+		if s.export.Parent == "" {
+			roots = append(roots, s)
+		}
+	}
+	if len(roots) != 1 {
+		t.Fatalf("span union has %d roots, want exactly 1: %+v", len(roots), roots)
+	}
+	if roots[0].process != "lb" || roots[0].export.Name != "router.plan" {
+		t.Fatalf("root is %s/%s, want lb/router.plan", roots[0].process, roots[0].export.Name)
+	}
+
+	// Every parent edge resolves inside the union, and time never runs
+	// backwards along it (1ms slack for wall-vs-mono rounding across
+	// process exports).
+	const slackUs = 1000
+	for id, s := range spans {
+		if s.export.Parent == "" {
+			continue
+		}
+		parent, ok := spans[s.export.Parent]
+		if !ok {
+			t.Fatalf("span %s (%s) has dangling parent %s", id, s.export.Name, s.export.Parent)
+		}
+		if s.absUs+slackUs < parent.absUs {
+			t.Errorf("span %s starts %dus before its parent %s", id, parent.absUs-s.absUs, s.export.Parent)
+		}
+	}
+
+	// The phases the issue names are all descendants of the root: the
+	// owning shard's serving span, a peer-fill consult with per-peer
+	// attempts, the planner search, and at least one per-probe DP span.
+	byName := map[string]int{}
+	for _, s := range spans {
+		byName[s.export.Name]++
+	}
+	for _, name := range []string{
+		"backend.attempt", "service.plan", "cache.memory", "cache.disk",
+		"singleflight.wait", "peer.fill", "peer.attempt", "service.artifact",
+		"admission.wait", "planner.search", "dp.probe", "search.micro-batch",
+	} {
+		if byName[name] == 0 {
+			t.Errorf("span union is missing %q (got %v)", name, byName)
+		}
+	}
+
+	// /metrics answers the 0.0.4 exposition on every process.
+	for i, u := range append(append([]string(nil), urls...), front.URL) {
+		resp, err := http.Get(u + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		series, perr := obs.ParseText(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK || perr != nil {
+			t.Fatalf("process %d /metrics: status %d, parse %v", i, resp.StatusCode, perr)
+		}
+		if len(series) == 0 {
+			t.Fatalf("process %d /metrics is empty", i)
+		}
+	}
+	frontMetrics, err := http.Get(front.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	series, err := obs.ParseText(frontMetrics.Body)
+	frontMetrics.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if series["graphpipe_router_routed_total"] < 1 {
+		t.Errorf("router routed_total = %v after a routed request", series["graphpipe_router_routed_total"])
+	}
+}

@@ -52,6 +52,14 @@ func (r *Result) BenchLine() string {
 	}
 	emit("fleet_peer_fills", float64(r.PeerFills))
 	emit("fleet_planned", float64(r.Planned))
+	if p := r.Phases; p != nil && p.Exemplars > 0 {
+		emit("fleet_phase_queue_share", p.QueueShare)
+		emit("fleet_phase_search_share", p.SearchShare)
+		emit("fleet_phase_cache_share", p.CacheShare)
+		emit("fleet_phase_peer_share", p.PeerShare)
+		emit("fleet_phase_network_share", p.NetworkShare)
+		emit("fleet_phase_other_share", p.OtherShare)
+	}
 	emit("fleet_wall_s", r.WallSeconds)
 	return b.String()
 }

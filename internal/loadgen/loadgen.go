@@ -27,6 +27,7 @@ import (
 	"sync"
 	"time"
 
+	"graphpipe/internal/obs"
 	"graphpipe/internal/service"
 	"graphpipe/internal/strategy"
 	"graphpipe/internal/synth"
@@ -81,16 +82,23 @@ type Config struct {
 	// open windows, health probe rounds — is measured in requests the
 	// fleet could plausibly see, not swamped at memory speed.
 	Pace time.Duration
+	// TraceSample traces every Nth replayed request (0 disables): the
+	// request carries a deterministic X-Graphpipe-Trace ID and ?trace=1,
+	// and the fleet answers with its span-tree envelope. Traced requests
+	// feed Result.Phases (where slow-request time actually goes) and
+	// Result.SlowTraces (exemplar span trees at the traced p99). Traced
+	// bodies skip VerifyPlans hashing — the envelope re-encodes them.
+	TraceSample int
 	// Client issues the requests; nil uses a 60s-timeout client.
 	Client *http.Client
 }
 
 // Result is one replay's reduced outcome.
 type Result struct {
-	Requests  int            `json:"requests"`
-	Completed int            `json:"completed"`
-	Shed      int            `json:"shed"`
-	Errors    int            `json:"errors"`
+	Requests  int `json:"requests"`
+	Completed int `json:"completed"`
+	Shed      int `json:"shed"`
+	Errors    int `json:"errors"`
 	// DeadlineExceeded counts 504s: budgets that expired somewhere in
 	// the fleet. Kept apart from Errors because a chaos soak bounds the
 	// two differently — deadline deaths are expected degradation under
@@ -128,8 +136,37 @@ type Result struct {
 	// searches actually ran anywhere in the fleet.
 	PeerFills uint64 `json:"peer_fills"`
 	Planned   uint64 `json:"planned"`
+	// Phases attributes traced requests' slow tail to serving phases
+	// (TraceSample only).
+	Phases *PhaseBreakdown `json:"phases,omitempty"`
+	// SlowTraces are exemplar span trees from the traced requests at or
+	// above the traced sample's p99 latency (TraceSample only, capped) —
+	// the raw material behind Phases, kept so a slow replay leaves
+	// something replayable behind, not just shares.
+	SlowTraces []*obs.TraceExport `json:"slow_traces,omitempty"`
 	// WallSeconds is the replay's wall-clock time.
 	WallSeconds float64 `json:"wall_seconds"`
+}
+
+// PhaseBreakdown says where the traced slow tail's time went: shares of
+// the exemplar requests' total span time in the admission queue, the
+// planner search, cache probes, peer fills, and the network between
+// router and shard. Shares are of measured root-span time; Other is
+// whatever the span taxonomy did not cover. Queue-dominated and
+// search-dominated p99s call for different capacity fixes — that
+// distinction is this struct's whole job.
+type PhaseBreakdown struct {
+	// Traced counts the traced requests the breakdown reduced; Exemplars
+	// counts the slow subset (traced latency >= traced p99) attributed.
+	Traced    int `json:"traced"`
+	Exemplars int `json:"exemplars"`
+	// Shares sum to ~1 over queue, search, cache, peer, network, other.
+	QueueShare   float64 `json:"queue_share"`
+	SearchShare  float64 `json:"search_share"`
+	CacheShare   float64 `json:"cache_share"`
+	PeerShare    float64 `json:"peer_share"`
+	NetworkShare float64 `json:"network_share"`
+	OtherShare   float64 `json:"other_share"`
 }
 
 // Percentiles summarizes a latency sample in seconds.
@@ -171,6 +208,8 @@ type outcome struct {
 	err     bool
 	invalid bool              // a 200 whose body failed fingerprint verification
 	hash    [sha256.Size]byte // body hash of a 200, for byte-identity checks
+	traced  bool
+	traces  []*obs.TraceExport // unwrapped span trees of a traced 200
 }
 
 // Run generates the population, replays the sampled sequence, and
@@ -224,7 +263,13 @@ func Run(cfg Config) (*Result, error) {
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				outcomes[i] = replayOne(cfg, bodies[seq[i]])
+				traceID := ""
+				if cfg.TraceSample > 0 && i%cfg.TraceSample == 0 {
+					// Deterministic in (seed, index): rerunning the replay
+					// re-traces the same requests with the same IDs.
+					traceID = fmt.Sprintf("fleetgen-%d-%d", cfg.Seed, i)
+				}
+				outcomes[i] = replayOne(cfg, bodies[seq[i]], traceID)
 				if cfg.Pace > 0 {
 					time.Sleep(cfg.Pace)
 				}
@@ -275,15 +320,22 @@ func sampleSequence(cfg Config, population int) []int {
 	return seq
 }
 
-func replayOne(cfg Config, body string) outcome {
+func replayOne(cfg Config, body, traceID string) outcome {
 	start := time.Now()
-	req, err := http.NewRequest(http.MethodPost, cfg.Target+"/v1/plan", strings.NewReader(body))
+	url := cfg.Target + "/v1/plan"
+	if traceID != "" {
+		url += "?trace=1"
+	}
+	req, err := http.NewRequest(http.MethodPost, url, strings.NewReader(body))
 	if err != nil {
 		return outcome{err: true}
 	}
 	req.Header.Set("Content-Type", "application/json")
 	if cfg.BudgetMs > 0 {
 		req.Header.Set(service.HeaderBudget, strconv.Itoa(cfg.BudgetMs))
+	}
+	if traceID != "" {
+		req.Header.Set(obs.TraceHeader, traceID)
 	}
 	resp, err := cfg.Client.Do(req)
 	if err != nil {
@@ -294,8 +346,19 @@ func replayOne(cfg Config, body string) outcome {
 		status: resp.StatusCode,
 		source: resp.Header.Get(service.HeaderCache),
 		fp:     resp.Header.Get(service.HeaderFingerprint),
+		traced: traceID != "",
 	}
-	if resp.StatusCode == http.StatusOK && cfg.VerifyPlans {
+	switch {
+	case resp.StatusCode == http.StatusOK && o.traced:
+		// The body is a span-tree envelope (possibly nested: router
+		// around shard); keep the trees, and skip verification — the
+		// envelope re-encoded the payload.
+		data, err := io.ReadAll(io.LimitReader(resp.Body, maxVerifyBytes))
+		if err != nil {
+			return outcome{seconds: time.Since(start).Seconds(), err: true}
+		}
+		o.traces, _, _ = obs.UnwrapEnvelope(data)
+	case resp.StatusCode == http.StatusOK && cfg.VerifyPlans:
 		data, err := io.ReadAll(io.LimitReader(resp.Body, maxVerifyBytes))
 		if err != nil {
 			// A body that tears mid-read never completed: count it with
@@ -308,7 +371,7 @@ func replayOne(cfg Config, body string) outcome {
 				o.invalid = true
 			}
 		}
-	} else {
+	default:
 		io.Copy(io.Discard, resp.Body)
 	}
 	o.seconds = time.Since(start).Seconds()
@@ -349,7 +412,7 @@ func reduce(cfg Config, outcomes []outcome, wall float64, before, after *service
 		res.Completed++
 		res.Sources[o.source]++
 		fps[o.fp] = true
-		if cfg.VerifyPlans {
+		if cfg.VerifyPlans && !o.traced {
 			switch prev, seen := firstHash[o.fp]; {
 			case o.invalid:
 				res.ByteMismatches++
@@ -381,7 +444,115 @@ func reduce(cfg Config, outcomes []outcome, wall float64, before, after *service
 	for src, samples := range tiers {
 		res.TierLatency[src] = percentiles(samples)
 	}
+	if cfg.TraceSample > 0 {
+		res.Phases, res.SlowTraces = attributePhases(outcomes)
+	}
 	return res
+}
+
+// maxSlowTraces caps how many exemplar span trees a result carries —
+// enough to eyeball, not a replay-sized dump.
+const maxSlowTraces = 3
+
+// attributePhases reduces the traced outcomes to a slow-tail phase
+// breakdown: take the traced requests at or above the traced sample's
+// p99 latency, sum each serving phase's span time across their trees,
+// and report shares of root-span time. Phases are matched by span name
+// — the taxonomy docs/ARCHITECTURE.md fixes — and network time is what
+// remains of a router backend attempt (or shard peer attempt) after
+// subtracting the remote process's own root span.
+func attributePhases(outcomes []outcome) (*PhaseBreakdown, []*obs.TraceExport) {
+	var traced []outcome
+	var lats []float64
+	for _, o := range outcomes {
+		if o.traced && len(o.traces) > 0 {
+			traced = append(traced, o)
+			lats = append(lats, o.seconds)
+		}
+	}
+	if len(traced) == 0 {
+		return &PhaseBreakdown{}, nil
+	}
+	threshold := percentiles(lats).P99
+	bd := &PhaseBreakdown{Traced: len(traced)}
+	var slow []*obs.TraceExport
+	var total, queue, search, cache, peer, network float64
+	for _, o := range traced {
+		if o.seconds < threshold {
+			continue
+		}
+		bd.Exemplars++
+		p := tracePhases(o.traces)
+		total += p.total
+		queue += p.queue
+		search += p.search
+		cache += p.cache
+		peer += p.peer
+		network += p.network
+		if bd.Exemplars <= maxSlowTraces {
+			slow = append(slow, o.traces...)
+		}
+	}
+	if total > 0 {
+		bd.QueueShare = queue / total
+		bd.SearchShare = search / total
+		bd.CacheShare = cache / total
+		bd.PeerShare = peer / total
+		bd.NetworkShare = network / total
+		if rest := 1 - (bd.QueueShare + bd.SearchShare + bd.CacheShare + bd.PeerShare + bd.NetworkShare); rest > 0 {
+			bd.OtherShare = rest
+		}
+	}
+	return bd, slow
+}
+
+// phaseTimes is one traced request's span time per phase, in
+// microseconds (the span unit; shares cancel the unit anyway).
+type phaseTimes struct {
+	total, queue, search, cache, peer, network float64
+}
+
+// tracePhases walks one request's span-tree union (router + shards).
+// The counted phases are disjoint subtrees of the request: admission
+// wait, planner search, cache probes, and peer fill are sibling spans
+// on the shard, and network is what remains of a router backend
+// attempt after subtracting the shard's own root span (a peer
+// attempt's wire time is not counted again — it is already inside
+// peer.fill).
+func tracePhases(traces []*obs.TraceExport) phaseTimes {
+	var p phaseTimes
+	// Remote root time per parent span: a shard's root span reports its
+	// parent as the caller's attempt span ID via the propagated header.
+	remote := make(map[string]float64)
+	for _, tr := range traces {
+		for _, s := range tr.Spans {
+			if s.Parent != "" && !strings.HasPrefix(s.Parent, tr.Process+"-") {
+				remote[s.Parent] += float64(s.DurUs)
+			}
+		}
+	}
+	for _, tr := range traces {
+		for _, s := range tr.Spans {
+			switch {
+			case s.Parent == "":
+				p.total += float64(s.DurUs)
+			case s.Name == "admission.wait":
+				p.queue += float64(s.DurUs)
+			case s.Name == "planner.search":
+				p.search += float64(s.DurUs)
+			case strings.HasPrefix(s.Name, "cache."):
+				p.cache += float64(s.DurUs)
+			case s.Name == "peer.fill":
+				p.peer += float64(s.DurUs)
+			}
+			if s.Name == "backend.attempt" {
+				if net := float64(s.DurUs) - remote[s.ID]; net > 0 {
+					p.network += net
+				}
+			}
+		}
+	}
+	return p
 }
 
 // fetchFleetSnapshot reads /v1/stats from either a router (whose body

@@ -1,0 +1,49 @@
+package obs
+
+import (
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// DebugServer is the optional pprof side-listener behind the daemons'
+// -debug-addr flag. It is a separate listener on purpose: profiling
+// endpoints never share a port (or an accept queue) with serving
+// traffic, and leaving the flag unset leaves them unreachable.
+type DebugServer struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// StartDebugServer serves net/http/pprof on addr. The returned server
+// runs until Close; a nil server (with nil error) means addr was empty
+// and nothing was started.
+func StartDebugServer(addr string) (*DebugServer, error) {
+	if addr == "" {
+		return nil, nil
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	d := &DebugServer{ln: ln, srv: &http.Server{Handler: mux}}
+	go d.srv.Serve(ln)
+	return d, nil
+}
+
+// Addr reports the listener's resolved address.
+func (d *DebugServer) Addr() string { return d.ln.Addr().String() }
+
+// Close stops the debug listener. Safe on a nil server.
+func (d *DebugServer) Close() error {
+	if d == nil {
+		return nil
+	}
+	return d.srv.Close()
+}

@@ -1,0 +1,147 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"time"
+)
+
+// HTTPOptions configures Middleware for one process.
+type HTTPOptions struct {
+	// Tracer mints trace/span IDs; required.
+	Tracer *Tracer
+	// Log, when non-nil, receives every request's trace as one JSON line.
+	Log *TraceLog
+	// Route maps a request to a short route name ("plan", "stats", ...)
+	// used in the root span name and latency metrics. Required.
+	Route func(r *http.Request) string
+	// SpanPrefix prefixes the root span name, e.g. "router." or
+	// "service.", so a unioned multi-process tree reads unambiguously.
+	SpanPrefix string
+	// Observe, when non-nil, receives the request's route and duration
+	// in seconds once the response is written.
+	Observe func(route string, seconds float64)
+}
+
+// Middleware wraps next with the per-request trace lifecycle: adopt the
+// incoming TraceHeader (or mint an ID), open the process root span —
+// attached under the caller's ParentHeader span if present — echo the
+// trace ID on the response, and on completion log the trace and observe
+// request latency. With `?trace=1` the response body is wrapped in a
+// TraceEnvelope carrying this process's span tree; envelopes nest when
+// the handler itself relayed an enveloped body (router in front of a
+// shard), and UnwrapEnvelope undoes the nesting.
+func Middleware(next http.Handler, o HTTPOptions) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		traceID := r.Header.Get(TraceHeader)
+		if traceID == "" {
+			traceID = o.Tracer.NewTraceID()
+		}
+		tr := o.Tracer.NewTrace(traceID)
+		route := o.Route(r)
+		ctx := ContextWithTrace(r.Context(), tr, r.Header.Get(ParentHeader))
+		ctx, root := StartSpan(ctx, o.SpanPrefix+route, "path", r.URL.Path, "method", r.Method)
+		r = r.WithContext(ctx)
+
+		w.Header().Set(TraceHeader, traceID)
+		if r.URL.Query().Get("trace") == "1" {
+			rec := &recorder{hdr: w.Header()}
+			next.ServeHTTP(rec, r)
+			root.SetAttr("status", http.StatusText(rec.statusOr(http.StatusOK)))
+			root.End()
+			writeEnvelope(w, rec, tr)
+		} else {
+			next.ServeHTTP(w, r)
+			root.End()
+		}
+		o.Log.Log(tr)
+		if o.Observe != nil {
+			o.Observe(route, time.Since(start).Seconds())
+		}
+	})
+}
+
+// recorder buffers the response body so the middleware can wrap it in a
+// trace envelope after the handler returns. It shares the real response
+// header map, so handler-set headers (fingerprint, cache tier,
+// Retry-After) pass through untouched.
+type recorder struct {
+	hdr    http.Header
+	status int
+	buf    bytes.Buffer
+}
+
+func (r *recorder) Header() http.Header { return r.hdr }
+
+func (r *recorder) WriteHeader(code int) {
+	if r.status == 0 {
+		r.status = code
+	}
+}
+
+func (r *recorder) Write(p []byte) (int, error) {
+	if r.status == 0 {
+		r.status = http.StatusOK
+	}
+	return r.buf.Write(p)
+}
+
+func (r *recorder) statusOr(def int) int {
+	if r.status == 0 {
+		return def
+	}
+	return r.status
+}
+
+// TraceEnvelope is the `?trace=1` response shape: the responding
+// process's trace plus the body it would otherwise have written. When
+// that body is itself an envelope (a router relaying a traced shard
+// response), envelopes nest through the Response field.
+type TraceEnvelope struct {
+	Trace *TraceExport `json:"trace"`
+	// Response holds the original body when it was valid JSON;
+	// ResponseText holds it verbatim otherwise. At most one is set.
+	Response     json.RawMessage `json:"response,omitempty"`
+	ResponseText string          `json:"response_text,omitempty"`
+}
+
+func writeEnvelope(w http.ResponseWriter, rec *recorder, tr *Trace) {
+	env := TraceEnvelope{Trace: tr.Export()}
+	body := rec.buf.Bytes()
+	if json.Valid(body) && len(bytes.TrimSpace(body)) > 0 {
+		env.Response = json.RawMessage(body)
+	} else {
+		env.ResponseText = string(body)
+	}
+	data, err := json.Marshal(env)
+	if err != nil {
+		data = []byte(`{"trace":null}`)
+	}
+	w.Header().Del("Content-Length")
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(rec.statusOr(http.StatusOK))
+	w.Write(data)
+}
+
+// UnwrapEnvelope peels nested trace envelopes off a response body,
+// returning every trace collected (outermost first — the process
+// closest to the client leads) and the innermost real payload. ok is
+// false when body is not an envelope at all, in which case payload is
+// body unchanged.
+func UnwrapEnvelope(body []byte) (traces []*TraceExport, payload []byte, ok bool) {
+	payload = body
+	for {
+		var env TraceEnvelope
+		if err := json.Unmarshal(payload, &env); err != nil || env.Trace == nil {
+			return traces, payload, len(traces) > 0
+		}
+		traces = append(traces, env.Trace)
+		if env.Response != nil {
+			payload = []byte(env.Response)
+		} else {
+			payload = []byte(env.ResponseText)
+		}
+	}
+}

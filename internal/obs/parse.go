@@ -1,0 +1,46 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ParseText parses Prometheus text exposition output into a flat map
+// keyed by the full series identity (`name` or `name{labels}`) — the
+// inverse of WriteText, used by the round-trip tests that assert
+// /metrics and /v1/stats agree, and by fleetgen's scrape checks. Only
+// the subset of the format WriteText emits is understood; a malformed
+// sample line is an error, comment lines are skipped.
+func ParseText(r io.Reader) (map[string]float64, error) {
+	out := make(map[string]float64)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		// The value is everything after the last space outside braces;
+		// label values may themselves contain spaces.
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			return nil, fmt.Errorf("obs: malformed sample line %q", line)
+		}
+		key, val := line[:i], line[i+1:]
+		v, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			return nil, fmt.Errorf("obs: bad value in %q: %v", line, err)
+		}
+		if key == "" || strings.ContainsAny(key[:1], "0123456789") {
+			return nil, fmt.Errorf("obs: malformed series name in %q", line)
+		}
+		out[key] = v
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

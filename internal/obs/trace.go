@@ -1,0 +1,314 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// HTTP headers that carry trace context between processes, propagated
+// alongside X-Graphpipe-Budget-Ms. TraceHeader names the trace a request
+// belongs to; ParentHeader carries the caller's current span ID so the
+// callee's root span attaches under it.
+const (
+	TraceHeader  = "X-Graphpipe-Trace"
+	ParentHeader = "X-Graphpipe-Parent"
+)
+
+// A Tracer mints trace and span IDs for one process. IDs are
+// deterministic: `<process>-<n>` from a per-tracer counter, no
+// randomness — a test that names its processes ("lb", "shard0") gets
+// byte-stable IDs, and IDs from distinctly named processes never
+// collide, which is what lets span logs from a whole fleet be unioned
+// into one tree.
+type Tracer struct {
+	process string
+	seq     atomic.Uint64
+}
+
+// NewTracer returns a tracer stamping the given process name (e.g.
+// "graphpiped@:8890") into every ID and span log line it produces.
+func NewTracer(process string) *Tracer {
+	if process == "" {
+		process = "proc"
+	}
+	return &Tracer{process: process}
+}
+
+// Process returns the tracer's process name.
+func (t *Tracer) Process() string { return t.process }
+
+func (t *Tracer) nextID() string {
+	return t.process + "-" + strconv.FormatUint(t.seq.Add(1), 10)
+}
+
+// A Trace collects the spans one request produced inside one process.
+// Spans may be added and ended concurrently (planner workers fan out);
+// Export snapshots under the lock.
+type Trace struct {
+	tracer    *Tracer
+	id        string
+	startWall time.Time
+	startMono time.Time // monotonic anchor for span offsets
+
+	mu    sync.Mutex
+	spans []*Span
+}
+
+// A Span is one timed, named phase of a request. End it exactly once;
+// both methods are safe on a nil span (the no-trace fast path).
+type Span struct {
+	tr     *Trace
+	id     string
+	parent string
+	name   string
+	start  time.Duration
+
+	mu    sync.Mutex
+	dur   time.Duration
+	ended bool
+	attrs []string // alternating key, value
+}
+
+// NewTrace starts collecting spans for one request. id is the trace ID
+// (from the incoming TraceHeader, or minted via t.NewTraceID when the
+// request arrived untraced).
+func (t *Tracer) NewTrace(id string) *Trace {
+	now := time.Now()
+	return &Trace{tracer: t, id: id, startWall: now, startMono: now}
+}
+
+// NewTraceID mints a fresh trace ID for a request that arrived without
+// one.
+func (t *Tracer) NewTraceID() string { return t.nextID() }
+
+// ID returns the trace ID.
+func (t *Trace) ID() string { return t.id }
+
+type ctxKey int
+
+const (
+	traceKey ctxKey = iota
+	spanKey
+)
+
+// ContextWithTrace attaches a trace to the context. parent, if
+// non-empty, is the remote caller's span ID (from ParentHeader): the
+// first span started under this context becomes its child, which is how
+// parentage connects across process boundaries.
+func ContextWithTrace(ctx context.Context, tr *Trace, parent string) context.Context {
+	ctx = context.WithValue(ctx, traceKey, tr)
+	if parent != "" {
+		ctx = context.WithValue(ctx, spanKey, parent)
+	}
+	return ctx
+}
+
+// TraceFromContext returns the context's trace, or nil.
+func TraceFromContext(ctx context.Context) *Trace {
+	tr, _ := ctx.Value(traceKey).(*Trace)
+	return tr
+}
+
+// CurrentSpanID returns the span ID the next child would attach under,
+// or "".
+func CurrentSpanID(ctx context.Context) string {
+	id, _ := ctx.Value(spanKey).(string)
+	return id
+}
+
+// StartSpan opens a span named name under the context's current span
+// and returns a child context (under which further spans nest) plus the
+// span. On a context with no trace it returns (ctx, nil); a nil *Span
+// no-ops everywhere, so call sites never branch.
+func StartSpan(ctx context.Context, name string, kv ...string) (context.Context, *Span) {
+	tr := TraceFromContext(ctx)
+	if tr == nil {
+		return ctx, nil
+	}
+	s := &Span{
+		tr:     tr,
+		id:     tr.tracer.nextID(),
+		parent: CurrentSpanID(ctx),
+		name:   name,
+		start:  time.Since(tr.startMono),
+		attrs:  append([]string(nil), kv...),
+	}
+	tr.mu.Lock()
+	tr.spans = append(tr.spans, s)
+	tr.mu.Unlock()
+	return context.WithValue(ctx, spanKey, s.id), s
+}
+
+// End closes the span. Safe on nil; second and later calls no-op.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if !s.ended {
+		s.ended = true
+		s.dur = time.Since(s.tr.startMono) - s.start
+	}
+	s.mu.Unlock()
+}
+
+// ID returns the span's ID ("" on nil).
+func (s *Span) ID() string {
+	if s == nil {
+		return ""
+	}
+	return s.id
+}
+
+// SetAttr appends one key/value attribute. Safe on nil.
+func (s *Span) SetAttr(k, v string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.attrs = append(s.attrs, k, v)
+	s.mu.Unlock()
+}
+
+// SpanHook adapts the context's trace to the `func(name, kv...) func()`
+// hook shape used by planner Options: packages below the service layer
+// (core, planner) record spans without importing obs or knowing about
+// contexts. Returns nil when the context carries no trace, so hook
+// users must (and do) tolerate a nil hook.
+//
+// Hook spans all attach under the context's current span: the planner's
+// internal fan-out is recorded flat under the planner.search span
+// rather than re-deriving goroutine parentage.
+func SpanHook(ctx context.Context) func(name string, kv ...string) func() {
+	tr := TraceFromContext(ctx)
+	if tr == nil {
+		return nil
+	}
+	parent := CurrentSpanID(ctx)
+	return func(name string, kv ...string) func() {
+		_, s := StartSpan(ContextWithTrace(context.Background(), tr, parent), name, kv...)
+		return s.End
+	}
+}
+
+// SpanExport is the wire/log form of one span. Times are microseconds
+// relative to the trace's start in its own process; IDs embed the
+// process name, so a multi-process tree stays unambiguous after logs
+// are unioned.
+type SpanExport struct {
+	ID      string            `json:"id"`
+	Parent  string            `json:"parent,omitempty"`
+	Name    string            `json:"name"`
+	StartUs int64             `json:"start_us"`
+	DurUs   int64             `json:"dur_us"`
+	Attrs   map[string]string `json:"attrs,omitempty"`
+}
+
+// TraceExport is one process's view of one trace: a JSON-lines record
+// (-trace-log), the `?trace=1` response envelope payload, and the input
+// to trace.ChromeTraceSpans.
+type TraceExport struct {
+	TraceID     string       `json:"trace_id"`
+	Process     string       `json:"process"`
+	StartUnixUs int64        `json:"start_unix_us"`
+	Spans       []SpanExport `json:"spans"`
+}
+
+// Export snapshots the trace. Unended spans export with the duration
+// they have accrued so far. Spans sort by start offset (ties: by ID) so
+// exports are stable.
+func (t *Trace) Export() *TraceExport {
+	t.mu.Lock()
+	spans := append([]*Span(nil), t.spans...)
+	t.mu.Unlock()
+	out := &TraceExport{
+		TraceID:     t.id,
+		Process:     t.tracer.process,
+		StartUnixUs: t.startWall.UnixMicro(),
+		Spans:       make([]SpanExport, 0, len(spans)),
+	}
+	for _, s := range spans {
+		s.mu.Lock()
+		dur := s.dur
+		if !s.ended {
+			dur = time.Since(t.startMono) - s.start
+		}
+		var attrs map[string]string
+		if len(s.attrs) > 0 {
+			attrs = make(map[string]string, len(s.attrs)/2)
+			for i := 0; i+1 < len(s.attrs); i += 2 {
+				attrs[s.attrs[i]] = s.attrs[i+1]
+			}
+		}
+		s.mu.Unlock()
+		out.Spans = append(out.Spans, SpanExport{
+			ID:      s.id,
+			Parent:  s.parent,
+			Name:    s.name,
+			StartUs: s.start.Microseconds(),
+			DurUs:   dur.Microseconds(),
+			Attrs:   attrs,
+		})
+	}
+	sort.Slice(out.Spans, func(i, j int) bool {
+		a, b := out.Spans[i], out.Spans[j]
+		if a.StartUs != b.StartUs {
+			return a.StartUs < b.StartUs
+		}
+		return a.ID < b.ID
+	})
+	return out
+}
+
+// A TraceLog writes one JSON line per trace. Lines are whole-trace
+// records (TraceExport), not per-span, so a reader can union logs from
+// several processes and rebuild the fleet-wide tree by trace ID. Safe
+// for concurrent use; a nil *TraceLog no-ops.
+type TraceLog struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+// NewTraceLog wraps w (nil w: returns nil, which no-ops).
+func NewTraceLog(w io.Writer) *TraceLog {
+	if w == nil {
+		return nil
+	}
+	return &TraceLog{w: w}
+}
+
+// Log writes the trace as one JSON line.
+func (l *TraceLog) Log(t *Trace) {
+	if l == nil || t == nil {
+		return
+	}
+	data, err := json.Marshal(t.Export())
+	if err != nil {
+		return
+	}
+	data = append(data, '\n')
+	l.mu.Lock()
+	l.w.Write(data)
+	l.mu.Unlock()
+}
+
+// Propagate stamps the outgoing request with the context's trace ID and
+// current span ID, so the callee's spans attach under the caller's.
+// No-op when the context carries no trace.
+func Propagate(ctx context.Context, req *http.Request) {
+	tr := TraceFromContext(ctx)
+	if tr == nil {
+		return
+	}
+	req.Header.Set(TraceHeader, tr.id)
+	if parent := CurrentSpanID(ctx); parent != "" {
+		req.Header.Set(ParentHeader, parent)
+	}
+}

@@ -1,0 +1,210 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestSpanTreeDeterministicIDs(t *testing.T) {
+	tc := NewTracer("shard0")
+	tr := tc.NewTrace("trace-1")
+	ctx := ContextWithTrace(context.Background(), tr, "lb-9")
+
+	ctx, root := StartSpan(ctx, "service.plan")
+	cctx, child := StartSpan(ctx, "cache.memory", "result", "miss")
+	child.End()
+	_, grand := StartSpan(cctx, "cache.disk")
+	grand.End()
+	root.End()
+
+	ex := tr.Export()
+	if len(ex.Spans) != 3 {
+		t.Fatalf("got %d spans", len(ex.Spans))
+	}
+	byName := map[string]SpanExport{}
+	for _, s := range ex.Spans {
+		byName[s.Name] = s
+	}
+	r := byName["service.plan"]
+	if r.ID != "shard0-1" || r.Parent != "lb-9" {
+		t.Fatalf("root id/parent = %q/%q; remote parent must connect", r.ID, r.Parent)
+	}
+	if byName["cache.memory"].Parent != r.ID {
+		t.Fatalf("child parent %q != root %q", byName["cache.memory"].Parent, r.ID)
+	}
+	if byName["cache.disk"].Parent != byName["cache.memory"].ID {
+		t.Fatal("grandchild did not nest under child context")
+	}
+	if byName["cache.memory"].Attrs["result"] != "miss" {
+		t.Fatal("span attrs lost")
+	}
+	for _, s := range ex.Spans {
+		if s.StartUs < r.StartUs {
+			t.Fatalf("span %s starts before root", s.Name)
+		}
+	}
+}
+
+func TestStartSpanNoTraceIsNoop(t *testing.T) {
+	ctx, s := StartSpan(context.Background(), "anything")
+	if s != nil {
+		t.Fatal("expected nil span without a trace")
+	}
+	s.End()             // must not panic
+	s.SetAttr("k", "v") // must not panic
+	if s.ID() != "" {
+		t.Fatal("nil span has an ID")
+	}
+	if SpanHook(ctx) != nil {
+		t.Fatal("expected nil hook without a trace")
+	}
+}
+
+func TestSpanHookAttachesUnderCurrentSpan(t *testing.T) {
+	tc := NewTracer("p")
+	tr := tc.NewTrace("t")
+	ctx := ContextWithTrace(context.Background(), tr, "")
+	ctx, search := StartSpan(ctx, "planner.search")
+	hook := SpanHook(ctx)
+	if hook == nil {
+		t.Fatal("nil hook with a live trace")
+	}
+	end := hook("dp.probe", "b", "4")
+	end()
+	search.End()
+
+	ex := tr.Export()
+	var probe *SpanExport
+	for i := range ex.Spans {
+		if ex.Spans[i].Name == "dp.probe" {
+			probe = &ex.Spans[i]
+		}
+	}
+	if probe == nil || probe.Parent != search.ID() {
+		t.Fatalf("probe span missing or detached: %+v", probe)
+	}
+	if probe.Attrs["b"] != "4" {
+		t.Fatal("hook kv lost")
+	}
+}
+
+func TestTraceLogUnionRebuildsTree(t *testing.T) {
+	var buf bytes.Buffer
+	log := NewTraceLog(&buf)
+
+	lb := NewTracer("lb")
+	ltr := lb.NewTrace("req-1")
+	lctx, lroot := StartSpan(ContextWithTrace(context.Background(), ltr, ""), "router.plan")
+	_, attempt := StartSpan(lctx, "backend.attempt")
+
+	sh := NewTracer("shard1")
+	str := sh.NewTrace("req-1")
+	_, sroot := StartSpan(ContextWithTrace(context.Background(), str, attempt.ID()), "service.plan")
+	sroot.End()
+	attempt.End()
+	lroot.End()
+	log.Log(ltr)
+	log.Log(str)
+
+	var spans []SpanExport
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		var ex TraceExport
+		if err := json.Unmarshal([]byte(line), &ex); err != nil {
+			t.Fatalf("bad log line %q: %v", line, err)
+		}
+		if ex.TraceID != "req-1" {
+			t.Fatalf("trace id %q", ex.TraceID)
+		}
+		spans = append(spans, ex.Spans...)
+	}
+	ids := map[string]bool{}
+	roots := 0
+	for _, s := range spans {
+		ids[s.ID] = true
+	}
+	for _, s := range spans {
+		if s.Parent == "" {
+			roots++
+		} else if !ids[s.Parent] {
+			t.Fatalf("span %s has dangling parent %s", s.ID, s.Parent)
+		}
+	}
+	if roots != 1 {
+		t.Fatalf("unioned tree has %d roots, want 1", roots)
+	}
+}
+
+func TestMiddlewareEnvelopeAndPropagation(t *testing.T) {
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, s := StartSpan(r.Context(), "work")
+		s.End()
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"ok":true}`))
+	})
+	h := Middleware(inner, HTTPOptions{
+		Tracer:     NewTracer("svc"),
+		Route:      func(*http.Request) string { return "plan" },
+		SpanPrefix: "service.",
+	})
+
+	// Untraced request: trace ID minted and echoed, body untouched.
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("POST", "/v1/plan", nil))
+	if rec.Header().Get(TraceHeader) == "" {
+		t.Fatal("no minted trace ID on response")
+	}
+	if rec.Body.String() != `{"ok":true}` {
+		t.Fatalf("untraced body rewritten: %q", rec.Body.String())
+	}
+
+	// Traced request: envelope wraps the body; remote parent connects.
+	req := httptest.NewRequest("POST", "/v1/plan?trace=1", nil)
+	req.Header.Set(TraceHeader, "t-42")
+	req.Header.Set(ParentHeader, "lb-7")
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if got := rec.Header().Get(TraceHeader); got != "t-42" {
+		t.Fatalf("trace header %q, want t-42", got)
+	}
+	traces, payload, ok := UnwrapEnvelope(rec.Body.Bytes())
+	if !ok || len(traces) != 1 {
+		t.Fatalf("expected one envelope, got ok=%v n=%d", ok, len(traces))
+	}
+	if string(payload) != `{"ok":true}` {
+		t.Fatalf("payload %q", payload)
+	}
+	if traces[0].TraceID != "t-42" || traces[0].Process != "svc" {
+		t.Fatalf("trace export %+v", traces[0])
+	}
+	var root *SpanExport
+	for i := range traces[0].Spans {
+		if traces[0].Spans[i].Name == "service.plan" {
+			root = &traces[0].Spans[i]
+		}
+	}
+	if root == nil || root.Parent != "lb-7" {
+		t.Fatalf("root span missing or detached from remote parent: %+v", root)
+	}
+}
+
+func TestPropagateStampsHeaders(t *testing.T) {
+	tc := NewTracer("svc")
+	tr := tc.NewTrace("t9")
+	ctx, s := StartSpan(ContextWithTrace(context.Background(), tr, ""), "peer.fill")
+	req := httptest.NewRequest("GET", "http://peer/v1/artifacts/x", nil)
+	Propagate(ctx, req)
+	if req.Header.Get(TraceHeader) != "t9" || req.Header.Get(ParentHeader) != s.ID() {
+		t.Fatalf("headers %q %q", req.Header.Get(TraceHeader), req.Header.Get(ParentHeader))
+	}
+	// No trace: leaves the request untouched.
+	req2 := httptest.NewRequest("GET", "http://peer/", nil)
+	Propagate(context.Background(), req2)
+	if req2.Header.Get(TraceHeader) != "" {
+		t.Fatal("propagate stamped headers without a trace")
+	}
+}

@@ -8,9 +8,11 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+	"strings"
 	"time"
 
 	"graphpipe/internal/memosnap"
+	"graphpipe/internal/obs"
 )
 
 // HTTP headers the service stamps on plan responses, so clients and smoke
@@ -37,12 +39,19 @@ const (
 //	GET  /v1/artifacts/{fp}    fetch a cached artifact by fingerprint
 //	POST /v1/memos             accept a peer's DP memo snapshot offer
 //	GET  /v1/stats             counters, gauges, latency histograms
+//	GET  /metrics              the same state, Prometheus text format
 //
 // Responses are JSON. Errors are structured —
 // {"error": <machine code>, "detail": <human text>} — with ErrBadRequest
 // as 400, ErrUnknownArtifact as 404, ErrOverloaded as 429 (clients should
 // back off for the Retry-After header's duration and retry), and anything
 // else as 500.
+//
+// Every request runs under the obs trace middleware: the incoming
+// X-Graphpipe-Trace ID (or a freshly minted one) is echoed on the
+// response, spans cover each serving phase, `?trace=1` wraps the body
+// in a span-tree envelope, and Config.TraceLog receives one JSON line
+// per request.
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/plan", s.handlePlan)
@@ -50,7 +59,40 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/artifacts/{fp}", s.handleArtifact)
 	mux.HandleFunc("POST /v1/memos", s.handleMemoOffer)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
-	return mux
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return obs.Middleware(mux, obs.HTTPOptions{
+		Tracer:     s.tracer,
+		Log:        s.traceLog,
+		Route:      serviceRoute,
+		SpanPrefix: "service.",
+		Observe:    s.stats.observeRequest,
+	})
+}
+
+// serviceRoute names a request for span/metric labels — a closed set,
+// so route labels stay bounded no matter what paths clients probe.
+func serviceRoute(r *http.Request) string {
+	switch {
+	case r.URL.Path == "/v1/plan":
+		return "plan"
+	case r.URL.Path == "/v1/eval":
+		return "eval"
+	case strings.HasPrefix(r.URL.Path, "/v1/artifacts/"):
+		return "artifact"
+	case r.URL.Path == "/v1/memos":
+		return "memos"
+	case r.URL.Path == "/v1/stats":
+		return "stats"
+	case r.URL.Path == "/metrics":
+		return "metrics"
+	default:
+		return "other"
+	}
+}
+
+func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.stats.reg.WriteText(w)
 }
 
 func (s *Service) handlePlan(w http.ResponseWriter, r *http.Request) {
@@ -107,7 +149,7 @@ func (s *Service) handleArtifact(w http.ResponseWriter, r *http.Request) {
 	// client-originated lookups may consult peers in turn.
 	var res *PlanResult
 	if r.Header.Get(HeaderPeerFill) != "" {
-		res, err = s.ArtifactLocal(r.PathValue("fp"))
+		res, err = s.ArtifactLocal(r.Context(), r.PathValue("fp"))
 	} else {
 		res, err = s.Artifact(r.Context(), r.PathValue("fp"))
 	}

@@ -1,0 +1,120 @@
+package service
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"graphpipe/internal/obs"
+)
+
+// TestStatsAndMetricsAgree is the unified-surface check: after a
+// scripted request mix, every counter /v1/stats reports in JSON must
+// equal the same counter scraped from /metrics in Prometheus text. The
+// two surfaces read the same obs atomics by construction — this test
+// exists to keep the *wiring* honest (a counter registered under the
+// wrong name, or a snapshot field reading the wrong series, shows up
+// as a mismatch here).
+func TestStatsAndMetricsAgree(t *testing.T) {
+	s := newService(t, Config{CacheDir: t.TempDir()})
+	handler := s.Handler()
+	do := func(method, path, body string) *httptest.ResponseRecorder {
+		t.Helper()
+		var rd *strings.Reader
+		if body != "" {
+			rd = strings.NewReader(body)
+		} else {
+			rd = strings.NewReader("")
+		}
+		req := httptest.NewRequest(method, path, rd)
+		if body != "" {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		rec := httptest.NewRecorder()
+		handler.ServeHTTP(rec, req)
+		return rec
+	}
+
+	// The mix: two distinct cold plans, a memory hit, a disk-tier reload
+	// is not scriptable in-process (the memory tier absorbs repeats), an
+	// eval piggyback, an artifact fetch, and one guaranteed 400.
+	plan := `{"model":"case-study","devices":4,"planner":"stub"}`
+	plan2 := `{"model":"synth:chain/seed=1","devices":4,"planner":"stub"}`
+	first := do(http.MethodPost, "/v1/plan", plan)
+	if first.Code != http.StatusOK {
+		t.Fatalf("cold plan status %d: %s", first.Code, first.Body)
+	}
+	fp := first.Header().Get(HeaderFingerprint)
+	for _, req := range []struct{ method, path, body string }{
+		{http.MethodPost, "/v1/plan", plan2},
+		{http.MethodPost, "/v1/plan", plan},  // hit-memory
+		{http.MethodPost, "/v1/plan", plan2}, // hit-memory
+		{http.MethodPost, "/v1/eval", `{"model":"case-study","devices":4,"planner":"stub"}`},
+		{http.MethodGet, "/v1/artifacts/" + fp, ""},
+	} {
+		if rec := do(req.method, req.path, req.body); rec.Code != http.StatusOK {
+			t.Fatalf("%s %s status %d: %s", req.method, req.path, rec.Code, rec.Body)
+		}
+	}
+
+	statsRec := do(http.MethodGet, "/v1/stats", "")
+	var snap Snapshot
+	if err := json.Unmarshal(statsRec.Body.Bytes(), &snap); err != nil {
+		t.Fatalf("stats JSON: %v", err)
+	}
+	metricsRec := do(http.MethodGet, "/metrics", "")
+	if ct := metricsRec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("metrics Content-Type = %q, want the 0.0.4 exposition type", ct)
+	}
+	series, err := obs.ParseText(metricsRec.Body)
+	if err != nil {
+		t.Fatalf("metrics exposition: %v", err)
+	}
+
+	// Sanity-pin a few absolute values so the identity check below can't
+	// pass vacuously on a fleet of zeros.
+	if snap.Misses != 2 || snap.HitsMemory < 2 || snap.Planned != 2 || snap.Evals != 1 {
+		t.Fatalf("scripted mix landed wrong: misses=%d hitsMem=%d planned=%d evals=%d",
+			snap.Misses, snap.HitsMemory, snap.Planned, snap.Evals)
+	}
+
+	for metric, want := range map[string]uint64{
+		`graphpipe_cache_hits_total{tier="memory"}`: snap.HitsMemory,
+		`graphpipe_cache_hits_total{tier="disk"}`:   snap.HitsDisk,
+		`graphpipe_cache_misses_total`:              snap.Misses,
+		`graphpipe_planned_total`:                   snap.Planned,
+		`graphpipe_shared_waits_total`:              snap.SharedWaits,
+		`graphpipe_rejected_total`:                  snap.Rejected,
+		`graphpipe_evals_total`:                     snap.Evals,
+		`graphpipe_disk_failures_total`:             snap.DiskFailures,
+		`graphpipe_memo_warm_hits_total`:            snap.MemoWarmHits,
+		`graphpipe_memory_evictions_total`:          snap.MemoryEvictions,
+		`graphpipe_deadline_rejections_total`:       snap.DeadlineRejections,
+	} {
+		got, ok := series[metric]
+		if !ok {
+			t.Errorf("metric %s missing from /metrics", metric)
+			continue
+		}
+		if uint64(got) != want {
+			t.Errorf("%s = %v on /metrics but %d on /v1/stats", metric, got, want)
+		}
+	}
+
+	// The planner latency histogram carries the same observation count
+	// as the JSON snapshot's.
+	h, ok := snap.PlannerLatency["stub"]
+	if !ok {
+		t.Fatal("no stub planner latency in /v1/stats")
+	}
+	if got := series[`graphpipe_planner_search_seconds_count{planner="stub"}`]; uint64(got) != h.Count {
+		t.Errorf("planner histogram count: %v on /metrics, %d on /v1/stats", got, h.Count)
+	}
+	// Request latency landed per route, including this scrape's own
+	// route family being registered.
+	if got := series[`graphpipe_request_seconds_count{route="plan"}`]; got < 4 {
+		t.Errorf("request_seconds{route=plan} count = %v, want >= 4", got)
+	}
+}

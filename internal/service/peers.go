@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"graphpipe/internal/memosnap"
+	"graphpipe/internal/obs"
 	"graphpipe/internal/strategy"
 )
 
@@ -106,10 +107,14 @@ func (s *Service) peerFill(ctx context.Context, fp string) *cacheEntry {
 	if p == nil {
 		return nil
 	}
+	fillCtx, fillSpan := obs.StartSpan(ctx, "peer.fill", "fp", fp)
+	defer fillSpan.End()
 	for _, peer := range p.order(fp) {
-		pctx, cancel := context.WithTimeout(ctx, p.fillTimeout())
+		attemptCtx, attemptSpan := obs.StartSpan(fillCtx, "peer.attempt", "peer", peer)
+		pctx, cancel := context.WithTimeout(attemptCtx, p.fillTimeout())
 		data, err := s.fetchPeerArtifact(pctx, peer, fp)
 		cancel()
+		attemptSpan.End()
 		if err != nil {
 			if isTimeout(err) {
 				s.stats.peerTimeouts.Add(1)
@@ -138,9 +143,11 @@ func (s *Service) peerFill(ctx context.Context, fp string) *cacheEntry {
 		}
 		s.memory.put(e)
 		s.stats.peerFills.Add(1)
+		fillSpan.SetAttr("result", "filled")
 		return e
 	}
 	s.stats.peerMisses.Add(1)
+	fillSpan.SetAttr("result", "miss")
 	return nil
 }
 
@@ -164,6 +171,9 @@ func (s *Service) fetchPeerArtifact(ctx context.Context, peer, fp string) ([]byt
 		return nil, err
 	}
 	req.Header.Set(HeaderPeerFill, "1")
+	// The peer's artifact-serving spans join this request's trace, with
+	// the peer.attempt span as their remote parent.
+	obs.Propagate(ctx, req)
 	if dl, ok := ctx.Deadline(); ok {
 		if ms := time.Until(dl).Milliseconds(); ms >= 1 {
 			req.Header.Set(HeaderBudget, strconv.FormatInt(ms, 10))

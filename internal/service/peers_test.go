@@ -167,7 +167,7 @@ func TestPeerFillByteIdenticalNoSecondColdSearch(t *testing.T) {
 	if res, err := b.Plan(ctx, testRequest()); err != nil || res.Source != "hit-memory" {
 		t.Fatalf("repeat on B = (%v, %v), want hit-memory", res, err)
 	}
-	if _, err := b.ArtifactLocal(resA.Fingerprint); err != nil {
+	if _, err := b.ArtifactLocal(ctx, resA.Fingerprint); err != nil {
 		t.Fatalf("B disk tier missing the filled artifact: %v", err)
 	}
 }

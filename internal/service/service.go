@@ -25,6 +25,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -39,6 +40,7 @@ import (
 	"graphpipe/internal/memosnap"
 	"graphpipe/internal/memostore"
 	"graphpipe/internal/models"
+	"graphpipe/internal/obs"
 	"graphpipe/internal/planner"
 	"graphpipe/internal/strategy"
 )
@@ -88,19 +90,28 @@ type Config struct {
 	// — corrupt reads becoming misses, failed writes surfacing only in
 	// stats — are the same ones real faults would take.
 	Faults *faultinject.Set
+	// Instance names this daemon in trace/span IDs and span logs
+	// (default "graphpiped"). Give fleet members distinct names so
+	// unioned span logs stay unambiguous.
+	Instance string
+	// TraceLog, when non-nil, receives one JSON line per request trace
+	// (the -trace-log flag); nil disables span logging.
+	TraceLog io.Writer
 }
 
 // Service answers planning and evaluation requests. Create with New,
 // release with Close. Safe for concurrent use.
 type Service struct {
-	cfg    Config
-	memory *memoryLRU
-	disk   *diskStore
-	memos  *memostore.Store // nil: warm-start disabled
-	flight flightGroup
-	pool   *admission
-	stats  stats
-	peerWG sync.WaitGroup // in-flight async memo offers
+	cfg      Config
+	memory   *memoryLRU
+	disk     *diskStore
+	memos    *memostore.Store // nil: warm-start disabled
+	flight   flightGroup
+	pool     *admission
+	stats    *stats
+	tracer   *obs.Tracer
+	traceLog *obs.TraceLog
+	peerWG   sync.WaitGroup // in-flight async memo offers
 }
 
 // New builds a Service, creating the cache directory if configured.
@@ -144,14 +155,59 @@ func New(cfg Config) (*Service, error) {
 		p.Client = &c
 		cfg.Peers = &p
 	}
-	return &Service{
-		cfg:    cfg,
-		memory: newMemoryLRU(cfg.MemoryEntries),
-		disk:   &diskStore{dir: cfg.CacheDir, faults: cfg.Faults.Disk("artifacts")},
-		memos:  memos,
-		pool:   newAdmission(cfg.Workers, cfg.QueueDepth),
-	}, nil
+	if cfg.Instance == "" {
+		cfg.Instance = "graphpiped"
+	}
+	svc := &Service{
+		cfg:      cfg,
+		memory:   newMemoryLRU(cfg.MemoryEntries),
+		disk:     &diskStore{dir: cfg.CacheDir, faults: cfg.Faults.Disk("artifacts")},
+		memos:    memos,
+		pool:     newAdmission(cfg.Workers, cfg.QueueDepth),
+		stats:    newStats(),
+		tracer:   obs.NewTracer(cfg.Instance),
+		traceLog: obs.NewTraceLog(cfg.TraceLog),
+	}
+	svc.registerGauges()
+	return svc, nil
 }
+
+// registerGauges wires the instantaneous and externally owned values —
+// admission gauges, cache tier sizes, memo store counters, fault
+// tallies — into the metrics registry as scrape-time reads. The counter
+// halves of /v1/stats are obs counters already; after this, everything
+// the JSON snapshot reports is also on /metrics.
+func (s *Service) registerGauges() {
+	r := s.stats.reg
+	r.GaugeFunc("graphpipe_in_flight", "Admitted planner searches currently running.", nil,
+		func() float64 { return float64(s.pool.inflight.Load()) })
+	r.GaugeFunc("graphpipe_queued", "Planning jobs waiting for an admission worker.", nil,
+		func() float64 { return float64(s.pool.queued.Load()) })
+	r.GaugeFunc("graphpipe_memory_entries", "Artifacts resident in the memory LRU tier.", nil,
+		func() float64 { return float64(s.memory.len()) })
+	r.CounterFunc("graphpipe_memory_evictions_total", "Memory-tier LRU evictions.", nil,
+		s.memory.evictions.Load)
+	if s.memos != nil {
+		r.GaugeFunc("graphpipe_memo_snapshots", "DP memo snapshots resident in the store.", nil,
+			func() float64 { return float64(s.memos.Len()) })
+		r.CounterFunc("graphpipe_memo_installs_total", "DP memo snapshot installs (local and offered).", nil,
+			s.memos.Installs)
+		r.CounterFunc("graphpipe_memo_evictions_total", "DP memo snapshot evictions.", nil,
+			s.memos.Evictions)
+	}
+	if s.cfg.Faults != nil {
+		// Chaos visibility: every injected latency/drop/corruption event
+		// shows up as a per-site counter, so soak assertions can separate
+		// "injected fault absorbed" from organic failure.
+		r.CounterSetFunc("graphpipe_faults_injected_total", "Injected faults by site/kind.", "site",
+			s.cfg.Faults.Tallies)
+	}
+}
+
+// Metrics returns the service's metrics registry — the backing store of
+// GET /metrics. Embedders (the fleet router's in-process mode, tests)
+// may register additional series on it.
+func (s *Service) Metrics() *obs.Registry { return s.stats.reg }
 
 // Close drains the admission pool: accepted planning jobs finish and
 // publish to the cache, new ones are rejected. Called after the HTTP
@@ -180,13 +236,15 @@ type PlanResult struct {
 // Plan answers a planning request, consulting the cache tiers before
 // running the planner behind singleflight and admission.
 func (s *Service) Plan(ctx context.Context, req Request) (*PlanResult, error) {
+	_, canonSpan := obs.StartSpan(ctx, "canonicalize")
 	creq, g, err := req.canonicalize()
+	canonSpan.End()
 	if err != nil {
 		return nil, err
 	}
 	fp := creq.Fingerprint()
 
-	if e, src := s.lookup(fp); e != nil {
+	if e, src := s.lookup(ctx, fp); e != nil {
 		return &PlanResult{Fingerprint: fp, Source: src, Artifact: e.art, Data: e.data}, nil
 	}
 	if err := ctx.Err(); err != nil {
@@ -202,7 +260,8 @@ func (s *Service) Plan(ctx context.Context, req Request) (*PlanResult, error) {
 	// so one client hanging up must not abandon everyone else's answer.
 	waitCtx, waitCancel := detachCancellation(ctx)
 	defer waitCancel()
-	e, shared, err := s.flight.Do(waitCtx, fp, func() (*cacheEntry, error) {
+	sfCtx, sfSpan := obs.StartSpan(waitCtx, "singleflight.wait", "fp", fp)
+	e, shared, err := s.flight.Do(sfCtx, fp, func() (*cacheEntry, error) {
 		// Joiners may have raced past the cache lookup while the leader
 		// was filling it; the flight map resolves that race, not this
 		// re-check — the leader is the only cache writer for fp.
@@ -211,7 +270,7 @@ func (s *Service) Plan(ctx context.Context, req Request) (*PlanResult, error) {
 		// consult runs inside the flight so N concurrent misses cost one
 		// round of peer traffic, and before admission because it is IO,
 		// not a planner search competing for the worker pool.
-		if e := s.peerFill(waitCtx, fp); e != nil {
+		if e := s.peerFill(sfCtx, fp); e != nil {
 			return e, nil
 		}
 		// The flight runs under a context detached from the leader's
@@ -223,7 +282,17 @@ func (s *Service) Plan(ctx context.Context, req Request) (*PlanResult, error) {
 			entry   *cacheEntry
 			planErr error
 		)
-		if err := s.pool.run(context.WithoutCancel(ctx), func() { entry, planErr = s.runPlanner(creq, g, fp) }); err != nil {
+		// The admission span covers sitting in the queue: it ends the
+		// moment a worker picks the job up, which is where the
+		// planner.search span begins. Queue time vs. search time is the
+		// first split a slow p99 needs.
+		runCtx := context.WithoutCancel(sfCtx)
+		_, admitSpan := obs.StartSpan(runCtx, "admission.wait")
+		if err := s.pool.run(runCtx, func() {
+			admitSpan.End()
+			entry, planErr = s.runPlanner(runCtx, creq, g, fp)
+		}); err != nil {
+			admitSpan.End()
 			if errors.Is(err, ErrOverloaded) {
 				s.stats.rejected.Add(1)
 			}
@@ -231,6 +300,7 @@ func (s *Service) Plan(ctx context.Context, req Request) (*PlanResult, error) {
 		}
 		return entry, planErr
 	})
+	sfSpan.End()
 	if err != nil {
 		return nil, err
 	}
@@ -242,6 +312,7 @@ func (s *Service) Plan(ctx context.Context, req Request) (*PlanResult, error) {
 		s.stats.sharedWaits.Add(1)
 		source = "shared"
 	}
+	sfSpan.SetAttr("source", source)
 	return &PlanResult{Fingerprint: fp, Source: source, Artifact: e.art, Data: e.data}, nil
 }
 
@@ -260,32 +331,44 @@ func detachCancellation(ctx context.Context) (context.Context, context.CancelFun
 // lookup consults memory then disk, promoting disk hits to memory. Disk
 // failures (IO errors, corrupt or misfiled artifacts) degrade to a miss:
 // the planner re-derives the plan and overwrites the bad file.
-func (s *Service) lookup(fp string) (*cacheEntry, string) {
-	if e := s.memory.get(fp); e != nil {
+func (s *Service) lookup(ctx context.Context, fp string) (*cacheEntry, string) {
+	_, memSpan := obs.StartSpan(ctx, "cache.memory")
+	e := s.memory.get(fp)
+	memSpan.End()
+	if e != nil {
+		memSpan.SetAttr("result", "hit")
 		s.stats.hitsMemory.Add(1)
 		return e, "hit-memory"
 	}
+	memSpan.SetAttr("result", "miss")
+	_, diskSpan := obs.StartSpan(ctx, "cache.disk")
 	e, err := s.disk.get(fp)
+	diskSpan.End()
 	if err != nil {
+		diskSpan.SetAttr("result", "error")
 		s.stats.diskFailures.Add(1)
 		return nil, ""
 	}
 	if e != nil {
+		diskSpan.SetAttr("result", "hit")
 		s.memory.put(e)
 		s.stats.hitsDisk.Add(1)
 		return e, "hit-disk"
 	}
+	diskSpan.SetAttr("result", "miss")
 	return nil, ""
 }
 
 // runPlanner executes one cold plan on an admission worker: resolve the
 // planner, search, wrap the strategy into an artifact, serialize, and
 // publish to both cache tiers.
-func (s *Service) runPlanner(req Request, g *graph.Graph, fp string) (*cacheEntry, error) {
+func (s *Service) runPlanner(ctx context.Context, req Request, g *graph.Graph, fp string) (*cacheEntry, error) {
 	pl, err := planner.Get(req.Planner)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
 	}
+	searchCtx, searchSpan := obs.StartSpan(ctx, "planner.search", "planner", req.Planner, "fp", fp)
+	defer searchSpan.End()
 	topo := cluster.NewSummitTopology(req.Devices)
 	popts := planner.Options{
 		ForcedMicroBatch:          req.Options.ForcedMicroBatch,
@@ -294,6 +377,10 @@ func (s *Service) runPlanner(req Request, g *graph.Graph, fp string) (*cacheEntr
 		DisableSinkAnchoredSplits: req.Options.DisableSinkAnchoredSplits,
 		Workers:                   s.cfg.PlannerWorkers,
 		CostModel:                 costmodel.NewDefault(topo),
+		// The span hook hands the planner core a way to record its
+		// internal phases (per-probe DP searches, memo import/export)
+		// as children of planner.search without the core importing obs.
+		Span: obs.SpanHook(searchCtx),
 	}
 	if s.memos != nil {
 		// Warm-start: hand the planner the snapshot store. A warm plan is
@@ -303,7 +390,9 @@ func (s *Service) runPlanner(req Request, g *graph.Graph, fp string) (*cacheEntr
 		// device counts (no-op when Peers is nil or OfferMemos is off).
 		popts.WarmMemo = s.memos.Lookup
 		popts.MemoSink = func(snap *memosnap.Snapshot) {
+			_, installSpan := obs.StartSpan(searchCtx, "memo.install")
 			s.memos.Install(snap)
+			installSpan.End()
 			s.offerMemo(req, snap)
 		}
 	}
@@ -348,7 +437,7 @@ func (s *Service) runPlanner(req Request, g *graph.Graph, fp string) (*cacheEntr
 // request's budget deadline but not its cancellation. ErrUnknownArtifact
 // if neither the local tiers nor any peer holds it.
 func (s *Service) Artifact(ctx context.Context, fp string) (*PlanResult, error) {
-	e, src := s.lookup(fp)
+	e, src := s.lookup(ctx, fp)
 	if e == nil {
 		fillCtx, cancel := detachCancellation(ctx)
 		defer cancel()
@@ -364,8 +453,8 @@ func (s *Service) Artifact(ctx context.Context, fp string) (*PlanResult, error) 
 // It answers peer-originated fills (requests carrying HeaderPeerFill):
 // a fleet of mutually missing daemons must bottom out at 404s, not
 // recurse through each other.
-func (s *Service) ArtifactLocal(fp string) (*PlanResult, error) {
-	e, src := s.lookup(fp)
+func (s *Service) ArtifactLocal(ctx context.Context, fp string) (*PlanResult, error) {
+	e, src := s.lookup(ctx, fp)
 	if e == nil {
 		return nil, fmt.Errorf("%w: %s", ErrUnknownArtifact, fp)
 	}
@@ -431,7 +520,9 @@ func (s *Service) Eval(ctx context.Context, req EvalRequest) (*EvalResult, error
 	if err := art.Validate(g, topo); err != nil {
 		return nil, fmt.Errorf("cached artifact %s: %w", plan.Fingerprint, err)
 	}
+	_, evalSpan := obs.StartSpan(ctx, "eval.run", "backend", req.Backend)
 	rep, err := ev.Evaluate(g, topo, art.Strategy, eval.Options{})
+	evalSpan.End()
 	if err != nil {
 		return nil, err
 	}

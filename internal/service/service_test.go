@@ -14,6 +14,7 @@ import (
 
 	"graphpipe/internal/cluster"
 	"graphpipe/internal/graph"
+	"graphpipe/internal/obs"
 	"graphpipe/internal/planner"
 	"graphpipe/internal/strategy"
 
@@ -523,8 +524,8 @@ func TestStatsSnapshotShape(t *testing.T) {
 	if h.Count != 1 || h.SumSeconds <= 0 {
 		t.Errorf("histogram count=%d sum=%v, want 1 observation with positive latency", h.Count, h.SumSeconds)
 	}
-	if len(h.Buckets) != len(histBounds) {
-		t.Fatalf("histogram has %d buckets, want %d", len(h.Buckets), len(histBounds))
+	if len(h.Buckets) != len(obs.DefaultLatencyBounds) {
+		t.Fatalf("histogram has %d buckets, want %d", len(h.Buckets), len(obs.DefaultLatencyBounds))
 	}
 	if last := h.Buckets[len(h.Buckets)-1]; last.Count != h.Count {
 		t.Errorf("cumulative buckets must end at Count: %d != %d", last.Count, h.Count)

@@ -1,111 +1,112 @@
 package service
 
 import (
-	"sort"
 	"sync"
-	"sync/atomic"
+
+	"graphpipe/internal/obs"
 )
 
-// histBounds are the upper bounds (seconds) of the planner-latency
-// histogram buckets, spanning sub-millisecond case-study plans to Piper's
-// minutes-long searches; the implicit final bucket is +Inf.
-var histBounds = []float64{
-	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
-	1, 2.5, 5, 10, 30, 60, 300,
-}
+// HistogramSnapshot and HistogramBucket are re-exported from obs, where
+// the histogram implementation now lives (shared with the fleet
+// router). The /v1/stats JSON shape is unchanged.
+type (
+	HistogramSnapshot = obs.HistogramSnapshot
+	HistogramBucket   = obs.HistogramBucket
+)
 
-// histogram accumulates latency observations into fixed exponential
-// buckets (Prometheus-style: cumulative on export, counts internally).
-type histogram struct {
-	mu      sync.Mutex
-	buckets []uint64 // len(histBounds)+1; last is +Inf
-	count   uint64
-	sum     float64
-}
-
-func newHistogram() *histogram {
-	return &histogram{buckets: make([]uint64, len(histBounds)+1)}
-}
-
-func (h *histogram) observe(seconds float64) {
-	i := sort.SearchFloat64s(histBounds, seconds)
-	h.mu.Lock()
-	h.buckets[i]++
-	h.count++
-	h.sum += seconds
-	h.mu.Unlock()
-}
-
-// HistogramSnapshot is the exported form of one latency histogram.
-type HistogramSnapshot struct {
-	// Count and SumSeconds give the observation count and total latency
-	// (their ratio is the mean).
-	Count      uint64  `json:"count"`
-	SumSeconds float64 `json:"sum_seconds"`
-	// Buckets are cumulative: each entry counts observations at or below
-	// its bound. The implicit +Inf bucket always equals Count and is
-	// omitted.
-	Buckets []HistogramBucket `json:"buckets"`
-}
-
-// HistogramBucket is one cumulative bucket: observations ≤ LE seconds.
-type HistogramBucket struct {
-	LE    float64 `json:"le"`
-	Count uint64  `json:"count"`
-}
-
-func (h *histogram) snapshot() HistogramSnapshot {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	s := HistogramSnapshot{Count: h.count, SumSeconds: h.sum}
-	var cum uint64
-	for i, b := range histBounds {
-		cum += h.buckets[i]
-		s.Buckets = append(s.Buckets, HistogramBucket{LE: b, Count: cum})
-	}
-	return s
-}
-
-// stats is the service's observability state. Counters are atomics
-// (hot-path increments); the per-planner histogram map is guarded by a
-// mutex but accessed once per cold plan, after a planner run that dwarfs
-// it.
+// stats is the service's observability state. Every counter is an obs
+// counter registered in the service's metrics registry, so /v1/stats
+// and GET /metrics read the very same atomics — the two surfaces cannot
+// disagree. The per-planner histogram map is guarded by a mutex but
+// accessed once per cold plan, after a planner run that dwarfs it.
 type stats struct {
-	hitsMemory        atomic.Uint64
-	hitsDisk          atomic.Uint64
-	misses            atomic.Uint64
-	planned           atomic.Uint64
-	sharedWaits       atomic.Uint64
-	rejected          atomic.Uint64
-	evals             atomic.Uint64
-	diskFailures      atomic.Uint64
-	memoWarmHits      atomic.Uint64
-	memoEntriesReused atomic.Uint64
+	reg *obs.Registry
 
-	peerFills          atomic.Uint64
-	peerMisses         atomic.Uint64
-	peerErrors         atomic.Uint64
-	peerTimeouts       atomic.Uint64
-	deadlineRejections atomic.Uint64
-	memoOffersSent     atomic.Uint64
-	memoOffersReceived atomic.Uint64
+	hitsMemory        *obs.Counter
+	hitsDisk          *obs.Counter
+	misses            *obs.Counter
+	planned           *obs.Counter
+	sharedWaits       *obs.Counter
+	rejected          *obs.Counter
+	evals             *obs.Counter
+	diskFailures      *obs.Counter
+	memoWarmHits      *obs.Counter
+	memoEntriesReused *obs.Counter
+
+	peerFills          *obs.Counter
+	peerMisses         *obs.Counter
+	peerErrors         *obs.Counter
+	peerTimeouts       *obs.Counter
+	deadlineRejections *obs.Counter
+	memoOffersSent     *obs.Counter
+	memoOffersReceived *obs.Counter
 
 	mu        sync.Mutex
-	latencies map[string]*histogram // planner name → search latency
+	latencies map[string]*obs.Histogram // planner name → search latency
+	requests  map[string]*obs.Histogram // route name → request latency
+}
+
+func newStats() *stats {
+	r := obs.NewRegistry()
+	tier := func(t string) obs.Labels { return obs.Labels{"tier": t} }
+	return &stats{
+		reg:        r,
+		hitsMemory: r.Counter("graphpipe_cache_hits_total", "Plan requests answered by a cache tier.", tier("memory")),
+		hitsDisk:   r.Counter("graphpipe_cache_hits_total", "Plan requests answered by a cache tier.", tier("disk")),
+		misses:     r.Counter("graphpipe_cache_misses_total", "Plan requests that missed both local tiers.", nil),
+		planned:    r.Counter("graphpipe_planned_total", "Cold planner runs.", nil),
+		sharedWaits: r.Counter("graphpipe_shared_waits_total",
+			"Requests that piggybacked on another request's planner run.", nil),
+		rejected: r.Counter("graphpipe_rejected_total", "Admissions refused with 429 (queue full).", nil),
+		evals:    r.Counter("graphpipe_evals_total", "Evaluation runs.", nil),
+		diskFailures: r.Counter("graphpipe_disk_failures_total",
+			"Disk-tier reads/writes that errored; each degraded to a miss.", nil),
+		memoWarmHits: r.Counter("graphpipe_memo_warm_hits_total",
+			"Planner runs that imported a compatible DP memo snapshot.", nil),
+		memoEntriesReused: r.Counter("graphpipe_memo_entries_reused_total",
+			"Imported memo entries consulted by warm-started runs.", nil),
+		peerFills:  r.Counter("graphpipe_peer_fills_total", "Local misses answered by a ring peer's artifact.", nil),
+		peerMisses: r.Counter("graphpipe_peer_misses_total", "Full peer consults that found nothing.", nil),
+		peerErrors: r.Counter("graphpipe_peer_errors_total", "Unreachable or invalid peer answers.", nil),
+		peerTimeouts: r.Counter("graphpipe_peer_timeouts_total",
+			"Peer consults/offers cut off by a timeout or budget.", nil),
+		deadlineRejections: r.Counter("graphpipe_deadline_rejections_total",
+			"Requests answered 504 because their time budget expired.", nil),
+		memoOffersSent:     r.Counter("graphpipe_memo_offers_sent_total", "DP memo snapshots pushed to ring peers.", nil),
+		memoOffersReceived: r.Counter("graphpipe_memo_offers_received_total", "DP memo snapshots accepted from peers.", nil),
+	}
 }
 
 func (s *stats) observePlanner(name string, seconds float64) {
 	s.mu.Lock()
 	if s.latencies == nil {
-		s.latencies = make(map[string]*histogram)
+		s.latencies = make(map[string]*obs.Histogram)
 	}
 	h, ok := s.latencies[name]
 	if !ok {
-		h = newHistogram()
+		h = s.reg.Histogram("graphpipe_planner_search_seconds",
+			"Planner search latency by planner.", obs.Labels{"planner": name}, nil)
 		s.latencies[name] = h
 	}
 	s.mu.Unlock()
-	h.observe(seconds)
+	h.Observe(seconds)
+}
+
+// observeRequest records one HTTP request's end-to-end latency by route
+// ("plan", "eval", ...), feeding graphpipe_request_seconds on /metrics.
+func (s *stats) observeRequest(route string, seconds float64) {
+	s.mu.Lock()
+	if s.requests == nil {
+		s.requests = make(map[string]*obs.Histogram)
+	}
+	h, ok := s.requests[route]
+	if !ok {
+		h = s.reg.Histogram("graphpipe_request_seconds",
+			"HTTP request latency by route.", obs.Labels{"route": route}, nil)
+		s.requests[route] = h
+	}
+	s.mu.Unlock()
+	h.Observe(seconds)
 }
 
 // Snapshot is the exported form of the service's counters and gauges —
@@ -171,31 +172,31 @@ type Snapshot struct {
 
 func (s *stats) snapshot() Snapshot {
 	snap := Snapshot{
-		HitsMemory:        s.hitsMemory.Load(),
-		HitsDisk:          s.hitsDisk.Load(),
-		Misses:            s.misses.Load(),
-		Planned:           s.planned.Load(),
-		SharedWaits:       s.sharedWaits.Load(),
-		Rejected:          s.rejected.Load(),
-		Evals:             s.evals.Load(),
-		DiskFailures:      s.diskFailures.Load(),
-		MemoWarmHits:      s.memoWarmHits.Load(),
-		MemoEntriesReused: s.memoEntriesReused.Load(),
+		HitsMemory:        s.hitsMemory.Value(),
+		HitsDisk:          s.hitsDisk.Value(),
+		Misses:            s.misses.Value(),
+		Planned:           s.planned.Value(),
+		SharedWaits:       s.sharedWaits.Value(),
+		Rejected:          s.rejected.Value(),
+		Evals:             s.evals.Value(),
+		DiskFailures:      s.diskFailures.Value(),
+		MemoWarmHits:      s.memoWarmHits.Value(),
+		MemoEntriesReused: s.memoEntriesReused.Value(),
 
-		PeerFills:          s.peerFills.Load(),
-		PeerMisses:         s.peerMisses.Load(),
-		PeerErrors:         s.peerErrors.Load(),
-		PeerTimeouts:       s.peerTimeouts.Load(),
-		DeadlineRejections: s.deadlineRejections.Load(),
-		MemoOffersSent:     s.memoOffersSent.Load(),
-		MemoOffersReceived: s.memoOffersReceived.Load(),
+		PeerFills:          s.peerFills.Value(),
+		PeerMisses:         s.peerMisses.Value(),
+		PeerErrors:         s.peerErrors.Value(),
+		PeerTimeouts:       s.peerTimeouts.Value(),
+		DeadlineRejections: s.deadlineRejections.Value(),
+		MemoOffersSent:     s.memoOffersSent.Value(),
+		MemoOffersReceived: s.memoOffersReceived.Value(),
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if len(s.latencies) > 0 {
 		snap.PlannerLatency = make(map[string]HistogramSnapshot, len(s.latencies))
 		for name, h := range s.latencies {
-			snap.PlannerLatency[name] = h.snapshot()
+			snap.PlannerLatency[name] = h.Snapshot()
 		}
 	}
 	return snap

@@ -5,9 +5,13 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"net/http"
+	"net/http/httptest"
 	"strings"
 	"sync"
 	"testing"
+
+	"graphpipe/internal/obs"
 )
 
 // TestConcurrentSynthSpecRequests drives the service's hot paths —
@@ -54,6 +58,34 @@ func TestConcurrentSynthSpecRequests(t *testing.T) {
 		byFP[fp] = data
 	}
 
+	// A scraper races GET /metrics against the counters' hot-path
+	// increments and the histogram locks: the exposition writer must
+	// stay parseable mid-hammer, not just at rest.
+	handler := s.Handler()
+	stopScrape := make(chan struct{})
+	var scrapeWG sync.WaitGroup
+	scrapeWG.Add(1)
+	go func() {
+		defer scrapeWG.Done()
+		for {
+			select {
+			case <-stopScrape:
+				return
+			default:
+			}
+			rec := httptest.NewRecorder()
+			handler.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+			if rec.Code != http.StatusOK {
+				record("", nil, fmt.Errorf("/metrics status %d", rec.Code))
+				return
+			}
+			if _, err := obs.ParseText(rec.Body); err != nil {
+				record("", nil, fmt.Errorf("/metrics unparseable mid-hammer: %v", err))
+				return
+			}
+		}
+	}()
+
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
@@ -85,6 +117,8 @@ func TestConcurrentSynthSpecRequests(t *testing.T) {
 		}(w)
 	}
 	wg.Wait()
+	close(stopScrape)
+	scrapeWG.Wait()
 	if firstErr != nil {
 		t.Fatal(firstErr)
 	}

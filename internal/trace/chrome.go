@@ -5,9 +5,61 @@ import (
 	"fmt"
 
 	"graphpipe/internal/eval"
+	"graphpipe/internal/obs"
 	"graphpipe/internal/schedule"
 	"graphpipe/internal/strategy"
 )
+
+// chromeEvent is one Chrome trace-event ("X" duration or "M" metadata).
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat,omitempty"`
+	Ph   string            `json:"ph"`
+	TS   float64           `json:"ts"`            // microseconds
+	Dur  float64           `json:"dur,omitempty"` // microseconds
+	PID  int               `json:"pid"`
+	TID  int               `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// ChromeTraceSpans renders request span trees — the obs layer's
+// `?trace=1` / -trace-log output — in the same Chrome trace-event form
+// as ChromeTrace, so a captured slow request opens in chrome://tracing
+// or Perfetto next to the simulator timelines. Each process (router,
+// shard) gets its own pid row; spans are duration events stamped with
+// their IDs, parents, and attributes. Timestamps are the processes'
+// wall clocks, so cross-process rows line up as well as those clocks do.
+func ChromeTraceSpans(traces ...*obs.TraceExport) ([]byte, error) {
+	var events []chromeEvent
+	for pid, tr := range traces {
+		if tr == nil {
+			continue
+		}
+		events = append(events, chromeEvent{
+			Name: "process_name", Ph: "M", PID: pid,
+			Args: map[string]string{"name": tr.Process + " " + tr.TraceID},
+		})
+		for _, s := range tr.Spans {
+			args := map[string]string{"id": s.ID}
+			if s.Parent != "" {
+				args["parent"] = s.Parent
+			}
+			for k, v := range s.Attrs {
+				args[k] = v
+			}
+			events = append(events, chromeEvent{
+				Name: s.Name,
+				Cat:  "span",
+				Ph:   "X",
+				TS:   float64(tr.StartUnixUs + s.StartUs),
+				Dur:  float64(s.DurUs),
+				PID:  pid,
+				Args: args,
+			})
+		}
+	}
+	return json.Marshal(events)
+}
 
 // ChromeTrace renders an evaluated timeline in the Chrome trace-event
 // format (chrome://tracing, Perfetto): one row per pipeline stage, one

@@ -80,7 +80,7 @@ for _ in $(seq 1 50); do
   sleep 0.2
 done
 "$fleet_dir/fleetgen" -target "$lb_url" -requests 600 -concurrency 8 \
-  -zipf 1.1 -population 16 -devices 2,4 -seed 7 | tee -a "$tmp"
+  -zipf 1.1 -population 16 -devices 2,4 -seed 7 -trace-sample 50 | tee -a "$tmp"
 cleanup_fleet
 
 # -check-warm / -check-fleet: the run fails outright if any warm replan
