@@ -220,6 +220,10 @@ func cmdPlan(args []string, stdout, stderr io.Writer) (retErr error) {
 		plannerName = fs.String("planner", "graphpipe",
 			"planner: "+strings.Join(planner.Names(), " | "))
 		devices  = fs.Int("devices", 8, "number of devices (GPUs)")
+		topology = fs.String("topology", "",
+			"cluster topology: a preset ("+strings.Join(cluster.PresetNames(), " | ")+
+				"), an explicit topo:explicit/... spec, or a synth family topo:{"+
+				strings.Join(synth.TopoFamilies(), ",")+"}/seed=N (default: summit)")
 		batch    = fs.Int("batch", 0, "mini-batch size (default: the paper's size for the device count)")
 		branches = fs.Int("branches", 0, "override the model's branch count")
 		micro    = fs.Int("micro", 0, "force a fixed micro-batch size")
@@ -271,7 +275,10 @@ func cmdPlan(args []string, stdout, stderr io.Writer) (retErr error) {
 	if err != nil {
 		return err
 	}
-	topo := cluster.NewSummitTopology(*devices)
+	topo, err := models.Topology(*topology, *devices)
+	if err != nil {
+		return err
+	}
 	model := costmodel.NewDefault(topo)
 
 	popts := planner.Options{
@@ -315,6 +322,7 @@ func cmdPlan(args []string, stdout, stderr io.Writer) (retErr error) {
 		Model:     modelID,
 		Branches:  *branches,
 		Devices:   *devices,
+		Topology:  topo.Canonical(),
 		MiniBatch: mb,
 		Planner: strategy.PlannerMeta{
 			Name:              pl.Name(),
@@ -409,7 +417,10 @@ func loadArtifact(path string) (*strategy.Artifact, *graph.Graph, *cluster.Topol
 	if err != nil {
 		return nil, nil, nil, fmt.Errorf("%s: %w", path, err)
 	}
-	topo := cluster.NewSummitTopology(art.Devices)
+	topo, err := models.Topology(art.Topology, art.Devices)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("%s: %w", path, err)
+	}
 	if err := art.Validate(g, topo); err != nil {
 		return nil, nil, nil, fmt.Errorf("%s: %w", path, err)
 	}

@@ -34,6 +34,7 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"math"
 	"reflect"
 	"sort"
 	"time"
@@ -53,7 +54,7 @@ import (
 // Invariant names one checked property.
 type Invariant string
 
-// The six invariants, in the order they are checked per spec.
+// The eight invariants, in the order they are checked per spec.
 const (
 	InvAdmissible   Invariant = "admissible"
 	InvDeterminism  Invariant = "determinism"
@@ -61,11 +62,26 @@ const (
 	InvParity       Invariant = "backend-parity"
 	InvMonotonicity Invariant = "device-monotonicity"
 	InvWarmCold     Invariant = "warm-cold-equivalence"
+	// InvPlacement (invariant g) pins the placement-aware refactor to its
+	// predecessor: on a flat topology — where placement provably cannot
+	// matter — the placement-aware search must emit an artifact
+	// byte-identical to the placement-oblivious reference arm
+	// (planner.Options.PlacementOblivious). graphpipe only.
+	InvPlacement Invariant = "placement-conformance"
+	// InvHeteroBound is the heterogeneous admissibility bound: a plan for
+	// a heterogeneous/hierarchical topology can never claim a better
+	// iteration time (the planner's objective: bottleneck time-per-sample
+	// scaled by the pipeline-fill term) than the plan for the flat
+	// homogeneous topology that dominates it device-for-device and
+	// link-for-link (fastest class, fastest link everywhere). Only
+	// checked when the run pins a non-default topology. graphpipe only.
+	InvHeteroBound Invariant = "hetero-admissibility"
 )
 
 // Invariants lists every invariant in check order.
 func Invariants() []Invariant {
-	return []Invariant{InvAdmissible, InvDeterminism, InvFingerprint, InvParity, InvMonotonicity, InvWarmCold}
+	return []Invariant{InvAdmissible, InvDeterminism, InvFingerprint, InvParity,
+		InvMonotonicity, InvWarmCold, InvPlacement, InvHeteroBound}
 }
 
 // Failure labels that are not one of the five invariants: the harness's
@@ -92,6 +108,12 @@ type Config struct {
 	// Devices is the cluster size of the single-device-count invariants
 	// (default 4: one full Summit node).
 	Devices int
+	// Topology pins the cluster shape for the run (a models.Topology
+	// name); empty selects the Summit preset. A pinned topology describes
+	// one cluster at one size, so the device-count sweeps — monotonicity
+	// and the devices/2 warm-cold perturbation — are skipped, and the
+	// heterogeneous admissibility bound is checked instead.
+	Topology string
 	// MonotonicityDevices is the ascending device sweep of the
 	// monotonicity invariant (default {2, 4}); each point uses the
 	// proportional synth.DefaultMiniBatch pairing.
@@ -106,6 +128,11 @@ type Config struct {
 	// ErrSearchExplosion is recorded as a skip, not a violation —
 	// exceeding the budget is that planner's documented behavior).
 	PiperBudget int
+	// AdmissibilityTolerance is the allowed relative slack of the
+	// heterogeneous admissibility bound (default 0.02): the binary search
+	// quantizes both sides' bottleneck TPS, so a strict comparison would
+	// flag probe granularity, not unsound placement costing.
+	AdmissibilityTolerance float64
 	// Shrink minimizes failing specs before reporting (default on; the
 	// Shrink field disables it for harness tests that want raw specs).
 	DisableShrink bool
@@ -127,6 +154,9 @@ func (c Config) withDefaults() Config {
 	if c.MonotonicityTolerance == 0 {
 		c.MonotonicityTolerance = 0.02
 	}
+	if c.AdmissibilityTolerance == 0 {
+		c.AdmissibilityTolerance = 0.02
+	}
 	if c.PiperBudget == 0 {
 		c.PiperBudget = 5_000_000
 	}
@@ -140,16 +170,26 @@ type Violation struct {
 	Planner   string     `json:"planner"`
 	Backend   string     `json:"backend,omitempty"`
 	Spec      synth.Spec `json:"spec"`
+	// Topology is the cluster the run was pinned to (empty: Summit).
+	Topology string `json:"topology,omitempty"`
 	// Minimal is the smallest spec Shrink found that still fails this
 	// (invariant, planner, backend) check; equal to Spec when shrinking
 	// is disabled or no smaller spec fails.
 	Minimal synth.Spec `json:"minimal_spec"`
-	Detail  string     `json:"detail"`
+	// MinimalTopology is the simplest topology that still fails together
+	// with Minimal — the other half of the minimized (model, topology)
+	// replay pair. Equal to Topology when no simpler topology fails.
+	MinimalTopology string `json:"minimal_topology,omitempty"`
+	Detail          string `json:"detail"`
 }
 
 func (v Violation) String() string {
-	return fmt.Sprintf("%s[%s%s]: %s (spec %s, minimal %s)",
-		v.Invariant, v.Planner, optBackend(v.Backend), v.Detail, v.Spec, v.Minimal)
+	topo := ""
+	if v.Topology != "" {
+		topo = fmt.Sprintf(", topology %s, minimal topology %s", v.Topology, v.MinimalTopology)
+	}
+	return fmt.Sprintf("%s[%s%s]: %s (spec %s, minimal %s%s)",
+		v.Invariant, v.Planner, optBackend(v.Backend), v.Detail, v.Spec, v.Minimal, topo)
 }
 
 func optBackend(b string) string {
@@ -214,16 +254,29 @@ func CheckSpec(spec synth.Spec, cfg Config) ([]Violation, []string) {
 			}
 			v := Violation{
 				Invariant: f.invariant, Planner: pl, Backend: f.backend,
-				Spec: rs, Minimal: rs, Detail: f.detail,
+				Spec: rs, Topology: cfg.Topology,
+				Minimal: rs, MinimalTopology: cfg.Topology, Detail: f.detail,
 			}
 			if !cfg.DisableShrink {
-				v.Minimal = Shrink(rs, func(cand synth.Spec) bool {
-					for _, cf := range checkPlanner(cand, pl, cfg) {
+				// Like-for-like re-run of the same (invariant, backend) cell.
+				stillFails := func(cand synth.Spec, topology string) bool {
+					c := cfg
+					c.Topology = topology
+					for _, cf := range checkPlanner(cand, pl, c) {
 						if cf.invariant == f.invariant && cf.backend == f.backend && !cf.skip {
 							return true
 						}
 					}
 					return false
+				}
+				// Shrink the model first at the pinned topology, then the
+				// topology at the minimized model — the reported pair is the
+				// two-sided minimum of that order.
+				v.Minimal = Shrink(rs, func(cand synth.Spec) bool {
+					return stillFails(cand, cfg.Topology)
+				})
+				v.MinimalTopology = ShrinkTopology(cfg.Topology, func(topology string) bool {
+					return stillFails(v.Minimal, topology)
 				})
 			}
 			out = append(out, v)
@@ -250,7 +303,11 @@ func checkPlanner(rs synth.Spec, plannerName string, cfg Config) []failure {
 	if err != nil {
 		return []failure{{invariant: InvGeneration, detail: fmt.Sprintf("generating model: %v", err)}}
 	}
-	topo := cluster.NewSummitTopology(cfg.Devices)
+	topo, err := models.Topology(cfg.Topology, cfg.Devices)
+	if err != nil {
+		return []failure{{invariant: InvGeneration, detail: fmt.Sprintf("resolving topology: %v", err)}}
+	}
+	canonTopo := topo.Canonical()
 	model := costmodel.NewDefault(topo)
 
 	// The base plan doubles as the warm-cold invariant's snapshot source:
@@ -258,7 +315,7 @@ func checkPlanner(rs synth.Spec, plannerName string, cfg Config) []failure {
 	// base artifact (the determinism variants below re-prove that).
 	var snap *memosnap.Snapshot
 	baseOpts := planner.Options{Workers: 1, MemoSink: func(s *memosnap.Snapshot) { snap = s }}
-	base, err := plan(g, topo, model, plannerName, mb, baseOpts, cfg)
+	base, baseStats, err := plan(g, topo, model, plannerName, mb, baseOpts, cfg)
 	if err != nil {
 		if errors.Is(err, piper.ErrSearchExplosion) {
 			return []failure{{detail: fmt.Sprintf("search budget exhausted (%v)", err), skip: true}}
@@ -280,7 +337,7 @@ func checkPlanner(rs synth.Spec, plannerName string, cfg Config) []failure {
 	// (c) Determinism: the sequential, parallel, and (for graphpipe)
 	// fresh-probe-memo searches must serialize to byte-identical
 	// artifacts — search-engineering knobs must never change the answer.
-	baseBytes, err := artifactBytes(name, cfg.Devices, mb, plannerName, base)
+	baseBytes, err := artifactBytes(name, cfg.Devices, canonTopo, mb, plannerName, base)
 	if err != nil {
 		record(InvFingerprint, "", "encoding artifact: %v", err)
 		return fails
@@ -300,12 +357,12 @@ func checkPlanner(rs synth.Spec, plannerName string, cfg Config) []failure {
 			}{"fresh-probe-memo search", planner.Options{Workers: 1, FreshProbeMemo: true}})
 	}
 	for _, v := range variants {
-		st, err := plan(g, topo, model, plannerName, mb, v.opts, cfg)
+		st, _, err := plan(g, topo, model, plannerName, mb, v.opts, cfg)
 		if err != nil {
 			record(InvDeterminism, "", "%s failed: %v", v.label, err)
 			continue
 		}
-		b, err := artifactBytes(name, cfg.Devices, mb, plannerName, st)
+		b, err := artifactBytes(name, cfg.Devices, canonTopo, mb, plannerName, st)
 		if err != nil {
 			record(InvDeterminism, "", "%s: encoding artifact: %v", v.label, err)
 			continue
@@ -315,11 +372,66 @@ func checkPlanner(rs synth.Spec, plannerName string, cfg Config) []failure {
 		}
 	}
 
+	// (g) Placement conformance: wherever placement provably cannot matter
+	// — flat topology, every contiguous block cost-identical — the
+	// placement-aware search must be a pure refactor of the oblivious one:
+	// byte-identical artifacts, not merely equal throughput.
+	if plannerName == "graphpipe" && topo.Flat() {
+		st, _, err := plan(g, topo, model, plannerName, mb,
+			planner.Options{Workers: 1, PlacementOblivious: true}, cfg)
+		if err != nil {
+			record(InvPlacement, "", "placement-oblivious reference search failed: %v", err)
+		} else if b, err := artifactBytes(name, cfg.Devices, canonTopo, mb, plannerName, st); err != nil {
+			record(InvPlacement, "", "encoding reference artifact: %v", err)
+		} else if !bytes.Equal(b, baseBytes) {
+			record(InvPlacement, "",
+				"placement-aware artifact differs from the placement-oblivious reference on a flat topology")
+		}
+	}
+
+	// (h) Heterogeneous admissibility: the plan for a pinned non-default
+	// topology may never claim a better iteration time than the plan for
+	// the flat homogeneous topology that dominates it (fastest device
+	// class, fastest link, everywhere). If it does, the placement-aware
+	// costing credited the heterogeneous cluster with capability it does
+	// not have. The compared quantity is the planner's own objective —
+	// the synchronous iteration estimate, bottleneck time-per-sample
+	// scaled by the pipeline-fill term — not the raw bottleneck: a
+	// deeper pipeline can trade a lower bottleneck for a longer fill, so
+	// bottlenecks alone are not comparable across cluster shapes.
+	if plannerName == "graphpipe" && cfg.Topology != "" {
+		dom, err := dominatingTopology(topo)
+		if err != nil {
+			record(InvHeteroBound, "", "building dominating topology: %v", err)
+		} else if domSt, domStats, err := plan(g, dom, costmodel.NewDefault(dom), plannerName, mb,
+			planner.Options{Workers: 1}, cfg); err != nil {
+			record(InvHeteroBound, "", "planning on the dominating flat topology failed: %v", err)
+		} else {
+			baseIter := iterationEstimate(base, baseStats, mb)
+			domIter := iterationEstimate(domSt, domStats, mb)
+			// The flat search is a heuristic (its DP keeps the in-flight-
+			// minimal plan per state), so it can miss pipeline shapes the
+			// hetero search was forced into by comm constraints. The bound
+			// is therefore the better of the dominating search's own result
+			// and the hetero plan's shape re-costed on the dominating
+			// cluster: beating both means the placement-aware costing
+			// itself was unsound, not merely the flat search incomplete.
+			if re := recostIteration(g, base, costmodel.NewDefault(dom), mb); re < domIter {
+				domIter = re
+			}
+			if baseIter < domIter*(1-cfg.AdmissibilityTolerance) {
+				record(InvHeteroBound, "",
+					"hetero plan claims %.6g s/iteration, the dominating flat topology only reaches %.6g (tolerance %.0f%%)",
+					baseIter, domIter, cfg.AdmissibilityTolerance*100)
+			}
+		}
+	}
+
 	// (d) Fingerprint stability across plan → serialize → load: the
 	// decoded artifact hashes to the same identity, re-encodes to the
 	// same bytes, and its strategy still validates against a graph
 	// rebuilt from metadata alone.
-	art := skeletonArtifact(name, cfg.Devices, mb, plannerName, base)
+	art := skeletonArtifact(name, cfg.Devices, canonTopo, mb, plannerName, base)
 	fpBefore := art.Fingerprint()
 	decoded, err := strategy.DecodeArtifact(baseBytes)
 	if err != nil {
@@ -372,54 +484,57 @@ func checkPlanner(rs synth.Spec, plannerName string, cfg Config) []failure {
 	// mini-batch pairing must not lose throughput on the symmetric
 	// default topology. The search depends only on the device count, so
 	// each sweep point plans once and every backend evaluates that one
-	// strategy.
-	type sweepPoint struct {
-		devs  int
-		topo  *cluster.Topology
-		model costmodel.Model
-		st    *strategy.Strategy
-	}
-	var sweep []sweepPoint
-	for _, devs := range cfg.MonotonicityDevices {
-		pt := sweepPoint{devs: devs, topo: cluster.NewSummitTopology(devs)}
-		pt.model = costmodel.NewDefault(pt.topo)
-		dmb := synth.DefaultMiniBatch(devs)
-		if devs == cfg.Devices && dmb == mb {
-			pt.st = base
-		} else {
-			st, err := plan(g, pt.topo, pt.model, plannerName, dmb, planner.Options{Workers: 1}, cfg)
-			if err != nil {
-				if errors.Is(err, piper.ErrSearchExplosion) {
-					fails = append(fails, failure{skip: true,
-						detail: fmt.Sprintf("search budget exhausted at %d devices (%v)", devs, err)})
-				} else {
-					record(InvMonotonicity, "", "planning at %d devices failed: %v", devs, err)
-				}
-				continue // the sweep simply lacks this point
-			}
-			pt.st = st
+	// strategy. A pinned topology describes one cluster at one size, so
+	// the sweep is skipped.
+	if cfg.Topology == "" {
+		type sweepPoint struct {
+			devs  int
+			topo  *cluster.Topology
+			model costmodel.Model
+			st    *strategy.Strategy
 		}
-		sweep = append(sweep, pt)
-	}
-	for _, be := range cfg.Backends {
-		prevDevs, prevTP := 0, 0.0
-		for _, pt := range sweep {
-			rep := reports[be] // parity already evaluated the base point
-			if pt.st != base || rep == nil {
-				var err error
-				rep, err = evaluate(g, pt.topo, pt.model, be, pt.st)
+		var sweep []sweepPoint
+		for _, devs := range cfg.MonotonicityDevices {
+			pt := sweepPoint{devs: devs, topo: cluster.NewSummitTopology(devs)}
+			pt.model = costmodel.NewDefault(pt.topo)
+			dmb := synth.DefaultMiniBatch(devs)
+			if devs == cfg.Devices && dmb == mb {
+				pt.st = base
+			} else {
+				st, _, err := plan(g, pt.topo, pt.model, plannerName, dmb, planner.Options{Workers: 1}, cfg)
 				if err != nil {
-					record(InvMonotonicity, be, "evaluating at %d devices failed: %v", pt.devs, err)
-					prevDevs, prevTP = 0, 0
-					continue
+					if errors.Is(err, piper.ErrSearchExplosion) {
+						fails = append(fails, failure{skip: true,
+							detail: fmt.Sprintf("search budget exhausted at %d devices (%v)", devs, err)})
+					} else {
+						record(InvMonotonicity, "", "planning at %d devices failed: %v", devs, err)
+					}
+					continue // the sweep simply lacks this point
 				}
+				pt.st = st
 			}
-			if prevDevs > 0 && rep.Throughput < prevTP*(1-cfg.MonotonicityTolerance) {
-				record(InvMonotonicity, be,
-					"throughput fell from %.6g samples/s at %d devices to %.6g at %d (tolerance %.0f%%)",
-					prevTP, prevDevs, rep.Throughput, pt.devs, cfg.MonotonicityTolerance*100)
+			sweep = append(sweep, pt)
+		}
+		for _, be := range cfg.Backends {
+			prevDevs, prevTP := 0, 0.0
+			for _, pt := range sweep {
+				rep := reports[be] // parity already evaluated the base point
+				if pt.st != base || rep == nil {
+					var err error
+					rep, err = evaluate(g, pt.topo, pt.model, be, pt.st)
+					if err != nil {
+						record(InvMonotonicity, be, "evaluating at %d devices failed: %v", pt.devs, err)
+						prevDevs, prevTP = 0, 0
+						continue
+					}
+				}
+				if prevDevs > 0 && rep.Throughput < prevTP*(1-cfg.MonotonicityTolerance) {
+					record(InvMonotonicity, be,
+						"throughput fell from %.6g samples/s at %d devices to %.6g at %d (tolerance %.0f%%)",
+						prevTP, prevDevs, rep.Throughput, pt.devs, cfg.MonotonicityTolerance*100)
+				}
+				prevDevs, prevTP = pt.devs, rep.Throughput
 			}
-			prevDevs, prevTP = pt.devs, rep.Throughput
 		}
 	}
 
@@ -437,6 +552,11 @@ func checkPlanner(rs synth.Spec, plannerName string, cfg Config) []failure {
 		{"devices/2", cfg.Devices / 2, mb},
 		{"mini-batch x2", cfg.Devices, 2 * mb},
 	}
+	if cfg.Topology != "" {
+		// A pinned topology cannot be resized; only the same-cluster
+		// perturbation applies.
+		perturbations = perturbations[1:]
+	}
 	for _, pt := range perturbations {
 		if pt.devs < 1 {
 			continue
@@ -446,7 +566,7 @@ func checkPlanner(rs synth.Spec, plannerName string, cfg Config) []failure {
 			ptopo = cluster.NewSummitTopology(pt.devs)
 			pmodel = costmodel.NewDefault(ptopo)
 		}
-		coldSt, err := plan(g, ptopo, pmodel, plannerName, pt.mb, planner.Options{Workers: 1}, cfg)
+		coldSt, _, err := plan(g, ptopo, pmodel, plannerName, pt.mb, planner.Options{Workers: 1}, cfg)
 		if err != nil {
 			if errors.Is(err, piper.ErrSearchExplosion) {
 				fails = append(fails, failure{skip: true,
@@ -458,17 +578,17 @@ func checkPlanner(rs synth.Spec, plannerName string, cfg Config) []failure {
 		}
 		warmOpts := planner.Options{Workers: 1,
 			WarmMemo: func(memosnap.Key) *memosnap.Snapshot { return snap }}
-		warmSt, err := plan(g, ptopo, pmodel, plannerName, pt.mb, warmOpts, cfg)
+		warmSt, _, err := plan(g, ptopo, pmodel, plannerName, pt.mb, warmOpts, cfg)
 		if err != nil {
 			record(InvWarmCold, "", "warm plan at %s failed where cold succeeded: %v", pt.label, err)
 			continue
 		}
-		coldBytes, err := artifactBytes(name, pt.devs, pt.mb, plannerName, coldSt)
+		coldBytes, err := artifactBytes(name, pt.devs, ptopo.Canonical(), pt.mb, plannerName, coldSt)
 		if err != nil {
 			record(InvWarmCold, "", "encoding cold artifact at %s: %v", pt.label, err)
 			continue
 		}
-		warmBytes, err := artifactBytes(name, pt.devs, pt.mb, plannerName, warmSt)
+		warmBytes, err := artifactBytes(name, pt.devs, ptopo.Canonical(), pt.mb, plannerName, warmSt)
 		if err != nil {
 			record(InvWarmCold, "", "encoding warm artifact at %s: %v", pt.label, err)
 			continue
@@ -482,16 +602,84 @@ func checkPlanner(rs synth.Spec, plannerName string, cfg Config) []failure {
 
 // plan runs one planner search with the conformance budget applied.
 func plan(g *graph.Graph, topo *cluster.Topology, model costmodel.Model,
-	plannerName string, mb int, opts planner.Options, cfg Config) (*strategy.Strategy, error) {
+	plannerName string, mb int, opts planner.Options, cfg Config) (*strategy.Strategy, planner.Stats, error) {
 	pl, err := planner.Get(plannerName)
 	if err != nil {
-		return nil, err
+		return nil, planner.Stats{}, err
 	}
 	opts.CostModel = model
 	opts.StateBudget = cfg.PiperBudget
 	opts.Timeout = time.Minute
-	st, _, err := pl.Plan(g, topo, mb, opts)
-	return st, err
+	return pl.Plan(g, topo, mb, opts)
+}
+
+// iterationEstimate mirrors the planner's root objective: the bottleneck
+// time-per-sample scaled by mini-batch plus the source stage's
+// pipeline-fill surplus (in-flight samples beyond one micro-batch). This
+// is the quantity the search minimizes, so it is the one that is
+// monotone in hardware capability; the raw bottleneck is not, because a
+// deeper pipeline lowers the bottleneck while lengthening the fill.
+func iterationEstimate(st *strategy.Strategy, stats planner.Stats, miniBatch int) float64 {
+	fill := 0
+	if len(st.Stages) > 0 {
+		src := &st.Stages[0]
+		fill = src.InFlightSamples - src.Config.MicroBatch
+	}
+	return stats.BottleneckTPS * float64(miniBatch+fill)
+}
+
+// recostIteration charges an existing strategy against another
+// topology's placement-oblivious costing — the same rule the planner's
+// flat search applies to every candidate — and returns the iteration
+// estimate it would have there.
+func recostIteration(g *graph.Graph, st *strategy.Strategy, model costmodel.Model, miniBatch int) float64 {
+	topo := model.Topology()
+	bottleneck := 0.0
+	for i := range st.Stages {
+		s := &st.Stages[i]
+		sc := costmodel.StageConfig{
+			Ops:                s.Ops,
+			MicroBatch:         s.Config.MicroBatch,
+			DataPar:            len(s.Devices),
+			InterNode:          topo.Len() > 4,
+			InterNodeAllreduce: len(s.Devices) > 4,
+		}
+		if tps := model.TPS(g, sc, miniBatch); tps > bottleneck {
+			bottleneck = tps
+		}
+	}
+	fill := 0
+	if len(st.Stages) > 0 {
+		fill = st.Stages[0].InFlightSamples - st.Stages[0].Config.MicroBatch
+	}
+	return bottleneck * float64(miniBatch+fill)
+}
+
+// dominatingTopology builds the flat homogeneous topology that is
+// pointwise at least as capable as t: every device gets the maximum of
+// each per-class capability, every pair of devices the fastest link
+// bandwidth and the lowest latency appearing anywhere in t's hierarchy.
+// Any strategy feasible on t is feasible there at no higher cost, which
+// is what makes its planned iteration time an admissible lower bound.
+func dominatingTopology(t *cluster.Topology) (*cluster.Topology, error) {
+	best := cluster.DeviceClass{Name: "best"}
+	for _, c := range t.Classes() {
+		best.MemoryBytes = math.Max(best.MemoryBytes, c.MemoryBytes)
+		best.PeakFLOPS = math.Max(best.PeakFLOPS, c.PeakFLOPS)
+		best.MemBandwidth = math.Max(best.MemBandwidth, c.MemBandwidth)
+	}
+	bw, lat := 0.0, math.Inf(1)
+	for l := 0; l < t.LevelCount(); l++ {
+		bw = math.Max(bw, math.Max(t.LevelDown(l), t.LevelUp(l)))
+		lat = math.Min(lat, t.LevelLatency(l))
+	}
+	spec := cluster.Spec{
+		Classes: []cluster.DeviceClass{best},
+		Levels: []cluster.Level{{Name: "link", Width: t.Len(),
+			DownBandwidth: bw, UpBandwidth: bw, Latency: lat}},
+		Assign: make([]int, t.Len()),
+	}
+	return spec.Build()
 }
 
 // evaluate runs one backend evaluation.
@@ -507,10 +695,11 @@ func evaluate(g *graph.Graph, topo *cluster.Topology, model costmodel.Model,
 // skeletonArtifact wraps a strategy with identity metadata only — no
 // wall-clock or DP-state statistics — so two searches that found the
 // same strategy serialize to the same bytes.
-func skeletonArtifact(model string, devices, mb int, plannerName string, st *strategy.Strategy) *strategy.Artifact {
+func skeletonArtifact(model string, devices int, topology string, mb int, plannerName string, st *strategy.Strategy) *strategy.Artifact {
 	return &strategy.Artifact{
 		Model:     model,
 		Devices:   devices,
+		Topology:  topology,
 		MiniBatch: mb,
 		Planner:   strategy.PlannerMeta{Name: plannerName},
 		Strategy:  st,
@@ -519,8 +708,8 @@ func skeletonArtifact(model string, devices, mb int, plannerName string, st *str
 
 // artifactBytes serializes a strategy in the service's on-disk artifact
 // framing (trailing newline included).
-func artifactBytes(model string, devices, mb int, plannerName string, st *strategy.Strategy) ([]byte, error) {
-	data, err := strategy.EncodeArtifact(skeletonArtifact(model, devices, mb, plannerName, st))
+func artifactBytes(model string, devices int, topology string, mb int, plannerName string, st *strategy.Strategy) ([]byte, error) {
+	data, err := strategy.EncodeArtifact(skeletonArtifact(model, devices, topology, mb, plannerName, st))
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package conformance_test
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -23,6 +24,8 @@ var (
 		"first seed of the corpus (each family counts up from it)")
 	replaySpec = flag.String("conformance.replay", "",
 		"replay one synth spec string (e.g. synth:fanout/seed=42) through the full invariant suite and skip the corpus")
+	topologyName = flag.String("conformance.topology", "",
+		"pin the cluster topology for the corpus or replay run (a models.Topology name, e.g. topo:hetero-speed/seed=3); empty selects Summit")
 )
 
 // TestCorpus is the conformance gate: the full six-invariant suite
@@ -43,9 +46,9 @@ func TestCorpus(t *testing.T) {
 		specs = conformance.Corpus(*corpusSize, *baseSeed)
 	}
 
-	rep := conformance.CheckCorpus(specs, conformance.Config{})
+	rep := conformance.CheckCorpus(specs, conformance.Config{Topology: *topologyName})
 
-	if *replaySpec == "" {
+	if *replaySpec == "" && *topologyName == "" {
 		// The acceptance envelope of the suite itself: at least three
 		// families, every registered planner, both eval backends.
 		if len(rep.Families) < 3 {
@@ -69,20 +72,27 @@ func TestCorpus(t *testing.T) {
 	dir := os.Getenv("CONFORMANCE_ARTIFACT_DIR")
 	for i, v := range rep.Violations {
 		t.Errorf("violation: %s", v)
-		t.Logf("replay: go test ./internal/conformance -run TestCorpus -conformance.replay=%q", v.Minimal)
+		replay := fmt.Sprintf("go test ./internal/conformance -run TestCorpus -conformance.replay=%q", v.Minimal)
+		if v.MinimalTopology != "" {
+			replay += fmt.Sprintf(" -conformance.topology=%q", v.MinimalTopology)
+		}
+		t.Logf("replay: %s", replay)
 		if dir != "" {
 			if err := os.MkdirAll(dir, 0o755); err != nil {
 				t.Fatalf("artifact dir: %v", err)
 			}
-			data, err := synth.EncodeJSON(v.Minimal)
+			// The whole violation goes into the artifact: the minimized
+			// (model, topology) pair is what replays a heterogeneous-corpus
+			// failure, not the model spec alone.
+			data, err := json.MarshalIndent(v, "", "  ")
 			if err != nil {
-				t.Fatalf("encoding minimal spec: %v", err)
+				t.Fatalf("encoding violation: %v", err)
 			}
 			name := fmt.Sprintf("minimal-%02d-%s-%s.json", i, v.Invariant, v.Planner)
 			if err := os.WriteFile(filepath.Join(dir, name), append(data, '\n'), 0o644); err != nil {
 				t.Fatalf("writing %s: %v", name, err)
 			}
-			t.Logf("minimized spec written to %s", filepath.Join(dir, name))
+			t.Logf("minimized (model, topology) pair written to %s", filepath.Join(dir, name))
 		}
 	}
 }

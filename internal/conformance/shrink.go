@@ -2,6 +2,30 @@ package conformance
 
 import "graphpipe/internal/synth"
 
+// ShrinkTopology minimizes the topology half of a failing (model,
+// topology) pair: it tries strictly simpler cluster shapes — the Summit
+// default, then the uniform synth family at the same seed — and keeps the
+// simplest one on which the predicate still fails. Like Shrink, the
+// predicate must be deterministic; a candidate that fails to resolve
+// simply does not fail and is skipped.
+func ShrinkTopology(topology string, fails func(topology string) bool) string {
+	if topology == "" {
+		return topology
+	}
+	candidates := []string{""}
+	if spec, err := synth.ParseTopo(topology); err == nil && spec.Family != "uniform" {
+		spec.Family = "uniform"
+		candidates = append(candidates, spec.String())
+	}
+	// Simplest first: the first still-failing candidate wins.
+	for _, cand := range candidates {
+		if cand != topology && fails(cand) {
+			return cand
+		}
+	}
+	return topology
+}
+
 // Shrink greedily minimizes a resolved spec while the fails predicate
 // keeps failing, trying the structural knobs in size order — halve then
 // decrement depth, branches, and nesting; halve skew — until no smaller

@@ -46,21 +46,22 @@ func TestKeyRangeConfigLimit(t *testing.T) {
 		}
 		return out
 	}
-	// 256 schedule configs exceed the 8-bit index.
-	p := newTestPlanner(t, 2, Options{KCandidates: ks(256)})
+	// 64 schedule configs exceed the 6-bit index (the placement dimension
+	// took the bits the config index used to have).
+	p := newTestPlanner(t, 2, Options{KCandidates: ks(64)})
 	if _, err := p.Plan(4); err == nil || !strings.Contains(err.Error(), "config") {
-		t.Errorf("256 configs: want config-limit error, got %v", err)
+		t.Errorf("64 configs: want config-limit error, got %v", err)
 	}
-	// 255 fit (boundary): validation itself must pass.
-	p = newTestPlanner(t, 2, Options{KCandidates: ks(255)})
+	// 63 fit (boundary): validation itself must pass.
+	p = newTestPlanner(t, 2, Options{KCandidates: ks(63)})
 	if err := p.validateKeyRanges([]int{1}); err != nil {
-		t.Errorf("255 configs rejected: %v", err)
+		t.Errorf("63 configs rejected: %v", err)
 	}
 }
 
 func TestKeyRangeInFlightBound(t *testing.T) {
 	// A micro-batch so large that the worst-case in-flight count
-	// (3·k·b·devices) cannot fit the 26-bit field. ForcedMicroBatch
+	// (3·k·b·devices) cannot fit the 22-bit field. ForcedMicroBatch
 	// bypasses the MaxMicroBatch cap, which is exactly how an oversized
 	// model would have silently truncated before the check existed.
 	const huge = 1 << 25

@@ -87,6 +87,14 @@ type Options struct {
 	// necessarily contains the concatenation operator"). Exists for the
 	// ablation benchmarks only.
 	DisableSinkAnchoredSplits bool
+	// PlacementOblivious restores the pre-placement planner: stages are
+	// costed against device 0 and the two-tier bandwidth heuristics instead
+	// of the contiguous device block each stage actually lands on, and the
+	// DP key carries no placement dimension. On a flat uniform topology the
+	// placement-aware path produces byte-identical strategies (pinned by
+	// conformance invariant (g)); the flag exists for that pin and for
+	// A/B-ing the placement machinery.
+	PlacementOblivious bool
 	// Epsilon is the relative binary-search tolerance (default 2e-3).
 	Epsilon float64
 	// Workers bounds the planning worker pool shared by the
@@ -175,6 +183,11 @@ type Planner struct {
 
 	zones *zoneTable
 
+	// places interns the cost-equivalence classes of contiguous device
+	// blocks; the class of a stage's block is the placement dimension of
+	// the DP key. nil when Options.PlacementOblivious.
+	places *cluster.PlacementTable
+
 	// evalCaches memoizes per-(zone, micro-batch, devices) stage costs,
 	// partitioned by root micro-batch size so concurrent per-size searches
 	// never contend. The costs are independent of the binary-search
@@ -187,8 +200,9 @@ type Planner struct {
 }
 
 type stageEvalKey struct {
-	zone int
-	b, d int
+	zone  int
+	b, d  int
+	place int // placement class, -1 in placement-oblivious mode
 }
 
 type stageEval struct {
@@ -292,14 +306,18 @@ func NewPlanner(g *graph.Graph, model costmodel.Model, opts Options) (*Planner, 
 	zt := newZoneTable(dec)
 	opts = opts.withDefaults()
 	zt.noAnchored = opts.DisableSinkAnchoredSplits
-	return &Planner{
+	p := &Planner{
 		g:     g,
 		model: model,
 		topo:  model.Topology(),
 		dec:   dec,
 		zones: zt,
 		opts:  opts,
-	}, nil
+	}
+	if !opts.PlacementOblivious {
+		p.places = cluster.NewPlacementTable(p.topo)
+	}
+	return p, nil
 }
 
 // microBatchCandidates returns the candidate micro-batch sizes for
@@ -352,6 +370,11 @@ type dpStage struct {
 	inFlight int
 	memory   float64
 	tps      float64
+	// start is the first device of the stage's contiguous block. The DP
+	// leaves it zero — memo entries are shared across same-class blocks at
+	// different offsets — and assemble stamps the winning tree's actual
+	// offsets via assignStarts before flattening.
+	start int
 }
 
 // dpResult is the solution of one DP subproblem. A nil dpResult means
@@ -455,11 +478,14 @@ func better(a, b *dpResult) *dpResult {
 }
 
 // dpKey packs a DP state into one word: zone id (14 bits), devices (7),
-// source config index (8), successor config index + presence (9), successor
-// in-flight samples (26). Packing keeps memo lookups cheap; the hot path is
-// hundreds of millions of lookups for the largest models. Plan validates
-// every field's range up front (validateKeyRanges), so the packing cannot
-// silently alias distinct states.
+// placement class (8), source config index (6), successor presence +
+// config index (1+6), successor in-flight samples (22). The placement
+// class is the interned cost-equivalence class of the contiguous device
+// block the zone lands on (cluster.PlacementTable); placement-oblivious
+// searches leave it zero. Packing keeps memo lookups cheap; the hot path
+// is hundreds of millions of lookups for the largest models. Plan
+// validates every field's range up front (validateKeyRanges), so the
+// packing cannot silently alias distinct states.
 type dpKey uint64
 
 // span is the half-open interval [lo, hi) of binary-search targets for
@@ -530,7 +556,7 @@ func (s *search) freezeConfigs(rootB int) {
 				return
 			}
 		}
-		if len(s.cfgs) >= 255 {
+		if len(s.cfgs) >= maxCfgIdx {
 			panic("core: too many distinct schedule configs")
 		}
 		s.cfgs = append(s.cfgs, c)
@@ -577,12 +603,22 @@ func (s *search) configIdx(c schedule.Config) int {
 	panic(fmt.Sprintf("core: schedule config %+v not pre-interned", c))
 }
 
-func (s *search) makeKey(zoneID, d int, cf schedule.Config, cb *schedule.Successor) dpKey {
-	k := uint64(zoneID)&0x3FFF | uint64(d&0x7F)<<14 | uint64(s.configIdx(cf))<<21
+// placeClass returns the placement class of the block [start, start+d), or
+// 0 in placement-oblivious mode (the key's placement field is then inert).
+func (s *search) placeClass(start, d int) int {
+	if s.p.places == nil {
+		return 0
+	}
+	return s.p.places.Class(start, d)
+}
+
+func (s *search) makeKey(zoneID, d, start int, cf schedule.Config, cb *schedule.Successor) dpKey {
+	k := uint64(zoneID)&0x3FFF | uint64(d&0x7F)<<14 |
+		uint64(s.placeClass(start, d)&0xFF)<<21 | uint64(s.configIdx(cf)&0x3F)<<29
 	if cb != nil {
-		k |= 1 << 29
-		k |= uint64(s.configIdx(cb.Config)) << 30
-		k |= uint64(cb.InFlight&0x3FFFFFF) << 38
+		k |= 1 << 35
+		k |= uint64(s.configIdx(cb.Config)&0x3F) << 36
+		k |= uint64(cb.InFlight&0x3FFFFF) << 42
 	}
 	return dpKey(k)
 }
@@ -591,10 +627,11 @@ func (s *search) makeKey(zoneID, d int, cf schedule.Config, cb *schedule.Success
 // proves once per Plan that the masks cannot truncate, so an oversized model
 // fails loudly instead of silently colliding memo keys.
 const (
-	maxZoneID    = 1<<14 - 1
-	maxKeyDevs   = 1<<7 - 1
-	maxCfgIdx    = 1<<8 - 1
-	maxKInFlight = 1<<26 - 1
+	maxZoneID     = 1<<14 - 1
+	maxKeyDevs    = 1<<7 - 1
+	maxPlaceClass = 1<<8 - 1
+	maxCfgIdx     = 1<<6 - 1
+	maxKInFlight  = 1<<22 - 1
 )
 
 // validateKeyRanges checks that every field makeKey packs fits its bit
@@ -612,11 +649,15 @@ func (p *Planner) validateKeyRanges(bCands []int) error {
 	if d := p.topo.Len(); d > maxKeyDevs {
 		return fmt.Errorf("core: %d devices exceed the DP key's %d-device limit", d, maxKeyDevs)
 	}
+	if p.places != nil && p.places.NumClasses()-1 > maxPlaceClass {
+		return fmt.Errorf("core: %d placement classes exceed the DP key's %d-class limit",
+			p.places.NumClasses(), maxPlaceClass+1)
+	}
 	nCfg := len(p.opts.KCandidates)
 	if p.opts.PerStageMicroBatch {
 		nCfg += len(bCands) * len(p.opts.KCandidates)
 	}
-	// freezeConfigs interns at most maxCfgIdx configs (one 8-bit index is
+	// freezeConfigs interns at most maxCfgIdx configs (one 6-bit index is
 	// reserved headroom for its own invariant panic).
 	if nCfg > maxCfgIdx {
 		return fmt.Errorf("core: %d schedule configs exceed the DP key's %d-config limit", nCfg, maxCfgIdx)
@@ -659,20 +700,32 @@ func (s *search) interNodeAllreduce(d int) bool {
 	return d > 4
 }
 
-// evalStage returns cached per-stage costs for (zone, b, d). The cost model
-// runs outside the shard lock; concurrent walkers may duplicate an
-// evaluation, but the value is deterministic so either write is correct.
-func (s *search) evalStage(zoneID, b, d int) stageEval {
-	key := stageEvalKey{zone: zoneID, b: b, d: d}
+// evalStage returns cached per-stage costs for (zone, b, d, placement
+// class). Placement-aware searches cost the stage against the class's
+// representative block — any block of the class has identical costs, so
+// the eval (and the cost model's own cache) is shared across every
+// same-class block the DP tries. The cost model runs outside the shard
+// lock; concurrent walkers may duplicate an evaluation, but the value is
+// deterministic so either write is correct.
+func (s *search) evalStage(zoneID, b, d, start int) stageEval {
+	place := -1
+	if s.p.places != nil {
+		place = s.p.places.Class(start, d)
+	}
+	key := stageEvalKey{zone: zoneID, b: b, d: d, place: place}
 	if ev, ok := s.evalCache.get(key); ok {
 		return ev
 	}
 	cfg := costmodel.StageConfig{
-		Ops:                s.p.zones.sets[zoneID],
-		MicroBatch:         b,
-		DataPar:            d,
-		InterNode:          s.interNodeComm(),
-		InterNodeAllreduce: s.interNodeAllreduce(d),
+		Ops:        s.p.zones.sets[zoneID],
+		MicroBatch: b,
+		DataPar:    d,
+	}
+	if place >= 0 {
+		cfg.Place = s.p.places.Rep(place, d)
+	} else {
+		cfg.InterNode = s.interNodeComm()
+		cfg.InterNodeAllreduce = s.interNodeAllreduce(d)
 	}
 	costs := s.p.model.Stage(s.p.g, cfg)
 	ev := stageEval{
@@ -690,7 +743,7 @@ func (s *search) evalStage(zoneID, b, d int) stageEval {
 // to its TPS, and the degree/divisibility/memory rejections are independent
 // of the target (a memory rejection stays nil below the stage's TPS too —
 // there the TPS check rejects instead).
-func (w *dpWalker) stageAttempt(zoneID int, cf schedule.Config, cb *schedule.Successor, d int) (*dpResult, span) {
+func (w *dpWalker) stageAttempt(zoneID int, cf schedule.Config, cb *schedule.Successor, d, start int) (*dpResult, span) {
 	s := w.s
 	if !allowedDegree(d, s.maxDegree) {
 		return nil, fullSpan()
@@ -698,7 +751,7 @@ func (w *dpWalker) stageAttempt(zoneID int, cf schedule.Config, cb *schedule.Suc
 	if s.miniBatch%cf.MicroBatch != 0 {
 		return nil, fullSpan()
 	}
-	ev := s.evalStage(zoneID, cf.MicroBatch, d)
+	ev := s.evalStage(zoneID, cf.MicroBatch, d, start)
 	tps := ev.tps
 	if tps > s.tmax {
 		return nil, span{lo: 0, hi: tps}
@@ -709,7 +762,11 @@ func (w *dpWalker) stageAttempt(zoneID int, cf schedule.Config, cb *schedule.Suc
 	}
 	inFlight := schedule.ComputeInFlight(cf, succs)
 	mem := ev.weightMem + ev.actPerSample*float64(inFlight)
-	if mem > s.p.topo.MinMemory() {
+	budget := s.p.topo.MinMemory()
+	if s.p.places != nil {
+		budget = s.p.topo.BlockMinMemory(cluster.Block{Start: start, Count: d})
+	}
+	if mem > budget {
 		return nil, fullSpan()
 	}
 	r := w.newResult()
@@ -777,9 +834,9 @@ func (w *dpWalker) newStage() *dpStage {
 // the answer holds (the intersection of every consulted sub-computation's
 // interval): a memo entry whose interval covers a later probe's target is
 // reused without recomputation.
-func (w *dpWalker) dp(zoneID int, cf schedule.Config, cb *schedule.Successor, d int) (*dpResult, span) {
+func (w *dpWalker) dp(zoneID int, cf schedule.Config, cb *schedule.Successor, d, start int) (*dpResult, span) {
 	s := w.s
-	key := s.makeKey(zoneID, d, cf, cb)
+	key := s.makeKey(zoneID, d, start, cf, cb)
 	if r, sp, ok := s.memo.get(key, s.tmax); ok {
 		return r, sp
 	}
@@ -790,7 +847,7 @@ func (w *dpWalker) dp(zoneID int, cf schedule.Config, cb *schedule.Successor, d 
 	s.states.Add(1)
 
 	sp := fullSpan()
-	best, asp := w.stageAttempt(zoneID, cf, cb, d)
+	best, asp := w.stageAttempt(zoneID, cf, cb, d, start)
 	sp.join(asp)
 
 	// Candidates are evaluated into a scratch value and copied into an
@@ -800,12 +857,13 @@ func (w *dpWalker) dp(zoneID int, cf schedule.Config, cb *schedule.Successor, d 
 
 	// Series decompositions: solve downstream (right) first; its source
 	// in-flight count becomes the upstream (left) sink's successor info
-	// (Algorithm 1 lines 33–40).
+	// (Algorithm 1 lines 33–40). The upstream part keeps the block's low
+	// devices; the downstream part lands at start+d1.
 	for _, spl := range s.p.zones.seriesSplits(zoneID) {
 		for d2 := 1; d2 < d; d2++ {
 			d1 := d - d2
 			for _, cm := range s.boundary {
-				ok, rsp := w.trySeries(&tmp, spl, cf, cm, cb, d1, d2)
+				ok, rsp := w.trySeries(&tmp, spl, cf, cm, cb, d1, d2, start)
 				sp.join(rsp)
 				if ok && better(best, &tmp) == &tmp {
 					n := w.newResult()
@@ -821,7 +879,7 @@ func (w *dpWalker) dp(zoneID int, cf schedule.Config, cb *schedule.Successor, d 
 	// in-flight count (Algorithm 1 lines 41–47).
 	for _, spl := range s.p.zones.parallelSplits(zoneID) {
 		for d1 := 1; d1 < d; d1++ {
-			ok, rsp := w.tryParallel(&tmp, spl, cf, cb, d1, d-d1)
+			ok, rsp := w.tryParallel(&tmp, spl, cf, cb, d1, d-d1, start)
 			sp.join(rsp)
 			if ok && better(best, &tmp) == &tmp {
 				n := w.newResult()
@@ -842,13 +900,13 @@ func (w *dpWalker) dp(zoneID int, cf schedule.Config, cb *schedule.Successor, d 
 // left is never consulted — exactly as a fresh computation at any target
 // inside the returned span would behave, so the early return keeps reuse
 // sound.
-func (w *dpWalker) trySeries(out *dpResult, sp splitIDs, cf, cm schedule.Config, cb *schedule.Successor, d1, d2 int) (bool, span) {
-	r2, v := w.dp(sp.right, cm, cb, d2)
+func (w *dpWalker) trySeries(out *dpResult, sp splitIDs, cf, cm schedule.Config, cb *schedule.Successor, d1, d2, start int) (bool, span) {
+	r2, v := w.dp(sp.right, cm, cb, d2, start+d1)
 	if r2 == nil {
 		return false, v
 	}
 	mid := schedule.Successor{Config: r2.srcCfg, InFlight: r2.inFlight}
-	r1, v1 := w.dp(sp.left, cf, &mid, d1)
+	r1, v1 := w.dp(sp.left, cf, &mid, d1, start)
 	v.join(v1)
 	if r1 == nil {
 		return false, v
@@ -863,8 +921,8 @@ func (w *dpWalker) trySeries(out *dpResult, sp splitIDs, cf, cm schedule.Config,
 // sink-anchored splits the right group carries the zone's shared sink
 // operator, so the left group's successor is the sink-holding stage inside
 // the right group's solution rather than the stage after the zone.
-func (w *dpWalker) tryParallel(out *dpResult, sp splitIDs, cf schedule.Config, cb *schedule.Successor, d1, d2 int) (bool, span) {
-	r2, v := w.dp(sp.right, cf, cb, d2)
+func (w *dpWalker) tryParallel(out *dpResult, sp splitIDs, cf schedule.Config, cb *schedule.Successor, d1, d2, start int) (bool, span) {
+	r2, v := w.dp(sp.right, cf, cb, d2, start+d1)
 	if r2 == nil {
 		return false, v
 	}
@@ -878,7 +936,7 @@ func (w *dpWalker) tryParallel(out *dpResult, sp splitIDs, cf schedule.Config, c
 		anchored = schedule.Successor{Config: cfg, InFlight: ifl}
 		leftCB = &anchored
 	}
-	r1, v1 := w.dp(sp.left, cf, leftCB, d1)
+	r1, v1 := w.dp(sp.left, cf, leftCB, d1, start)
 	v.join(v1)
 	if r1 == nil {
 		return false, v
@@ -903,11 +961,12 @@ func (w *dpWalker) tryParallel(out *dpResult, sp splitIDs, cf schedule.Config, c
 // root state is memoized like any other, so a later probe whose target
 // falls inside the root entry's span skips the whole fan-out.
 func (s *search) dpRoot(zoneID int, cf schedule.Config, cb *schedule.Successor, d int) *dpResult {
+	const start = 0 // the root zone always owns the whole device range
 	if s.pool == nil {
-		r, _ := s.newWalker().dp(zoneID, cf, cb, d)
+		r, _ := s.newWalker().dp(zoneID, cf, cb, d, start)
 		return r
 	}
-	key := s.makeKey(zoneID, d, cf, cb)
+	key := s.makeKey(zoneID, d, start, cf, cb)
 	if r, _, ok := s.memo.get(key, s.tmax); ok {
 		return r
 	}
@@ -921,7 +980,7 @@ func (s *search) dpRoot(zoneID int, cf schedule.Config, cb *schedule.Successor, 
 		spans = append(spans, fullSpan())
 		tasks = append(tasks, func() { cands[i], spans[i] = f(s.newWalker()) })
 	}
-	spawn(func(w *dpWalker) (*dpResult, span) { return w.stageAttempt(zoneID, cf, cb, d) })
+	spawn(func(w *dpWalker) (*dpResult, span) { return w.stageAttempt(zoneID, cf, cb, d, start) })
 	// materialize copies a feasible scratch candidate into the walker's
 	// arena (root candidates outlive their task, unlike the DP inner loop's
 	// losing candidates).
@@ -940,7 +999,7 @@ func (s *search) dpRoot(zoneID int, cf schedule.Config, cb *schedule.Successor, 
 				sp, cm, d1, d2 := sp, cm, d1, d2
 				spawn(func(w *dpWalker) (*dpResult, span) {
 					var tmp dpResult
-					ok, v := w.trySeries(&tmp, sp, cf, cm, cb, d1, d2)
+					ok, v := w.trySeries(&tmp, sp, cf, cm, cb, d1, d2, start)
 					return materialize(w, &tmp, ok, v)
 				})
 			}
@@ -951,7 +1010,7 @@ func (s *search) dpRoot(zoneID int, cf schedule.Config, cb *schedule.Successor, 
 			sp, d1, d2 := sp, d1, d-d1
 			spawn(func(w *dpWalker) (*dpResult, span) {
 				var tmp dpResult
-				ok, v := w.tryParallel(&tmp, sp, cf, cb, d1, d2)
+				ok, v := w.tryParallel(&tmp, sp, cf, cb, d1, d2, start)
 				return materialize(w, &tmp, ok, v)
 			})
 		}
@@ -1058,7 +1117,7 @@ func (p *Planner) searchMicroBatch(out *perB, b, miniBatch int, bCands []int, ma
 	out.search = s
 	if sm := snap.Search(miniBatch, b); sm != nil && !p.opts.FreshProbeMemo {
 		endImport := p.span("memo.import", "b", strconv.Itoa(b))
-		out.warmed = s.importMemo(sm)
+		out.warmed = s.importMemo(sm, snap.Placements)
 		endImport()
 	}
 	probe := func(tmax float64) *dpResult {
@@ -1225,11 +1284,38 @@ func (p *Planner) Plan(miniBatch int) (*Result, error) {
 	return res, nil
 }
 
+// devCount returns the total device count of the derivation subtree.
+func (r *dpResult) devCount() int {
+	if r.leaf != nil {
+		return r.leaf.devs
+	}
+	return r.left.devCount() + r.right.devCount()
+}
+
+// assignStarts stamps each leaf stage of the winning derivation tree with
+// the start of its contiguous device block: the left child of every
+// series/parallel combination owns the lower devices, exactly the
+// convention the DP used when it keyed and costed the subproblems. The DP
+// leaves leaf starts zero so memo entries stay shareable across same-class
+// blocks; within one winning tree every node is distinct (its zones
+// partition the operator set), so stamping the leaves in place is safe.
+func assignStarts(r *dpResult, start int) {
+	if r.leaf != nil {
+		r.leaf.start = start
+		return
+	}
+	assignStarts(r.left, start)
+	assignStarts(r.right, start+r.left.devCount())
+}
+
 // assemble turns a DP solution into a concrete, validated Strategy:
 // deterministic stage order, contiguous device assignment, final in-flight
 // counts recomputed by backward traversal of the stage graph (§6), and
 // per-stage task orders from the greedy scheduler.
 func (p *Planner) assemble(r *dpResult, miniBatch int) (*strategy.Strategy, error) {
+	if p.places != nil {
+		assignStarts(r, 0)
+	}
 	stages := r.collectStages(nil)
 	// Deterministic order: by the earliest topological position of any
 	// owned operator. This also keeps device allocation contiguous along
@@ -1239,13 +1325,32 @@ func (p *Planner) assemble(r *dpResult, miniBatch int) (*strategy.Strategy, erro
 	})
 
 	st := &strategy.Strategy{Planner: "graphpipe", MiniBatch: miniBatch}
-	counts := make([]int, len(stages))
-	for i := range stages {
-		counts[i] = stages[i].devs
-	}
-	groups, err := cluster.PlaceStages(p.topo, counts)
-	if err != nil {
-		return nil, fmt.Errorf("core: device assignment: %w", err)
+	var groups [][]cluster.DeviceID
+	if p.places != nil && !p.topo.Flat() {
+		// Placement-aware planning on a non-flat topology: the DP costed
+		// each stage against one specific contiguous block, so the
+		// assembled strategy must use exactly those blocks. On flat
+		// topologies every same-size block is cost-identical and the
+		// legacy allocator below reproduces the pre-placement artifacts
+		// byte for byte.
+		groups = make([][]cluster.DeviceID, len(stages))
+		for i, ds := range stages {
+			ids := make([]cluster.DeviceID, ds.devs)
+			for k := range ids {
+				ids[k] = cluster.DeviceID(ds.start + k)
+			}
+			groups[i] = ids
+		}
+	} else {
+		counts := make([]int, len(stages))
+		for i := range stages {
+			counts[i] = stages[i].devs
+		}
+		var err error
+		groups, err = cluster.PlaceStages(p.topo, counts)
+		if err != nil {
+			return nil, fmt.Errorf("core: device assignment: %w", err)
+		}
 	}
 	for i, ds := range stages {
 		st.Stages = append(st.Stages, strategy.Stage{

@@ -47,9 +47,10 @@ func (p *Planner) snapshotKey() memosnap.Key {
 // the determinism conformance invariant).
 func (p *Planner) shapeSig() uint64 {
 	h := fnv.New64a()
-	fmt.Fprintf(h, "shape1\nmbc=%v\nmaxmb=%d\nk=%v\nforced=%d\nperstage=%t\nnoanchor=%t\n",
+	fmt.Fprintf(h, "shape2\nmbc=%v\nmaxmb=%d\nk=%v\nforced=%d\nperstage=%t\nnoanchor=%t\noblivious=%t\n",
 		p.opts.MicroBatchCandidates, p.opts.MaxMicroBatch, p.opts.KCandidates,
-		p.opts.ForcedMicroBatch, p.opts.PerStageMicroBatch, p.opts.DisableSinkAnchoredSplits)
+		p.opts.ForcedMicroBatch, p.opts.PerStageMicroBatch, p.opts.DisableSinkAnchoredSplits,
+		p.opts.PlacementOblivious)
 	return h.Sum64()
 }
 
@@ -65,7 +66,14 @@ func (p *Planner) shapeSig() uint64 {
 func (p *Planner) costSig() uint64 {
 	h := fnv.New64a()
 	interNode := p.topo.Len() > 4
-	fmt.Fprintf(h, "cost1\nregime=%t\nminmem=%x\n", interNode, math.Float64bits(p.topo.MinMemory()))
+	// The canonical topology spec pins every placement-aware cost input:
+	// device classes, level bandwidths (down and up), and the class
+	// assignment. The summit preset canonicalizes to "" at every device
+	// count, which is what keeps snapshots reusable across an elastic
+	// summit resize (placement class ids are translated by signature at
+	// import); any other topology pins snapshots to its exact spec.
+	fmt.Fprintf(h, "cost2\nregime=%t\ntopo=%s\nminmem=%x\n",
+		interNode, p.topo.Canonical(), math.Float64bits(p.topo.MinMemory()))
 	fmt.Fprintf(h, "intra=%x\ninter=%x\nlat=%x\n",
 		math.Float64bits(p.topo.IntraNodeBandwidth),
 		math.Float64bits(p.topo.InterNodeBandwidth),
@@ -117,6 +125,9 @@ func (p *Planner) probeConfig(b, d int, interNode, arX bool) costmodel.StageConf
 // (pinned by test).
 func (p *Planner) exportSnapshot(key memosnap.Key, results []perB) *memosnap.Snapshot {
 	snap := &memosnap.Snapshot{Key: key}
+	if p.places != nil {
+		snap.Placements = p.places.Signatures()
+	}
 	for i := range results {
 		if s := results[i].search; s != nil {
 			snap.Searches = append(snap.Searches, p.exportSearch(s))
@@ -241,7 +252,16 @@ func (p *Planner) exportSearch(s *search) memosnap.SearchMemo {
 // same zone-table size, and every node and key field in range. The checks
 // make a stale or foreign snapshot a no-op rather than a wrong plan; the
 // warm≡cold conformance invariant enforces that end to end.
-func (s *search) importMemo(sm *memosnap.SearchMemo) bool {
+//
+// placements is the exporting snapshot's placement-class signature list.
+// Placement class ids are not stable across device counts (a larger summit
+// interns classes the smaller one lacks, shifting later ids), so when the
+// exporter's list differs from this search's table the imported keys'
+// placement fields are translated id→signature→id; entries whose signature
+// this topology does not have are dropped — they describe blocks that do
+// not exist here and could otherwise alias local classes. A key that is
+// invalid after translation still rejects the whole memo.
+func (s *search) importMemo(sm *memosnap.SearchMemo, placements []string) bool {
 	p := s.p
 	if int(sm.MiniBatch) != s.miniBatch || int(sm.RootB) != s.rootB {
 		return false
@@ -251,6 +271,40 @@ func (s *search) importMemo(sm *memosnap.SearchMemo) bool {
 	}
 	if !configsEqual(sm.Configs, s.cfgs) || !configsEqual(sm.Boundary, s.boundary) {
 		return false
+	}
+	// Placement regime must match: an oblivious search cannot interpret
+	// placement-carrying keys and vice versa.
+	if (p.places == nil) != (len(placements) == 0) {
+		return false
+	}
+	// placeMap translates the exporter's class ids to this table's; -1
+	// marks a class this topology does not have. nil means identity.
+	var placeMap []int
+	if p.places != nil {
+		local := p.places.Signatures()
+		identity := len(placements) == len(local)
+		if identity {
+			for i := range placements {
+				if placements[i] != local[i] {
+					identity = false
+					break
+				}
+			}
+		}
+		if !identity {
+			bySig := make(map[string]int, len(local))
+			for i, sig := range local {
+				bySig[sig] = i
+			}
+			placeMap = make([]int, len(placements))
+			for i, sig := range placements {
+				if li, ok := bySig[sig]; ok {
+					placeMap[i] = li
+				} else {
+					placeMap[i] = -1
+				}
+			}
+		}
 	}
 
 	nLeaves := 0
@@ -307,9 +361,49 @@ func (s *search) importMemo(sm *memosnap.SearchMemo) bool {
 
 	// Validate every packed key's fields against this search's tables
 	// before accepting anything: a single bad key rejects the whole memo,
-	// keeping "imported" an all-or-nothing property per search.
-	for i := range sm.Entries {
-		if !s.validKey(dpKey(sm.Entries[i].Key)) || badSpan(sm.Entries[i].Lo, sm.Entries[i].Hi) {
+	// keeping "imported" an all-or-nothing property per search (dropped
+	// untranslatable-placement entries excepted — those are valid keys of
+	// a different topology, not corruption).
+	entries := sm.Entries
+	if placeMap != nil {
+		// Translate placement fields into this table's ids on a copy (the
+		// snapshot may be merged and re-encoded later), dropping entries
+		// whose class does not exist here, then restore the (Key, Lo, Hi)
+		// sort order the fallback's binary search requires.
+		entries = make([]memosnap.Entry, 0, len(sm.Entries))
+		for _, e := range sm.Entries {
+			pid := int(e.Key >> 21 & 0xFF)
+			if pid >= len(placeMap) {
+				return false
+			}
+			if placeMap[pid] < 0 {
+				continue
+			}
+			e.Key = e.Key&^(uint64(0xFF)<<21) | uint64(placeMap[pid])<<21
+			entries = append(entries, e)
+		}
+		slices.SortFunc(entries, func(a, b memosnap.Entry) int {
+			switch {
+			case a.Key != b.Key:
+				if a.Key < b.Key {
+					return -1
+				}
+				return 1
+			case a.Lo != b.Lo:
+				if a.Lo < b.Lo {
+					return -1
+				}
+				return 1
+			case a.Hi < b.Hi:
+				return -1
+			case a.Hi > b.Hi:
+				return 1
+			}
+			return 0
+		})
+	}
+	for i := range entries {
+		if !s.validKey(dpKey(entries[i].Key)) || badSpan(entries[i].Lo, entries[i].Hi) {
 			return false
 		}
 	}
@@ -318,7 +412,6 @@ func (s *search) importMemo(sm *memosnap.SearchMemo) bool {
 	// a fraction of it. The memo table instead resolves misses against the
 	// snapshot's sorted entry list and materializes only the variants this
 	// search's probes actually cover.
-	entries := sm.Entries
 	s.memo.fallback = func(k dpKey, tmax float64) (memoEntry, bool) {
 		lo, hi := 0, len(entries)
 		for lo < hi {
@@ -381,14 +474,22 @@ func (s *search) validKey(k dpKey) bool {
 	}
 	zone := int(uint64(k) & 0x3FFF)
 	d := int(uint64(k) >> 14 & 0x7F)
-	srcIdx := int(uint64(k) >> 21 & 0xFF)
+	place := int(uint64(k) >> 21 & 0xFF)
+	srcIdx := int(uint64(k) >> 29 & 0x3F)
 	if zone >= len(s.p.zones.sets) || d < 1 || srcIdx >= len(s.cfgs) {
 		return false
 	}
-	if uint64(k)>>29&1 == 0 {
-		// No successor: the successor fields must be zero.
-		return uint64(k)>>30 == 0
+	if s.p.places == nil {
+		if place != 0 {
+			return false
+		}
+	} else if place >= s.p.places.NumClasses() {
+		return false
 	}
-	succIdx := int(uint64(k) >> 30 & 0xFF)
+	if uint64(k)>>35&1 == 0 {
+		// No successor: the successor fields must be zero.
+		return uint64(k)>>36 == 0
+	}
+	succIdx := int(uint64(k) >> 36 & 0x3F)
 	return succIdx < len(s.cfgs)
 }

@@ -150,11 +150,11 @@ func TestSnapshotRoundTripByteStable(t *testing.T) {
 	}
 	p2.zones.resolveAll(p2.zones.intern(p2.dec.Root()))
 	p2.evalCaches = map[int]*evalTable{}
-	re := &memosnap.Snapshot{Key: decoded.Key}
+	re := &memosnap.Snapshot{Key: decoded.Key, Placements: decoded.Placements}
 	for i := range decoded.Searches {
 		sm := &decoded.Searches[i]
 		s := p2.newSearch(int(sm.RootB), int(sm.MiniBatch), nil, nil)
-		if !s.importMemo(sm) {
+		if !s.importMemo(sm, decoded.Placements) {
 			t.Fatalf("importMemo rejected search %d (mb=%d b=%d)", i, sm.MiniBatch, sm.RootB)
 		}
 		ex := p2.exportSearch(s)

@@ -56,6 +56,8 @@ type stageKey struct {
 	dataPar            int
 	interNode          bool
 	interNodeAllreduce bool
+	placeStart         int
+	placeCount         int
 }
 
 type tpsKey struct {
@@ -83,6 +85,8 @@ func keyOf(g *graph.Graph, cfg StageConfig) stageKey {
 		dataPar:            cfg.DataPar,
 		interNode:          cfg.InterNode,
 		interNodeAllreduce: cfg.InterNodeAllreduce,
+		placeStart:         cfg.Place.Start,
+		placeCount:         cfg.Place.Count,
 	}
 }
 
@@ -148,9 +152,17 @@ func (c *Cached) StageMemory(g *graph.Graph, cfg StageConfig, inFlightSamples in
 	return costs.WeightBytes + costs.ActivationBytesPerSample*float64(inFlightSamples)
 }
 
-// FitsMemory reports whether the stage satisfies the device memory budget.
+// FitsMemory reports whether the stage satisfies the device memory budget:
+// the smallest memory in the stage's placement block when one is set, the
+// cluster-wide minimum otherwise (mirroring Analytic.FitsMemory, but over
+// the memoized stage costs).
 func (c *Cached) FitsMemory(g *graph.Graph, cfg StageConfig, inFlightSamples int) bool {
-	return c.StageMemory(g, cfg, inFlightSamples) <= c.inner.Topology().MinMemory()
+	topo := c.inner.Topology()
+	budget := topo.MinMemory()
+	if cfg.Place.Count > 0 {
+		budget = topo.BlockMinMemory(cfg.Place)
+	}
+	return c.StageMemory(g, cfg, inFlightSamples) <= budget
 }
 
 // MaxTPS passes through to the underlying model (one call per Plan, not

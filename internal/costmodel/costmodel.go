@@ -177,10 +177,13 @@ type StageCosts struct {
 	ForwardTime  float64
 	BackwardTime float64
 	// CommInTime is the time to receive the stage's input activations for
-	// one micro-batch across the stage boundary (backward sends gradients
-	// of the same size in the opposite direction, so it is charged for
-	// both passes).
+	// one micro-batch across the stage boundary.
 	CommInTime float64
+	// CommBackTime is the time to send the matching gradients back across
+	// the same boundary. On symmetric links it equals CommInTime; on
+	// hierarchical topologies with asymmetric up/down rates the two differ,
+	// so the steady-state comm charge is CommInTime + CommBackTime.
+	CommBackTime float64
 	// AllreducePerIter is the per-iteration gradient synchronization time
 	// across the stage's data-parallel replicas.
 	AllreducePerIter float64
@@ -205,6 +208,44 @@ type StageConfig struct {
 	// nodes (the contiguous allocator keeps ≤4-device stages within one
 	// 4-GPU node, so planners treat only larger stages as spanning).
 	InterNodeAllreduce bool
+	// Place is the contiguous device block the stage lands on. When set
+	// (Count > 0) the model costs the stage against the actual devices and
+	// link levels of the block — per-op times paced by the slowest device
+	// class in the block, boundary transfers at the block's in-link level
+	// with direction-dependent rates — and InterNode/InterNodeAllreduce are
+	// ignored. When zero the model falls back to the placement-oblivious
+	// estimates above (device 0 everywhere, two-tier bandwidth heuristics).
+	Place cluster.Block
+}
+
+// blockDevices returns one representative device per distinct device class
+// occurring in the stage's placement block, or the placement-oblivious
+// device 0 when no block is set. A stage's data-parallel replicas advance in
+// lockstep, so per-op times are paced by the slowest class present.
+func (m *Analytic) blockDevices(cfg StageConfig) []cluster.Device {
+	if cfg.Place.Count <= 0 {
+		return []cluster.Device{m.topo.Device(0)}
+	}
+	var devs []cluster.Device
+	seen := -1
+	for i := cfg.Place.Start; i < cfg.Place.Start+cfg.Place.Count; i++ {
+		c := m.topo.ClassOf(cluster.DeviceID(i))
+		if c == seen {
+			continue
+		}
+		dup := false
+		for j := cfg.Place.Start; j < i; j++ {
+			if m.topo.ClassOf(cluster.DeviceID(j)) == c {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			devs = append(devs, m.topo.Device(cluster.DeviceID(i)))
+		}
+		seen = c
+	}
+	return devs
 }
 
 // Stage computes the costs of a stage over computation graph g.
@@ -212,34 +253,70 @@ func (m *Analytic) Stage(g *graph.Graph, cfg StageConfig) StageCosts {
 	if cfg.DataPar < 1 {
 		cfg.DataPar = 1
 	}
-	dev := m.topo.Device(0)
+	devs := m.blockDevices(cfg)
 	perDev := float64(cfg.MicroBatch) / float64(cfg.DataPar)
 
 	var out StageCosts
 	for _, id := range cfg.Ops.IDs() {
 		op := g.Op(id)
-		out.ForwardTime += m.OpForwardTime(op, perDev, dev)
-		out.BackwardTime += m.OpBackwardTime(op, perDev, dev)
+		var fwd, bwd float64
+		for _, dev := range devs {
+			if t := m.OpForwardTime(op, perDev, dev); t > fwd {
+				fwd = t
+			}
+			if t := m.OpBackwardTime(op, perDev, dev); t > bwd {
+				bwd = t
+			}
+		}
+		out.ForwardTime += fwd
+		out.BackwardTime += bwd
 		out.WeightBytes += op.ParamBytes * m.params.WeightStateMultiplier
 		out.ActivationBytesPerSample += op.ActivationBytes / float64(cfg.DataPar)
+	}
+
+	// Activations arrive over one point-to-point link per producing stage;
+	// transfers from different producers proceed in parallel, so the stage
+	// boundary is charged the largest single stream rather than the sum.
+	inBytes := m.maxInEdgeBytes(g, cfg.Ops) * float64(cfg.MicroBatch)
+	gradBytes := 0.0
+	if cfg.DataPar > 1 {
+		for _, id := range cfg.Ops.IDs() {
+			gradBytes += g.Op(id).ParamBytes
+		}
+	}
+	if cfg.Place.Count > 0 {
+		// Placement-aware: the block's in-link level sets the boundary
+		// rates, with activations flowing down the hierarchy and gradients
+		// back up at possibly different speeds.
+		lvl := m.topo.InLinkLevel(cfg.Place.Start)
+		if inBytes > 0 {
+			out.CommInTime = inBytes/m.topo.LevelDown(lvl) + m.topo.LevelLatency(lvl)
+			out.CommBackTime = inBytes/m.topo.LevelUp(lvl) + m.topo.LevelLatency(lvl)
+		}
+		if cfg.DataPar > 1 {
+			// Ring allreduce traffic crosses every internal link of the
+			// block in both directions; the widest level's slower direction
+			// bounds the rate.
+			wide := m.topo.LinkLevel(
+				cluster.DeviceID(cfg.Place.Start),
+				cluster.DeviceID(cfg.Place.Start+cfg.Place.Count-1))
+			arBW := math.Min(m.topo.LevelDown(wide), m.topo.LevelUp(wide))
+			d := float64(cfg.DataPar)
+			out.AllreducePerIter = 2 * (d - 1) / d * gradBytes / arBW
+		}
+		return out
 	}
 
 	bw := m.topo.IntraNodeBandwidth
 	if cfg.InterNode {
 		bw = m.topo.InterNodeBandwidth
 	}
-	// Activations arrive over one point-to-point link per producing stage;
-	// transfers from different producers proceed in parallel, so the stage
-	// boundary is charged the largest single stream rather than the sum.
-	inBytes := m.maxInEdgeBytes(g, cfg.Ops) * float64(cfg.MicroBatch)
 	if inBytes > 0 {
 		out.CommInTime = inBytes/bw + m.topo.LinkLatency
+		// Symmetric links: gradients return at the activation rate.
+		out.CommBackTime = out.CommInTime
 	}
 	if cfg.DataPar > 1 {
-		gradBytes := 0.0
-		for _, id := range cfg.Ops.IDs() {
-			gradBytes += g.Op(id).ParamBytes
-		}
 		arBW := m.topo.IntraNodeBandwidth
 		if cfg.InterNodeAllreduce {
 			arBW = m.topo.InterNodeBandwidth
@@ -280,7 +357,7 @@ func (m *Analytic) maxInEdgeBytes(g *graph.Graph, set graph.NodeSet) float64 {
 func (m *Analytic) TPS(g *graph.Graph, cfg StageConfig, miniBatch int) float64 {
 	c := m.Stage(g, cfg)
 	perMicro := c.ForwardTime + c.BackwardTime
-	if comm := 2 * c.CommInTime; comm > perMicro {
+	if comm := c.CommInTime + c.CommBackTime; comm > perMicro {
 		perMicro = comm
 	}
 	tps := perMicro / float64(cfg.MicroBatch)
@@ -298,15 +375,44 @@ func (m *Analytic) StageMemory(g *graph.Graph, cfg StageConfig, inFlightSamples 
 }
 
 // FitsMemory reports whether the stage satisfies the device memory budget
-// with the given number of in-flight samples.
+// with the given number of in-flight samples: the smallest memory of any
+// device in the stage's block, or of the whole cluster when the placement
+// is not yet known.
 func (m *Analytic) FitsMemory(g *graph.Graph, cfg StageConfig, inFlightSamples int) bool {
-	return m.StageMemory(g, cfg, inFlightSamples) <= m.topo.MinMemory()
+	budget := m.topo.MinMemory()
+	if cfg.Place.Count > 0 {
+		budget = m.topo.BlockMinMemory(cfg.Place)
+	}
+	return m.StageMemory(g, cfg, inFlightSamples) <= budget
 }
 
 // MaxTPS returns a safe upper bound for the bottleneck TPS (the MAXTPS of
 // Algorithm 1): the whole model as a single stage on one device with
-// micro-batch 1, which no sensible partition exceeds.
+// micro-batch 1, maximized over device classes so the bound covers every
+// placement on a heterogeneous cluster. The whole graph has no external
+// producer edges, so boundary rates do not enter; on a uniform topology
+// this is exactly the single-device bound the placement-oblivious planner
+// used.
 func (m *Analytic) MaxTPS(g *graph.Graph, miniBatch int) float64 {
-	cfg := StageConfig{Ops: g.AllNodes(), MicroBatch: 1, DataPar: 1, InterNode: true}
-	return m.TPS(g, cfg, miniBatch) * 2
+	var max float64
+	seen := make(map[int]bool)
+	for i := 0; i < m.topo.Len(); i++ {
+		c := m.topo.ClassOf(cluster.DeviceID(i))
+		if seen[c] {
+			continue
+		}
+		seen[c] = true
+		cfg := StageConfig{
+			Ops: g.AllNodes(), MicroBatch: 1, DataPar: 1, InterNode: true,
+			Place: cluster.Block{Start: i, Count: 1},
+		}
+		if tps := m.TPS(g, cfg, miniBatch) * 2; tps > max {
+			max = tps
+		}
+	}
+	if max == 0 { // empty topology: fall back to the oblivious bound
+		cfg := StageConfig{Ops: g.AllNodes(), MicroBatch: 1, DataPar: 1, InterNode: true}
+		max = m.TPS(g, cfg, miniBatch) * 2
+	}
+	return max
 }

@@ -205,12 +205,16 @@ func Assemble(g *graph.Graph, model costmodel.Model, st *strategy.Strategy, back
 	var iterEnd float64
 	for i := range st.Stages {
 		stage := &st.Stages[i]
-		costs := model.Stage(g, costmodel.StageConfig{
+		cfg := costmodel.StageConfig{
 			Ops:                stage.Ops,
 			MicroBatch:         stage.Config.MicroBatch,
 			DataPar:            len(stage.Devices),
 			InterNodeAllreduce: topo.GroupSpansNodes(stage.Devices),
-		})
+		}
+		if blk, ok := cluster.ContiguousBlock(stage.Devices); ok {
+			cfg.Place = blk
+		}
+		costs := model.Stage(g, cfg)
 		rep.Stages[i] = StageReport{
 			ComputeTime:         busy[i],
 			IdleTime:            computeSpan - firstStart - busy[i],

@@ -28,7 +28,8 @@ import (
 
 // SnapshotVersion is the wire-format version. Decode rejects other
 // versions with ErrUnknownSnapshotVersion rather than guessing.
-const SnapshotVersion = 1
+// Version 2 added the placement-class signature list (Placements).
+const SnapshotVersion = 2
 
 // snapshotMagic prefixes every encoded snapshot.
 var snapshotMagic = [6]byte{'G', 'P', 'M', 'E', 'M', 'O'}
@@ -141,8 +142,16 @@ type SearchMemo struct {
 // Snapshot is one Plan call's exported memo: identity plus one SearchMemo
 // per micro-batch-size search.
 type Snapshot struct {
-	Key      Key
-	Searches []SearchMemo
+	Key Key
+	// Placements lists the exporter's placement-class signatures in class-id
+	// order (cluster.PlacementTable.Signatures). DP keys embed class ids,
+	// and ids are not stable across topologies that merely share per-device
+	// costs, so an importer whose own table differs translates each key's
+	// placement field by signature — dropping entries whose signature it
+	// does not have — instead of trusting raw ids. Empty for
+	// placement-oblivious searches, whose keys carry no placement field.
+	Placements []string
+	Searches   []SearchMemo
 }
 
 // Search returns the memo for (miniBatch, rootB), or nil.
@@ -196,7 +205,13 @@ func Merge(dst, src *Snapshot) *Snapshot {
 	if dst.Key != src.Key {
 		return src
 	}
-	out := &Snapshot{Key: src.Key}
+	if !samePlacements(dst.Placements, src.Placements) {
+		// Different placement-class tables mean the two sides' keys embed
+		// incomparable class ids; translating at merge time would need a
+		// topology neither snapshot carries, so last writer wins.
+		return src
+	}
+	out := &Snapshot{Key: src.Key, Placements: src.Placements}
 	used := make([]bool, len(src.Searches))
 	for i := range dst.Searches {
 		d := &dst.Searches[i]
@@ -222,6 +237,18 @@ func Merge(dst, src *Snapshot) *Snapshot {
 		}
 	}
 	return out
+}
+
+func samePlacements(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 func sameConfigs(a, b []Config) bool {
@@ -320,6 +347,7 @@ func remap(e Entry, offset int32) Entry {
 //	magic[6] version:u32 crc:u32            (crc over everything after it)
 //	graphHashLen:u32 graphHash[...]
 //	shapeSig:u64 costSig:u64
+//	numPlacements:u32 {sigLen:u32 sig[...]}...
 //	numSearches:u32
 //	per search:
 //	  miniBatch:i32 rootB:i32 devices:i32 numZones:i32
@@ -356,6 +384,12 @@ func Encode(s *Snapshot) []byte {
 	w.buf = append(w.buf, s.Key.GraphHash...)
 	w.u64(s.Key.ShapeSig)
 	w.u64(s.Key.CostSig)
+
+	w.u32(uint32(len(s.Placements)))
+	for _, sig := range s.Placements {
+		w.u32(uint32(len(sig)))
+		w.buf = append(w.buf, sig...)
+	}
 
 	w.u32(uint32(len(s.Searches)))
 	for i := range s.Searches {
@@ -406,6 +440,10 @@ func Encode(s *Snapshot) []byte {
 
 func encodedSizeHint(s *Snapshot) int {
 	n := headerSize + 4 + len(s.Key.GraphHash) + 16 + 4
+	n += 4
+	for _, sig := range s.Placements {
+		n += 4 + len(sig)
+	}
 	for i := range s.Searches {
 		sm := &s.Searches[i]
 		n += 4*4 + 3*4
@@ -508,6 +546,16 @@ func Decode(data []byte) (*Snapshot, error) {
 	r.off += hlen
 	s.Key.ShapeSig = r.u64()
 	s.Key.CostSig = r.u64()
+
+	nPlace := r.count(4)
+	for i := 0; i < nPlace && r.err == nil; i++ {
+		slen := r.count(1)
+		if r.err != nil {
+			break
+		}
+		s.Placements = append(s.Placements, string(r.buf[r.off:r.off+slen]))
+		r.off += slen
+	}
 
 	nSearches := r.count(4 * 4)
 	for i := 0; i < nSearches && r.err == nil; i++ {

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"strings"
 
+	"graphpipe/internal/cluster"
 	"graphpipe/internal/graph"
 	"graphpipe/internal/synth"
 )
@@ -561,4 +562,43 @@ func Generalist(cfg GeneralistConfig) *graph.Graph {
 	})
 	b.Connect(fusion, head)
 	return b.MustBuild()
+}
+
+// Topology resolves a topology name at a device count — the cluster-side
+// twin of Build. The empty name (and "summit") selects the paper's
+// Summit preset; "topo:explicit/..." strings spell a topology out in
+// full; any other "topo:" name is a seeded synth topology family
+// (synth.BuildTopology). Explicit specs must describe exactly the
+// requested device count: a request routed to a cluster of a different
+// size is a caller bug, not something to silently truncate.
+func Topology(name string, devices int) (*cluster.Topology, error) {
+	if devices < 1 {
+		return nil, fmt.Errorf("models: topology %q needs a positive device count, got %d", name, devices)
+	}
+	switch {
+	case name == "":
+		return cluster.NewSummitTopology(devices), nil
+	case cluster.IsExplicitSpec(name):
+		t, err := cluster.ParseTopology(name)
+		if err != nil {
+			return nil, fmt.Errorf("models: %v", err)
+		}
+		if t.Len() != devices {
+			return nil, fmt.Errorf("models: topology %q describes %d devices, request wants %d",
+				name, t.Len(), devices)
+		}
+		return t, nil
+	case cluster.IsSpecName(name):
+		t, err := synth.BuildTopology(name, devices)
+		if err != nil {
+			return nil, fmt.Errorf("models: %v", err)
+		}
+		return t, nil
+	default:
+		t, err := cluster.Preset(name, devices)
+		if err != nil {
+			return nil, fmt.Errorf("models: %v", err)
+		}
+		return t, nil
+	}
 }

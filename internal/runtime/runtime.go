@@ -28,6 +28,7 @@ import (
 	"sync"
 	"time"
 
+	"graphpipe/internal/cluster"
 	"graphpipe/internal/costmodel"
 	"graphpipe/internal/eval"
 	"graphpipe/internal/graph"
@@ -264,6 +265,9 @@ func (rt *Runtime) Run(st *strategy.Strategy) (*Result, error) {
 			DataPar:            len(stage.Devices),
 			InterNodeAllreduce: topo.GroupSpansNodes(stage.Devices),
 		}
+		if blk, ok := cluster.ContiguousBlock(stage.Devices); ok {
+			cfg.Place = blk
+		}
 		costs := rt.model.Stage(rt.g, cfg)
 		workers[i] = &stageWorker{
 			id:        strategy.StageID(i),
@@ -420,7 +424,9 @@ func (rt *Runtime) runStage(st *strategy.Strategy, workers []*stageWorker, w *st
 			w.clock = start + w.bwdTime
 			for _, pred := range st.Pred[w.id] {
 				t := w.clock
-				if ps := edgeRate(pred, w.id); ps > 0 {
+				// Gradients flow succ→pred: on asymmetric hierarchies the
+				// up-link rate differs from the forward edge's down-link rate.
+				if ps := edgeRate(w.id, pred); ps > 0 {
 					t += ps*float64(task.End-task.Start) + latency
 				}
 				workers[pred].gradCh <- message{from: w.id, start: task.Start, end: task.End, readyAt: t}

@@ -22,6 +22,13 @@ type Request struct {
 	Branches int `json:"branches,omitempty"`
 	// Devices is the cluster size to plan for. Required.
 	Devices int `json:"devices"`
+	// Topology names the cluster shape: empty or "summit" selects the
+	// paper's Summit preset at Devices, "topo:explicit/..." spells a
+	// topology out in full, and any other "topo:" name is a seeded synth
+	// topology family. Canonicalization resolves every spelling to the
+	// topology's canonical spec string ("" for the Summit default), so all
+	// spellings of one cluster share a fingerprint.
+	Topology string `json:"topology,omitempty"`
 	// MiniBatch is B; 0 selects the paper's default pairing for the
 	// model and device count (resolved during canonicalization, so the
 	// explicit and defaulted spellings share a fingerprint).
@@ -68,6 +75,14 @@ func (r Request) canonicalize() (Request, *graph.Graph, error) {
 	if _, err := planner.Get(r.Planner); err != nil {
 		return r, nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
 	}
+	topo, err := models.Topology(r.Topology, r.Devices)
+	if err != nil {
+		return r, nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	// Canonical() returns "" for the Summit default, so the preset name,
+	// the empty string, and the fully explicit Summit spelling all
+	// normalize — and therefore fingerprint — identically.
+	r.Topology = topo.Canonical()
 	g, defBatch, err := models.Build(r.Model, r.Branches, r.Devices)
 	if err != nil {
 		return r, nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
@@ -102,6 +117,7 @@ func (r Request) skeleton() *strategy.Artifact {
 		Model:     r.Model,
 		Branches:  r.Branches,
 		Devices:   r.Devices,
+		Topology:  r.Topology,
 		MiniBatch: r.MiniBatch,
 		Planner:   strategy.PlannerMeta{Name: r.Planner},
 		Options:   r.Options,

@@ -32,7 +32,6 @@ import (
 	"sync"
 	"time"
 
-	"graphpipe/internal/cluster"
 	"graphpipe/internal/costmodel"
 	"graphpipe/internal/eval"
 	"graphpipe/internal/faultinject"
@@ -369,7 +368,12 @@ func (s *Service) runPlanner(ctx context.Context, req Request, g *graph.Graph, f
 	}
 	searchCtx, searchSpan := obs.StartSpan(ctx, "planner.search", "planner", req.Planner, "fp", fp)
 	defer searchSpan.End()
-	topo := cluster.NewSummitTopology(req.Devices)
+	// req is canonicalized, so Topology is either "" (Summit default) or a
+	// canonical explicit spec — both of which models.Topology resolves.
+	topo, err := models.Topology(req.Topology, req.Devices)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
 	popts := planner.Options{
 		ForcedMicroBatch:          req.Options.ForcedMicroBatch,
 		MaxMicroBatch:             req.Options.MaxMicroBatch,
@@ -516,7 +520,10 @@ func (s *Service) Eval(ctx context.Context, req EvalRequest) (*EvalResult, error
 	if err != nil {
 		return nil, fmt.Errorf("rebuilding %s: %w", plan.Fingerprint, err)
 	}
-	topo := cluster.NewSummitTopology(art.Devices)
+	topo, err := models.Topology(art.Topology, art.Devices)
+	if err != nil {
+		return nil, fmt.Errorf("rebuilding %s: %w", plan.Fingerprint, err)
+	}
 	if err := art.Validate(g, topo); err != nil {
 		return nil, fmt.Errorf("cached artifact %s: %w", plan.Fingerprint, err)
 	}

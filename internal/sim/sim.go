@@ -119,6 +119,9 @@ func (sm *Simulator) Run(st *strategy.Strategy) (*Result, error) {
 			DataPar:            len(stage.Devices),
 			InterNodeAllreduce: sm.topo.GroupSpansNodes(stage.Devices),
 		}
+		if blk, ok := cluster.ContiguousBlock(stage.Devices); ok {
+			cfg.Place = blk
+		}
 		costs := sm.model.Stage(sm.g, cfg)
 		nMicro := st.MiniBatch / stage.Config.MicroBatch
 		ss := &stageState{

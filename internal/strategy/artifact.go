@@ -102,6 +102,11 @@ type Artifact struct {
 	Branches int `json:"branches,omitempty"`
 	// Devices is the cluster size the strategy was planned for.
 	Devices int `json:"devices"`
+	// Topology is the canonical topology spec the strategy was planned
+	// for; empty means the default Summit preset at Devices (the only
+	// topology artifacts could describe before the field existed, so old
+	// artifacts decode — and fingerprint — unchanged).
+	Topology string `json:"topology,omitempty"`
 	// MiniBatch is B (duplicated from the strategy for inspection without
 	// decoding it).
 	MiniBatch int `json:"mini_batch"`
@@ -169,7 +174,8 @@ func DecodeArtifact(data []byte) (*Artifact, error) {
 
 // Fingerprint returns the artifact's content-addressed identity: a hex
 // SHA-256 over the canonical planning request — model, branches, devices,
-// mini-batch, planner name, and the result-relevant PlanOptions. Two
+// topology, mini-batch, planner name, and the result-relevant
+// PlanOptions. Two
 // artifacts share a fingerprint exactly when they answer the same planning
 // question, so the fingerprint is the cache key a planning service stores
 // and serves plans under, and `graphpipe plan` prints it so the CLI and
@@ -201,6 +207,12 @@ func (a *Artifact) Fingerprint() string {
 	fmt.Fprintf(h, "forced_micro_batch=%d\nmax_micro_batch=%d\nper_stage_micro_batch=%t\ndisable_sink_anchored_splits=%t\n",
 		a.Options.ForcedMicroBatch, a.Options.MaxMicroBatch,
 		a.Options.PerStageMicroBatch, a.Options.DisableSinkAnchoredSplits)
+	// The topology line is appended only when a non-default topology is
+	// set, so every pre-existing (Summit) artifact keeps its historical
+	// fingerprint and no persisted plan cache is invalidated.
+	if a.Topology != "" {
+		fmt.Fprintf(h, "topology=%s\n", a.Topology)
+	}
 	return hex.EncodeToString(h.Sum(nil))
 }
 
